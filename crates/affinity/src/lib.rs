@@ -1,0 +1,38 @@
+//! # corescope-affinity
+//!
+//! Processor and memory affinity for simulated NUMA machines: the
+//! `numactl`-style page-placement policies and the six task/memory
+//! placement schemes of the paper's Table 5.
+//!
+//! The machine crate provides the *mechanism* (a
+//! [`MemoryLayout`](corescope_machine::MemoryLayout) describing where a
+//! rank's pages live); this crate provides the *policy*: how `localalloc`,
+//! `membind`, `interleave` and the default first-touch-under-the-OS-
+//! scheduler behaviours distribute pages, and how MPI tasks are mapped to
+//! cores (one task per socket vs. two, OS scatter for unbound runs).
+//!
+//! ```
+//! use corescope_machine::{systems, Machine};
+//! use corescope_affinity::Scheme;
+//!
+//! # fn main() -> Result<(), corescope_machine::Error> {
+//! let machine = Machine::new(systems::longs());
+//! // "One MPI task per socket and local allocation policy".
+//! let placements = Scheme::OneMpiLocalAlloc.resolve(&machine, 4)?;
+//! assert_eq!(placements.len(), 4);
+//! // Each rank's pages are entirely on its own socket's node.
+//! for p in &placements {
+//!     let node = machine.node_of_socket(machine.socket_of(p.core));
+//!     assert_eq!(p.layout.fraction(node), 1.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod mapping;
+pub mod policy;
+pub mod scheme;
+
+pub use mapping::{central_socket_order, one_per_socket, os_scatter, packed};
+pub use policy::{default_first_touch, interleave_all, local, membind_packed};
+pub use scheme::Scheme;

@@ -1,0 +1,181 @@
+//! Task-to-core mapping strategies.
+//!
+//! The paper runs its Longs experiments "so as to minimize the effect of
+//! the HT ladder": four-task runs use the four *central* sockets (2–5 in
+//! our numbering). The bound mappings here therefore order sockets by
+//! centrality (mean hop distance to all sockets), while the unbound OS
+//! scatter uses plain socket-id order — the Linux 2.6 load balancer of the
+//! era spread runnable tasks across sockets but knew nothing about ladder
+//! centrality.
+
+use corescope_machine::{CoreId, Error, Machine, Result, SocketId};
+
+/// Sockets ordered most-central first (ties broken by socket id).
+///
+/// On the Longs ladder this puts the interior sockets 2, 3, 4, 5 ahead of
+/// the corner sockets 0, 1, 6, 7; on two-socket machines it is just
+/// `[0, 1]`.
+pub fn central_socket_order(machine: &Machine) -> Vec<SocketId> {
+    let mut order: Vec<SocketId> = machine.sockets().collect();
+    order.sort_by(|&a, &b| {
+        machine
+            .topology()
+            .mean_hops_from(a)
+            .partial_cmp(&machine.topology().mean_hops_from(b))
+            .expect("hop counts are finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+fn check_capacity(machine: &Machine, nranks: usize, limit: usize) -> Result<()> {
+    if nranks == 0 {
+        return Err(Error::InvalidSpec("zero ranks requested".into()));
+    }
+    if nranks > limit {
+        return Err(Error::InvalidSpec(format!(
+            "{nranks} ranks exceed capacity {limit} on {}",
+            machine.spec().name
+        )));
+    }
+    Ok(())
+}
+
+/// One MPI task per socket: rank *k* runs on the first core of the *k*-th
+/// most-central socket. Errors if `nranks` exceeds the socket count.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSpec`] for zero ranks or more ranks than
+/// sockets.
+pub fn one_per_socket(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
+    check_capacity(machine, nranks, machine.num_sockets())?;
+    let order = central_socket_order(machine);
+    Ok(order[..nranks]
+        .iter()
+        .map(|&s| machine.cores_of(s).next().expect("socket has cores"))
+        .collect())
+}
+
+/// Two MPI tasks per socket (packed): both cores of each central socket
+/// fill before the next socket is used.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSpec`] for zero ranks or more ranks than cores.
+pub fn packed(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
+    check_capacity(machine, nranks, machine.num_cores())?;
+    let order = central_socket_order(machine);
+    let mut cores = Vec::with_capacity(nranks);
+    'outer: for &s in &order {
+        for core in machine.cores_of(s) {
+            cores.push(core);
+            if cores.len() == nranks {
+                break 'outer;
+            }
+        }
+    }
+    Ok(cores)
+}
+
+/// The unbound (no `numactl`) case: the OS load balancer spreads tasks
+/// round-robin over sockets in id order, then fills second cores.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSpec`] for zero ranks or more ranks than cores.
+pub fn os_scatter(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
+    check_capacity(machine, nranks, machine.num_cores())?;
+    let mut cores = Vec::with_capacity(nranks);
+    let cps = machine.spec().cores_per_socket;
+    'outer: for pass in 0..cps {
+        for s in machine.sockets() {
+            let core = machine
+                .cores_of(s)
+                .nth(pass)
+                .expect("pass below cores_per_socket");
+            cores.push(core);
+            if cores.len() == nranks {
+                break 'outer;
+            }
+        }
+    }
+    Ok(cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_machine::systems;
+
+    fn longs() -> Machine {
+        Machine::new(systems::longs())
+    }
+
+    fn dmz() -> Machine {
+        Machine::new(systems::dmz())
+    }
+
+    #[test]
+    fn central_order_prefers_interior_sockets() {
+        let m = longs();
+        let order = central_socket_order(&m);
+        let first_four: Vec<usize> = order[..4].iter().map(|s| s.index()).collect();
+        assert_eq!(first_four, vec![2, 3, 4, 5], "paper used nodes 2-5 for 4-task runs");
+    }
+
+    #[test]
+    fn one_per_socket_uses_distinct_sockets() {
+        let m = longs();
+        let cores = one_per_socket(&m, 8).unwrap();
+        let mut sockets: Vec<usize> = cores.iter().map(|&c| m.socket_of(c).index()).collect();
+        sockets.sort_unstable();
+        assert_eq!(sockets, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_per_socket_rejects_too_many() {
+        let m = longs();
+        assert!(one_per_socket(&m, 9).is_err());
+        assert!(one_per_socket(&m, 0).is_err());
+    }
+
+    #[test]
+    fn packed_fills_sockets_in_pairs() {
+        let m = longs();
+        let cores = packed(&m, 4).unwrap();
+        // Two central sockets, both cores each.
+        let sockets: Vec<usize> = cores.iter().map(|&c| m.socket_of(c).index()).collect();
+        assert_eq!(sockets, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn packed_can_fill_whole_machine() {
+        let m = longs();
+        let cores = packed(&m, 16).unwrap();
+        let mut idx: Vec<usize> = cores.iter().map(|c| c.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn os_scatter_spreads_before_packing() {
+        let m = dmz();
+        let cores = os_scatter(&m, 3).unwrap();
+        let sockets: Vec<usize> = cores.iter().map(|&c| m.socket_of(c).index()).collect();
+        assert_eq!(sockets, vec![0, 1, 0], "spread across sockets before second cores");
+    }
+
+    #[test]
+    fn mappings_never_duplicate_cores() {
+        let m = longs();
+        for n in 1..=16 {
+            for cores in [packed(&m, n).unwrap(), os_scatter(&m, n).unwrap()] {
+                let mut seen = cores.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), cores.len(), "duplicates at n={n}");
+            }
+        }
+    }
+}

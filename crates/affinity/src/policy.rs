@@ -1,0 +1,140 @@
+//! `numactl`-style page-placement policies.
+//!
+//! Each function resolves to a [`MemoryLayout`] — the fraction of a rank's
+//! pages on each NUMA node — for one rank, given where the rank runs.
+
+use corescope_machine::{CoreId, Machine, MemoryLayout, NumaNodeId, Result};
+
+/// Fraction of pages the default (unbound) first-touch policy leaves on
+/// the wrong node: early allocations made before the load balancer settles
+/// tasks, shared mappings, and pages touched by rank 0 during setup.
+pub const DEFAULT_MISPLACEMENT: f64 = 0.10;
+
+/// How many ranks' working sets fit per node before `membind` spills to
+/// the next listed node (see [`membind_packed`]).
+pub const MEMBIND_RANKS_PER_NODE: usize = 4;
+
+/// `--localalloc`: every page on the node of the socket running the rank.
+pub fn local(machine: &Machine, core: CoreId) -> MemoryLayout {
+    MemoryLayout::single(machine.node_of_socket(machine.socket_of(core)))
+}
+
+/// `--interleave=all`: pages round-robin across every node in the machine.
+///
+/// # Errors
+///
+/// Never fails for a valid machine; the `Result` mirrors
+/// [`MemoryLayout::uniform`].
+pub fn interleave_all(machine: &Machine) -> Result<MemoryLayout> {
+    let nodes: Vec<NumaNodeId> = machine.nodes().collect();
+    MemoryLayout::uniform(&nodes)
+}
+
+/// The default (no `numactl`) policy: first-touch lands pages locally,
+/// but a `misplacement` fraction ends up spread over the whole machine
+/// (allocations made before the scheduler settled, shared pages, etc.).
+///
+/// # Errors
+///
+/// Mirrors [`MemoryLayout::uniform`]; never fails for a valid machine.
+pub fn default_first_touch(
+    machine: &Machine,
+    core: CoreId,
+    misplacement: f64,
+) -> Result<MemoryLayout> {
+    let local_layout = local(machine, core);
+    if machine.num_sockets() <= 1 || misplacement <= 0.0 {
+        return Ok(local_layout);
+    }
+    let spread = interleave_all(machine)?;
+    Ok(local_layout.mix(&spread, misplacement))
+}
+
+/// `--membind=<nodes>` as the paper's experiments exercised it: memory is
+/// forced onto the *listed* node set, and Linux fills the list in order —
+/// so the working sets of several ranks **concentrate on the first few
+/// nodes** instead of spreading with the tasks. We model one node's DIMMs
+/// absorbing [`MEMBIND_RANKS_PER_NODE`] ranks' pages before spilling:
+/// an `nranks`-task run packs all pages uniformly onto the first
+/// `ceil(nranks / MEMBIND_RANKS_PER_NODE)` nodes of `node_order`.
+///
+/// This is the mechanism behind the paper's finding that "forcing membind
+/// ... result\[s\] in worst-case performance for almost all test cases":
+/// the packed controllers saturate and most ranks access them remotely
+/// over the ladder.
+///
+/// # Errors
+///
+/// Mirrors [`MemoryLayout::uniform`]; fails only for an empty
+/// `node_order`.
+pub fn membind_packed(node_order: &[NumaNodeId], nranks: usize) -> Result<MemoryLayout> {
+    let needed = nranks.div_ceil(MEMBIND_RANKS_PER_NODE).max(1);
+    let take = needed.min(node_order.len().max(1));
+    MemoryLayout::uniform(&node_order[..take.min(node_order.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_machine::systems;
+
+    fn longs() -> Machine {
+        Machine::new(systems::longs())
+    }
+
+    #[test]
+    fn local_is_fully_on_own_node() {
+        let m = longs();
+        let l = local(&m, CoreId::new(6)); // socket 3
+        assert_eq!(l.fraction(NumaNodeId::new(3)), 1.0);
+    }
+
+    #[test]
+    fn interleave_spreads_evenly() {
+        let m = longs();
+        let l = interleave_all(&m).unwrap();
+        for n in m.nodes() {
+            assert!((l.fraction(n) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_mixes_local_and_spread() {
+        let m = longs();
+        let l = default_first_touch(&m, CoreId::new(0), 0.10).unwrap();
+        // 90% local + 10%/8 interleaved share on node 0.
+        assert!((l.fraction(NumaNodeId::new(0)) - (0.9 + 0.1 / 8.0)).abs() < 1e-12);
+        assert!((l.fraction(NumaNodeId::new(5)) - 0.1 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_with_zero_misplacement_is_local() {
+        let m = longs();
+        let l = default_first_touch(&m, CoreId::new(2), 0.0).unwrap();
+        assert_eq!(l, local(&m, CoreId::new(2)));
+    }
+
+    #[test]
+    fn membind_packs_small_runs_onto_one_node() {
+        let nodes: Vec<NumaNodeId> = (0..8).map(NumaNodeId::new).collect();
+        for n in 1..=4 {
+            let l = membind_packed(&nodes, n).unwrap();
+            assert_eq!(l.num_nodes(), 1, "{n} ranks should pack to one node");
+            assert_eq!(l.fraction(nodes[0]), 1.0);
+        }
+    }
+
+    #[test]
+    fn membind_spills_with_more_ranks() {
+        let nodes: Vec<NumaNodeId> = (0..8).map(NumaNodeId::new).collect();
+        assert_eq!(membind_packed(&nodes, 8).unwrap().num_nodes(), 2);
+        assert_eq!(membind_packed(&nodes, 16).unwrap().num_nodes(), 4);
+    }
+
+    #[test]
+    fn membind_never_exceeds_listed_nodes() {
+        let nodes: Vec<NumaNodeId> = (0..2).map(NumaNodeId::new).collect();
+        let l = membind_packed(&nodes, 32).unwrap();
+        assert_eq!(l.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Harmonic bonded interactions (the LAMMPS "chain" polymer benchmark's
+//! bonded term).
+
+use crate::md::system::ParticleSystem;
+
+/// A harmonic bond `0.5 k (r - r0)²` between two particles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bond {
+    /// First particle.
+    pub i: usize,
+    /// Second particle.
+    pub j: usize,
+    /// Spring constant.
+    pub k: f64,
+    /// Equilibrium length.
+    pub r0: f64,
+}
+
+/// Builds a linear chain of bonds over consecutive particles.
+pub fn chain_bonds(n: usize, k: f64, r0: f64) -> Vec<Bond> {
+    (0..n.saturating_sub(1)).map(|i| Bond { i, j: i + 1, k, r0 }).collect()
+}
+
+/// Accumulates bond forces; returns potential energy.
+///
+/// # Panics
+///
+/// Panics if a bond references a particle outside the system.
+pub fn compute_forces(system: &mut ParticleSystem, bonds: &[Bond]) -> f64 {
+    let mut energy = 0.0;
+    for b in bonds {
+        assert!(b.i < system.len() && b.j < system.len());
+        let d = system.displacement(b.i, b.j);
+        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        if r < 1e-12 {
+            continue;
+        }
+        let stretch = r - b.r0;
+        energy += 0.5 * b.k * stretch * stretch;
+        let f_over_r = b.k * stretch / r;
+        for a in 0..3 {
+            system.forces[b.i][a] += f_over_r * d[a];
+            system.forces[b.j][a] -= f_over_r * d[a];
+        }
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_particle_system(separation: f64) -> ParticleSystem {
+        let mut s = ParticleSystem::lattice(2, 0.001, 1);
+        s.positions[0] = [1.0, 1.0, 1.0];
+        s.positions[1] = [1.0 + separation, 1.0, 1.0];
+        s.clear_forces();
+        s
+    }
+
+    #[test]
+    fn equilibrium_bond_has_no_force() {
+        let mut s = two_particle_system(1.5);
+        let e = compute_forces(&mut s, &[Bond { i: 0, j: 1, k: 10.0, r0: 1.5 }]);
+        assert!(e.abs() < 1e-12);
+        assert!(s.forces[0][0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_particles_together() {
+        let mut s = two_particle_system(2.0);
+        let e = compute_forces(&mut s, &[Bond { i: 0, j: 1, k: 10.0, r0: 1.5 }]);
+        assert!((e - 0.5 * 10.0 * 0.25).abs() < 1e-12);
+        // Particle 0 is pulled toward +x (particle 1), particle 1 toward -x.
+        assert!(s.forces[0][0] > 0.0);
+        assert!(s.forces[1][0] < 0.0);
+        assert!((s.forces[0][0] + s.forces[1][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_matches_numerical_gradient() {
+        let bond = Bond { i: 0, j: 1, k: 7.0, r0: 1.2 };
+        let h = 1e-6;
+        let mut s = two_particle_system(1.8);
+        compute_forces(&mut s, &[bond]);
+        let analytic = s.forces[1][0];
+        let energy_at = |sep: f64| {
+            let mut t = two_particle_system(sep);
+            compute_forces(&mut t, &[bond])
+        };
+        let numeric = -(energy_at(1.8 + h) - energy_at(1.8 - h)) / (2.0 * h);
+        assert!((analytic - numeric).abs() < 1e-5, "{analytic} vs {numeric}");
+    }
+
+    #[test]
+    fn chain_builder_links_consecutive_particles() {
+        let bonds = chain_bonds(5, 1.0, 1.0);
+        assert_eq!(bonds.len(), 4);
+        assert_eq!((bonds[2].i, bonds[2].j), (2, 3));
+        assert!(chain_bonds(0, 1.0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Ewald summation for periodic electrostatics — the physics behind
+//! AMBER's Particle Mesh Ewald (PME) method. The real implementation is
+//! the classical (non-mesh) Ewald sum, exact for small systems; the PME
+//! *workload model* in [`crate::md::amber`] carries the mesh/FFT phase
+//! structure at benchmark scale.
+
+use crate::md::system::Vec3;
+use std::f64::consts::PI;
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |err| <
+/// 1.5e-7 — ample for validation tolerances here).
+pub fn erfc(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x_abs * x_abs).exp();
+    if sign > 0.0 {
+        1.0 - erf
+    } else {
+        1.0 + erf
+    }
+}
+
+/// Ewald parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwaldParams {
+    /// Gaussian splitting parameter.
+    pub alpha: f64,
+    /// Real-space cutoff.
+    pub r_cut: f64,
+    /// Reciprocal-space cutoff (max |k-index| per dimension).
+    pub k_max: i32,
+}
+
+impl Default for EwaldParams {
+    fn default() -> Self {
+        Self { alpha: 0.35, r_cut: 9.0, k_max: 8 }
+    }
+}
+
+/// Total Coulomb energy of point charges in a cubic periodic box of edge
+/// `box_len`, in Gaussian units (`q_i q_j / r`).
+///
+/// # Panics
+///
+/// Panics if `charges` and `positions` lengths differ.
+pub fn ewald_energy(
+    charges: &[f64],
+    positions: &[Vec3],
+    box_len: f64,
+    params: &EwaldParams,
+) -> f64 {
+    assert_eq!(charges.len(), positions.len());
+    let n = charges.len();
+    let alpha = params.alpha;
+
+    // Real-space sum over minimum images.
+    let mut e_real = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut r2 = 0.0;
+            for a in 0..3 {
+                let mut d = positions[j][a] - positions[i][a];
+                d -= box_len * (d / box_len).round();
+                r2 += d * d;
+            }
+            let r = r2.sqrt();
+            if r < params.r_cut && r > 1e-12 {
+                e_real += charges[i] * charges[j] * erfc(alpha * r) / r;
+            }
+        }
+    }
+
+    // Reciprocal-space sum.
+    let volume = box_len.powi(3);
+    let mut e_recip = 0.0;
+    let km = params.k_max;
+    for kx in -km..=km {
+        for ky in -km..=km {
+            for kz in -km..=km {
+                if kx == 0 && ky == 0 && kz == 0 {
+                    continue;
+                }
+                let k = [
+                    2.0 * PI * kx as f64 / box_len,
+                    2.0 * PI * ky as f64 / box_len,
+                    2.0 * PI * kz as f64 / box_len,
+                ];
+                let k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
+                let (mut s_re, mut s_im) = (0.0, 0.0);
+                for i in 0..n {
+                    let phase = k[0] * positions[i][0]
+                        + k[1] * positions[i][1]
+                        + k[2] * positions[i][2];
+                    s_re += charges[i] * phase.cos();
+                    s_im += charges[i] * phase.sin();
+                }
+                let structure2 = s_re * s_re + s_im * s_im;
+                e_recip += (-k2 / (4.0 * alpha * alpha)).exp() / k2 * structure2;
+            }
+        }
+    }
+    e_recip *= 2.0 * PI / volume;
+
+    // Self-interaction correction.
+    let e_self: f64 =
+        -alpha / PI.sqrt() * charges.iter().map(|q| q * q).sum::<f64>();
+
+    e_real + e_recip + e_self
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-11);
+    }
+
+    #[test]
+    fn isolated_dipole_energy_approaches_coulomb() {
+        // Two opposite charges 1 apart in a huge box: E -> -1/r = -1.
+        let box_len = 40.0;
+        let charges = [1.0, -1.0];
+        let positions = [[20.0, 20.0, 20.0], [21.0, 20.0, 20.0]];
+        let params = EwaldParams { alpha: 0.35, r_cut: 15.0, k_max: 10 };
+        let e = ewald_energy(&charges, &positions, box_len, &params);
+        assert!((e + 1.0).abs() < 5e-3, "E = {e}, expected ~-1");
+    }
+
+    #[test]
+    fn energy_is_independent_of_alpha() {
+        // The splitting parameter must not change the physics.
+        let box_len = 12.0;
+        let charges = [1.0, -1.0, 1.0, -1.0];
+        let positions = [
+            [1.0, 1.0, 1.0],
+            [4.0, 2.0, 1.5],
+            [7.0, 8.0, 3.0],
+            [2.0, 9.0, 10.0],
+        ];
+        let e1 = ewald_energy(
+            &charges,
+            &positions,
+            box_len,
+            &EwaldParams { alpha: 0.4, r_cut: 6.0, k_max: 12 },
+        );
+        let e2 = ewald_energy(
+            &charges,
+            &positions,
+            box_len,
+            &EwaldParams { alpha: 0.55, r_cut: 6.0, k_max: 14 },
+        );
+        assert!((e1 - e2).abs() < 2e-3, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn like_charges_repel_energy_positive() {
+        let box_len = 30.0;
+        let charges = [1.0, 1.0];
+        let positions = [[15.0, 15.0, 15.0], [16.0, 15.0, 15.0]];
+        // Note: a non-neutral cell is unphysical in strict Ewald, but the
+        // pair term still dominates at this box size.
+        let params = EwaldParams { alpha: 0.35, r_cut: 12.0, k_max: 8 };
+        let e = ewald_energy(&charges, &positions, box_len, &params);
+        assert!(e > 0.5, "E = {e}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Generalized Born implicit solvation (the "GB" method of the AMBER
+//! gb_cox2 / gb_mb benchmarks): the Still et al. pairwise energy with
+//! fixed effective Born radii.
+
+use crate::md::system::Vec3;
+
+/// GB model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbParams {
+    /// Solvent dielectric constant (78.5 for water).
+    pub epsilon_solvent: f64,
+    /// Solute (interior) dielectric constant.
+    pub epsilon_solute: f64,
+}
+
+impl Default for GbParams {
+    fn default() -> Self {
+        Self { epsilon_solvent: 78.5, epsilon_solute: 1.0 }
+    }
+}
+
+/// The Still et al. effective interaction distance
+/// `f_GB = sqrt(r² + a_i a_j exp(-r²/(4 a_i a_j)))`.
+pub fn f_gb(r2: f64, ai: f64, aj: f64) -> f64 {
+    let aa = ai * aj;
+    (r2 + aa * (-r2 / (4.0 * aa)).exp()).sqrt()
+}
+
+/// GB polarization (solvation) energy for charges with given effective
+/// Born radii. O(N²), as in the real method.
+///
+/// # Panics
+///
+/// Panics if the input lengths differ.
+pub fn gb_energy(
+    charges: &[f64],
+    born_radii: &[f64],
+    positions: &[Vec3],
+    params: &GbParams,
+) -> f64 {
+    assert_eq!(charges.len(), born_radii.len());
+    assert_eq!(charges.len(), positions.len());
+    let n = charges.len();
+    let prefactor = -0.5 * (1.0 / params.epsilon_solute - 1.0 / params.epsilon_solvent);
+    let mut energy = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut r2 = 0.0;
+            for a in 0..3 {
+                let d = positions[j][a] - positions[i][a];
+                r2 += d * d;
+            }
+            energy += charges[i] * charges[j] / f_gb(r2, born_radii[i], born_radii[j]);
+        }
+    }
+    prefactor * energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_gb_limits() {
+        // At r = 0, f_GB = sqrt(a_i a_j) (the self/overlap limit).
+        assert!((f_gb(0.0, 2.0, 8.0) - 4.0).abs() < 1e-12);
+        // At large r, f_GB -> r.
+        let r2 = 1e6;
+        assert!((f_gb(r2, 2.0, 2.0) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_ion_born_energy() {
+        // One charge q with Born radius a: E = -0.5 (1/eps_in - 1/eps_out) q²/a.
+        let params = GbParams::default();
+        let e = gb_energy(&[1.0], &[2.0], &[[0.0; 3]], &params);
+        let expected = -0.5 * (1.0 - 1.0 / 78.5) / 2.0;
+        assert!((e - expected).abs() < 1e-12, "{e} vs {expected}");
+    }
+
+    #[test]
+    fn solvation_stabilizes_charges() {
+        // Polarization energy of any charged system is negative.
+        let params = GbParams::default();
+        let e = gb_energy(
+            &[1.0, -1.0, 0.5],
+            &[1.5, 2.0, 1.8],
+            &[[0.0; 3], [3.0, 0.0, 0.0], [0.0, 4.0, 0.0]],
+            &params,
+        );
+        assert!(e < 0.0, "E = {e}");
+    }
+
+    #[test]
+    fn energy_scales_with_dielectric_contrast() {
+        let weak = GbParams { epsilon_solvent: 2.0, epsilon_solute: 1.0 };
+        let strong = GbParams::default();
+        let args: (&[f64], &[f64], &[Vec3]) =
+            (&[1.0, -1.0], &[2.0, 2.0], &[[0.0; 3], [3.0, 0.0, 0.0]]);
+        let e_weak = gb_energy(args.0, args.1, args.2, &weak);
+        let e_strong = gb_energy(args.0, args.1, args.2, &strong);
+        assert!(e_strong < e_weak, "stronger solvent stabilizes more");
+    }
+}

@@ -1,0 +1,204 @@
+//! LAMMPS workload models: the LJ / chain (polymer) / EAM (metal)
+//! benchmarks of Tables 10 and 11 — 32 000 atoms, 100 time steps.
+
+use corescope_kernels::F64;
+use corescope_machine::{ComputePhase, TrafficProfile};
+use corescope_smpi::CommWorld;
+
+/// One LAMMPS benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LammpsBenchmark {
+    /// Lennard-Jones liquid (non-bonded, ~70 neighbours/atom).
+    Lj,
+    /// Polymer chain (bonded + short-range pairs, small working set —
+    /// the benchmark that scales *super*-linearly in Table 10).
+    Chain,
+    /// EAM metal (two force passes + spline tables).
+    Eam,
+}
+
+impl LammpsBenchmark {
+    /// All three benchmarks in the paper's column order.
+    pub fn all() -> [LammpsBenchmark; 3] {
+        [LammpsBenchmark::Lj, LammpsBenchmark::Chain, LammpsBenchmark::Eam]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LammpsBenchmark::Lj => "LJ",
+            LammpsBenchmark::Chain => "Chain",
+            LammpsBenchmark::Eam => "EAM",
+        }
+    }
+
+    /// Atom count (all three use 32 000 atoms).
+    pub fn atoms(self) -> usize {
+        32_000
+    }
+
+    /// Simulation steps (the paper runs 100).
+    pub fn steps(self) -> usize {
+        100
+    }
+
+    /// Flops per atom per step: neighbours x per-pair cost (+ bond and
+    /// embedding terms).
+    fn flops_per_atom(self) -> f64 {
+        match self {
+            LammpsBenchmark::Lj => 70.0 * 30.0,
+            LammpsBenchmark::Chain => 25.0 * 30.0 + 2.0 * 60.0,
+            LammpsBenchmark::Eam => 2.0 * 70.0 * 30.0 + 70.0 * 12.0,
+        }
+    }
+
+    /// Bytes of per-atom *state* (positions, velocities, forces,
+    /// neighbour lists, tables) — the working set. The chain benchmark's
+    /// small footprint is what lets it turn cache-resident at high rank
+    /// counts and scale super-linearly (Table 10's 19.95x at 16 cores).
+    fn state_bytes_per_atom(self) -> f64 {
+        match self {
+            LammpsBenchmark::Lj => 420.0,
+            LammpsBenchmark::Chain => 160.0,
+            LammpsBenchmark::Eam => 560.0,
+        }
+    }
+
+    /// Bytes the force loop *touches* per atom per step (each neighbour's
+    /// coordinates are re-read per pair).
+    fn touched_bytes_per_atom(self) -> f64 {
+        match self {
+            LammpsBenchmark::Lj => 2_100.0,
+            LammpsBenchmark::Chain => 700.0,
+            LammpsBenchmark::Eam => 3_900.0,
+        }
+    }
+
+    /// How the force loop walks memory: LAMMPS spatially sorts LJ/EAM
+    /// atoms so neighbour access streams well; the polymer chain hops
+    /// along bond topology.
+    fn force_traffic(self, atoms_local: f64) -> TrafficProfile {
+        let touched = atoms_local * self.touched_bytes_per_atom();
+        let state = atoms_local * self.state_bytes_per_atom();
+        match self {
+            LammpsBenchmark::Lj | LammpsBenchmark::Eam => {
+                TrafficProfile::stream_over(touched, state)
+            }
+            LammpsBenchmark::Chain => TrafficProfile::strided(touched, state),
+        }
+    }
+
+    /// Appends the full benchmark run.
+    pub fn append_run(&self, world: &mut CommWorld<'_>) {
+        let p = world.size() as f64;
+        let atoms_local = self.atoms() as f64 / p;
+        let working_set = atoms_local * self.state_bytes_per_atom();
+        let halo_bytes = 24.0 * (atoms_local.powf(2.0 / 3.0) * 6.0).min(atoms_local);
+
+        for step in 0..self.steps() {
+            // Force computation.
+            let force = ComputePhase::new(
+                "lammps-force",
+                atoms_local * self.flops_per_atom(),
+                self.force_traffic(atoms_local),
+            )
+            .with_efficiency(0.3);
+            world.compute_all(|_| Some(force.clone()));
+
+            // Integration: a light streaming pass.
+            let integrate = ComputePhase::new(
+                "lammps-integrate",
+                atoms_local * 20.0,
+                TrafficProfile::stream_over(atoms_local * 72.0, atoms_local * 72.0),
+            );
+            world.compute_all(|_| Some(integrate.clone()));
+
+            if world.size() > 1 {
+                // Ghost-atom halo exchange with spatial neighbours.
+                world.halo_1d(halo_bytes);
+            }
+
+            // Neighbour-list rebuild every 10 steps.
+            if step % 10 == 0 {
+                let rebuild = ComputePhase::new(
+                    "lammps-neigh",
+                    atoms_local * 200.0,
+                    TrafficProfile::stream_over(working_set, working_set),
+                )
+                .with_efficiency(0.25);
+                world.compute_all(|_| Some(rebuild.clone()));
+            }
+
+            if world.size() > 1 {
+                // Thermo energy reduction.
+                world.allreduce(F64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_affinity::Scheme;
+    use corescope_machine::{systems, Machine};
+    use corescope_smpi::{LockLayer, MpiImpl};
+
+    fn run(bench: LammpsBenchmark, machine: &Machine, n: usize, scheme: Scheme) -> f64 {
+        let placements = scheme.resolve(machine, n).unwrap();
+        let mut w = CommWorld::new(
+            machine,
+            placements,
+            MpiImpl::Mpich2.profile(),
+            LockLayer::USysV,
+        );
+        bench.append_run(&mut w);
+        w.run().unwrap().makespan
+    }
+
+    #[test]
+    fn lj_two_task_longs_time_matches_table11_scale() {
+        // Table 11: LJ, 2 tasks, Longs default = 3.82 s.
+        let m = Machine::new(systems::longs());
+        let t = run(LammpsBenchmark::Lj, &m, 2, Scheme::Default);
+        assert!(t > 1.9 && t < 7.6, "LJ 2 tasks = {t:.2} s (paper 3.82)");
+    }
+
+    #[test]
+    fn chain_scales_superlinearly() {
+        // Table 10: chain reaches 19.95x on 16 cores — better than
+        // linear, because the per-rank working set drops into cache.
+        let m = Machine::new(systems::longs());
+        let t2 = run(LammpsBenchmark::Chain, &m, 2, Scheme::TwoMpiLocalAlloc);
+        let t16 = run(LammpsBenchmark::Chain, &m, 16, Scheme::TwoMpiLocalAlloc);
+        let gain = t2 / t16;
+        assert!(gain > 8.0, "chain 2->16 gain {gain:.2} should exceed the core ratio");
+    }
+
+    #[test]
+    fn lj_scales_well_but_sublinearly() {
+        // Table 10: LJ reaches 10.65x at 16 cores (per-core 0.67).
+        let m = Machine::new(systems::longs());
+        let t2 = run(LammpsBenchmark::Lj, &m, 2, Scheme::TwoMpiLocalAlloc);
+        let t16 = run(LammpsBenchmark::Lj, &m, 16, Scheme::TwoMpiLocalAlloc);
+        let gain = t2 / t16;
+        assert!(gain > 3.0 && gain < 9.0, "LJ 2->16 gain {gain:.2}");
+    }
+
+    #[test]
+    fn all_benchmarks_complete_on_all_systems() {
+        for spec in systems::all() {
+            let m = Machine::new(spec);
+            for bench in LammpsBenchmark::all() {
+                let t = run(bench, &m, 2, Scheme::Default);
+                assert!(t > 0.0, "{} on {}", bench.name(), m.spec().name);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_columns() {
+        let names: Vec<_> = LammpsBenchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["LJ", "Chain", "EAM"]);
+    }
+}

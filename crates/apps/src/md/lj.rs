@@ -1,0 +1,192 @@
+//! Lennard-Jones potential with cell lists (the LAMMPS "LJ" benchmark's
+//! physics), plus a velocity-Verlet driver.
+
+use crate::md::system::ParticleSystem;
+
+/// Lennard-Jones parameters (reduced units: epsilon = sigma = 1 by
+/// default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjParams {
+    /// Well depth.
+    pub epsilon: f64,
+    /// Zero-crossing distance.
+    pub sigma: f64,
+    /// Interaction cutoff.
+    pub cutoff: f64,
+}
+
+impl Default for LjParams {
+    fn default() -> Self {
+        Self { epsilon: 1.0, sigma: 1.0, cutoff: 2.5 }
+    }
+}
+
+fn lj_pair(params: &LjParams, r2: f64) -> (f64, f64) {
+    // Returns (energy, force/r) for squared distance r2.
+    let sr2 = params.sigma * params.sigma / r2;
+    let sr6 = sr2 * sr2 * sr2;
+    let sr12 = sr6 * sr6;
+    let energy = 4.0 * params.epsilon * (sr12 - sr6);
+    let f_over_r = 24.0 * params.epsilon * (2.0 * sr12 - sr6) / r2;
+    (energy, f_over_r)
+}
+
+/// Accumulates LJ forces with an O(N²) reference loop; returns potential
+/// energy. Used to validate the cell-list path.
+pub fn compute_forces_naive(system: &mut ParticleSystem, params: &LjParams) -> f64 {
+    let n = system.len();
+    let cutoff2 = params.cutoff * params.cutoff;
+    let mut energy = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let r2 = system.distance2(i, j);
+            if r2 < cutoff2 && r2 > 1e-12 {
+                let (e, f_over_r) = lj_pair(params, r2);
+                energy += e;
+                let d = system.displacement(i, j);
+                for a in 0..3 {
+                    system.forces[i][a] -= f_over_r * d[a];
+                    system.forces[j][a] += f_over_r * d[a];
+                }
+            }
+        }
+    }
+    energy
+}
+
+/// Accumulates LJ forces using a cell list (O(N) for homogeneous
+/// systems); returns potential energy. Matches [`compute_forces_naive`].
+pub fn compute_forces(system: &mut ParticleSystem, params: &LjParams) -> f64 {
+    let n = system.len();
+    let cutoff2 = params.cutoff * params.cutoff;
+    let cells_per_side = ((system.box_len / params.cutoff).floor() as usize).max(1);
+    if cells_per_side < 3 {
+        // Box too small for a meaningful cell decomposition.
+        return compute_forces_naive(system, params);
+    }
+    let cell_len = system.box_len / cells_per_side as f64;
+    let cell_of = |p: &[f64; 3]| -> (usize, usize, usize) {
+        let f = |x: f64| ((x / cell_len) as usize).min(cells_per_side - 1);
+        (f(p[0]), f(p[1]), f(p[2]))
+    };
+    let mut cells = vec![Vec::new(); cells_per_side * cells_per_side * cells_per_side];
+    let idx = |c: (usize, usize, usize)| {
+        (c.0 * cells_per_side + c.1) * cells_per_side + c.2
+    };
+    for i in 0..n {
+        cells[idx(cell_of(&system.positions[i]))].push(i);
+    }
+
+    let mut energy = 0.0;
+    let cps = cells_per_side as isize;
+    for cx in 0..cells_per_side {
+        for cy in 0..cells_per_side {
+            for cz in 0..cells_per_side {
+                let home = &cells[idx((cx, cy, cz))];
+                for dx in -1..=1isize {
+                    for dy in -1..=1isize {
+                        for dz in -1..=1isize {
+                            let nx = (cx as isize + dx).rem_euclid(cps) as usize;
+                            let ny = (cy as isize + dy).rem_euclid(cps) as usize;
+                            let nz = (cz as isize + dz).rem_euclid(cps) as usize;
+                            let neigh = &cells[idx((nx, ny, nz))];
+                            for &i in home {
+                                for &j in neigh {
+                                    if j <= i {
+                                        continue;
+                                    }
+                                    let r2 = system.distance2(i, j);
+                                    if r2 < cutoff2 && r2 > 1e-12 {
+                                        let (e, f_over_r) = lj_pair(params, r2);
+                                        energy += e;
+                                        let d = system.displacement(i, j);
+                                        for a in 0..3 {
+                                            system.forces[i][a] -= f_over_r * d[a];
+                                            system.forces[j][a] += f_over_r * d[a];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    energy
+}
+
+/// Runs `steps` velocity-Verlet steps; returns `(potential, kinetic)` at
+/// the end.
+pub fn run_nve(
+    system: &mut ParticleSystem,
+    params: &LjParams,
+    dt: f64,
+    steps: usize,
+) -> (f64, f64) {
+    system.clear_forces();
+    let mut pot = compute_forces(system, params);
+    for _ in 0..steps {
+        system.begin_step(dt);
+        system.clear_forces();
+        pot = compute_forces(system, params);
+        system.finish_step(dt);
+    }
+    (pot, system.kinetic_energy())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_minimum_at_two_pow_sixth_sigma() {
+        let p = LjParams::default();
+        let r_min2 = 2f64.powf(1.0 / 3.0); // (2^(1/6))^2
+        let (_, f) = lj_pair(&p, r_min2);
+        assert!(f.abs() < 1e-10, "force at the LJ minimum must vanish, got {f}");
+        let (e, _) = lj_pair(&p, r_min2);
+        assert!((e + 1.0).abs() < 1e-10, "well depth is -epsilon");
+    }
+
+    #[test]
+    fn cell_list_matches_naive() {
+        let params = LjParams::default();
+        let mut a = ParticleSystem::lattice(216, 0.6, 11);
+        let mut b = a.clone();
+        a.clear_forces();
+        b.clear_forces();
+        let ea = compute_forces(&mut a, &params);
+        let eb = compute_forces_naive(&mut b, &params);
+        assert!((ea - eb).abs() < 1e-9 * eb.abs().max(1.0), "{ea} vs {eb}");
+        for (fa, fb) in a.forces.iter().zip(&b.forces) {
+            for k in 0..3 {
+                assert!((fa[k] - fb[k]).abs() < 1e-9, "{fa:?} vs {fb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let params = LjParams::default();
+        let mut s = ParticleSystem::lattice(125, 0.7, 5);
+        s.clear_forces();
+        compute_forces(&mut s, &params);
+        for a in 0..3 {
+            let total: f64 = s.forces.iter().map(|f| f[a]).sum();
+            assert!(total.abs() < 1e-9, "net force component {a} = {total}");
+        }
+    }
+
+    #[test]
+    fn nve_energy_is_approximately_conserved() {
+        let params = LjParams::default();
+        let mut s = ParticleSystem::lattice(125, 0.5, 9);
+        let (p0, k0) = run_nve(&mut s, &params, 0.002, 1);
+        let e0 = p0 + k0;
+        let (p1, k1) = run_nve(&mut s, &params, 0.002, 200);
+        let e1 = p1 + k1;
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 0.02, "energy drift {drift:.4} over 200 steps");
+    }
+}

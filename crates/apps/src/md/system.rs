@@ -1,0 +1,171 @@
+//! Particle system state shared by all MD potentials.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A 3-vector.
+pub type Vec3 = [f64; 3];
+
+/// Particle positions/velocities/forces in a cubic periodic box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleSystem {
+    /// Positions, wrapped into `[0, box_len)`.
+    pub positions: Vec<Vec3>,
+    /// Velocities.
+    pub velocities: Vec<Vec3>,
+    /// Forces accumulated by the potentials.
+    pub forces: Vec<Vec3>,
+    /// Per-particle mass.
+    pub masses: Vec<f64>,
+    /// Cubic box edge length.
+    pub box_len: f64,
+}
+
+impl ParticleSystem {
+    /// A lattice-initialized system of `n` unit-mass particles at the
+    /// given number density, with small random velocities.
+    pub fn lattice(n: usize, density: f64, seed: u64) -> Self {
+        let box_len = (n as f64 / density).cbrt();
+        let per_side = (n as f64).cbrt().ceil() as usize;
+        let spacing = box_len / per_side as f64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut positions = Vec::with_capacity(n);
+        'fill: for i in 0..per_side {
+            for j in 0..per_side {
+                for k in 0..per_side {
+                    if positions.len() == n {
+                        break 'fill;
+                    }
+                    positions.push([
+                        (i as f64 + 0.5) * spacing,
+                        (j as f64 + 0.5) * spacing,
+                        (k as f64 + 0.5) * spacing,
+                    ]);
+                }
+            }
+        }
+        let velocities = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                ]
+            })
+            .collect();
+        Self {
+            positions,
+            velocities,
+            forces: vec![[0.0; 3]; n],
+            masses: vec![1.0; n],
+            box_len,
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Minimum-image displacement from particle `i` to particle `j`.
+    pub fn displacement(&self, i: usize, j: usize) -> Vec3 {
+        let mut d = [0.0; 3];
+        for a in 0..3 {
+            let mut x = self.positions[j][a] - self.positions[i][a];
+            x -= self.box_len * (x / self.box_len).round();
+            d[a] = x;
+        }
+        d
+    }
+
+    /// Squared minimum-image distance.
+    pub fn distance2(&self, i: usize, j: usize) -> f64 {
+        let d = self.displacement(i, j);
+        d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+    }
+
+    /// Zeroes the force accumulators.
+    pub fn clear_forces(&mut self) {
+        for f in &mut self.forces {
+            *f = [0.0; 3];
+        }
+    }
+
+    /// Velocity-Verlet half-kick + drift (call potentials, then
+    /// [`Self::finish_step`] with the same `dt`).
+    pub fn begin_step(&mut self, dt: f64) {
+        for i in 0..self.len() {
+            for a in 0..3 {
+                self.velocities[i][a] += 0.5 * dt * self.forces[i][a] / self.masses[i];
+                self.positions[i][a] += dt * self.velocities[i][a];
+                self.positions[i][a] = self.positions[i][a].rem_euclid(self.box_len);
+            }
+        }
+    }
+
+    /// Velocity-Verlet closing half-kick.
+    pub fn finish_step(&mut self, dt: f64) {
+        for i in 0..self.len() {
+            for a in 0..3 {
+                self.velocities[i][a] += 0.5 * dt * self.forces[i][a] / self.masses[i];
+            }
+        }
+    }
+
+    /// Total kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.velocities
+            .iter()
+            .zip(&self.masses)
+            .map(|(v, m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_fills_requested_count() {
+        let s = ParticleSystem::lattice(100, 0.8, 1);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        for p in &s.positions {
+            for a in 0..3 {
+                assert!(p[a] >= 0.0 && p[a] < s.box_len);
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_image_is_symmetric_and_bounded() {
+        let s = ParticleSystem::lattice(64, 0.5, 2);
+        for (i, j) in [(0, 5), (3, 60), (10, 11)] {
+            let dij = s.displacement(i, j);
+            let dji = s.displacement(j, i);
+            for a in 0..3 {
+                assert!((dij[a] + dji[a]).abs() < 1e-12);
+                assert!(dij[a].abs() <= s.box_len / 2.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn kinetic_energy_is_nonnegative_and_scales() {
+        let mut s = ParticleSystem::lattice(32, 0.5, 3);
+        let e = s.kinetic_energy();
+        assert!(e > 0.0);
+        for v in &mut s.velocities {
+            for a in 0..3 {
+                v[a] *= 2.0;
+            }
+        }
+        assert!((s.kinetic_energy() - 4.0 * e).abs() < 1e-9 * e);
+    }
+}

@@ -1,0 +1,161 @@
+//! Real 2-D grid numerics: stencils and the barotropic elliptic solve.
+//!
+//! POP's barotropic phase solves a 2-D implicit system with conjugate
+//! gradients; its baroclinic phase is dominated by 9-point horizontal
+//! stencil sweeps. Both are implemented here at test scale, reusing the
+//! CG solver from `corescope-kernels`.
+
+use corescope_kernels::cg::{cg_solve, CgSolution, CsrMatrix};
+
+/// A row-major 2-D field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2d {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Grid2d {
+    /// A zero-initialized grid.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        Self { nx, ny, data: vec![0.0; nx * ny] }
+    }
+
+    /// Builds a grid from a function of the (i, j) index.
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut g = Self::zeros(nx, ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                g.data[i * ny + j] = f(i, j);
+            }
+        }
+        g
+    }
+
+    /// Grid extents `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Value at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.ny + j]
+    }
+
+    /// Sets the value at `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.ny + j] = v;
+    }
+
+    /// The raw data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Applies one damped-Jacobi 9-point smoothing sweep (the baroclinic
+    /// phase's stencil shape); boundary cells are held fixed. Returns the
+    /// maximum absolute update.
+    pub fn smooth_9point(&mut self, weight: f64) -> f64 {
+        let (nx, ny) = (self.nx, self.ny);
+        let src = self.data.clone();
+        let at = |i: usize, j: usize| src[i * ny + j];
+        let mut max_delta = 0.0_f64;
+        for i in 1..nx - 1 {
+            for j in 1..ny - 1 {
+                let neighbours = at(i - 1, j)
+                    + at(i + 1, j)
+                    + at(i, j - 1)
+                    + at(i, j + 1)
+                    + 0.5 * (at(i - 1, j - 1) + at(i - 1, j + 1) + at(i + 1, j - 1) + at(i + 1, j + 1));
+                let avg = neighbours / 6.0;
+                let new = (1.0 - weight) * at(i, j) + weight * avg;
+                max_delta = max_delta.max((new - at(i, j)).abs());
+                self.data[i * ny + j] = new;
+            }
+        }
+        max_delta
+    }
+}
+
+/// Builds the 5-point Laplacian (with Dirichlet boundaries) for an
+/// `nx × ny` interior grid, as POP's barotropic operator reduces to on a
+/// uniform patch.
+pub fn laplacian_5point(nx: usize, ny: usize) -> CsrMatrix {
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut rows = Vec::with_capacity(nx * ny);
+    for i in 0..nx {
+        for j in 0..ny {
+            let mut row = Vec::with_capacity(5);
+            if i > 0 {
+                row.push((idx(i - 1, j), -1.0));
+            }
+            if j > 0 {
+                row.push((idx(i, j - 1), -1.0));
+            }
+            row.push((idx(i, j), 4.0));
+            if j + 1 < ny {
+                row.push((idx(i, j + 1), -1.0));
+            }
+            if i + 1 < nx {
+                row.push((idx(i + 1, j), -1.0));
+            }
+            rows.push(row);
+        }
+    }
+    CsrMatrix::from_rows(nx * ny, rows)
+}
+
+/// Solves the barotropic elliptic system `L x = b` with CG.
+pub fn barotropic_solve(nx: usize, ny: usize, b: &[f64], tol: f64) -> CgSolution {
+    let l = laplacian_5point(nx, ny);
+    cg_solve(&l, b, tol, 10 * nx * ny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_relaxes_toward_flat_field() {
+        let mut g = Grid2d::from_fn(16, 16, |i, j| ((i * 7 + j * 3) % 5) as f64);
+        let d0 = g.smooth_9point(0.8);
+        let mut last = d0;
+        for _ in 0..50 {
+            last = g.smooth_9point(0.8);
+        }
+        assert!(last < d0 * 0.5, "updates must shrink: {d0} -> {last}");
+    }
+
+    #[test]
+    fn laplacian_rows_are_diagonally_dominant() {
+        let l = laplacian_5point(6, 7);
+        assert_eq!(l.order(), 42);
+        // Dominance implies SPD here; check via a CG solve converging.
+        let b = vec![1.0; 42];
+        let sol = barotropic_solve(6, 7, &b, 1e-10);
+        assert!(sol.residual < 1e-9, "residual {}", sol.residual);
+    }
+
+    #[test]
+    fn barotropic_solve_matches_manufactured_solution() {
+        // Pick x*, form b = L x*, recover x*.
+        let (nx, ny) = (12, 10);
+        let l = laplacian_5point(nx, ny);
+        let x_true: Vec<f64> = (0..nx * ny).map(|k| ((k % 9) as f64 - 4.0) * 0.3).collect();
+        let mut b = vec![0.0; nx * ny];
+        l.spmv(&x_true, &mut b);
+        let sol = barotropic_solve(nx, ny, &b, 1e-11);
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn grid_accessors_round_trip() {
+        let mut g = Grid2d::zeros(4, 5);
+        g.set(2, 3, 7.5);
+        assert_eq!(g.get(2, 3), 7.5);
+        assert_eq!(g.shape(), (4, 5));
+        assert_eq!(g.as_slice().len(), 20);
+    }
+}

@@ -1,0 +1,8 @@
+//! A POP-like ocean model (Section 4.2): real 2-D elliptic solver
+//! substrate plus the x1-configuration workload model.
+
+pub mod grid;
+pub mod model;
+
+pub use grid::Grid2d;
+pub use model::PopModel;

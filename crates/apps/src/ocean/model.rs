@@ -1,0 +1,202 @@
+//! The POP x1 workload model (Tables 12–14).
+//!
+//! POP 1.4.3 at the x1 resolution: a 320×384 horizontal grid with 40
+//! vertical levels, run for 50 time steps (a 2-day simulation). Each
+//! step has a **baroclinic** phase (3-D stencil sweeps with limited
+//! nearest-neighbour communication, scales well) and a **barotropic**
+//! phase (a 2-D implicit solve by conjugate gradients, dominated by
+//! latency-bound reductions — "very sensitive to network latency").
+
+use corescope_kernels::F64;
+use corescope_machine::{ComputePhase, TrafficProfile};
+use corescope_smpi::CommWorld;
+
+/// POP model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopModel {
+    /// Horizontal grid x-extent (320 in x1).
+    pub nx: usize,
+    /// Horizontal grid y-extent (384 in x1).
+    pub ny: usize,
+    /// Vertical levels (40 in x1).
+    pub nz: usize,
+    /// Time steps (50 = 2 simulated days in the paper's runs).
+    pub steps: usize,
+    /// CG iterations per barotropic solve.
+    pub cg_iterations: usize,
+}
+
+impl PopModel {
+    /// The x1 benchmark configuration used throughout the paper.
+    pub fn x1() -> Self {
+        Self { nx: 320, ny: 384, nz: 40, steps: 50, cg_iterations: 40 }
+    }
+
+    /// Horizontal points.
+    pub fn horizontal_points(&self) -> f64 {
+        (self.nx * self.ny) as f64
+    }
+
+    /// Total 3-D points.
+    pub fn points(&self) -> f64 {
+        self.horizontal_points() * self.nz as f64
+    }
+
+    /// Appends only the baroclinic phases (for Table 13's timings).
+    pub fn append_baroclinic(&self, world: &mut CommWorld<'_>, steps: usize) {
+        let p = world.size() as f64;
+        let local3d = self.points() / p;
+        // ~450 flops/point across ~40 state arrays, touched several times
+        // per step with the short vertical strides that defeat the
+        // prefetcher — POP x1 sits right at the latency/compute roofline
+        // corner on 2006 Opterons (cpu-bound on the 2.2 GHz DMZ,
+        // memory-latency-bound on the probe-laden Longs, which is why
+        // Table 13 shows page placement mattering there).
+        let sweep = ComputePhase::new(
+            "pop-baroclinic",
+            local3d * 450.0,
+            TrafficProfile::strided(local3d * 1_360.0, local3d * 320.0),
+        )
+        .with_efficiency(0.043);
+        let halo_bytes = (self.nx * self.nz) as f64 * F64 * 4.0;
+        for _ in 0..steps {
+            world.compute_all(|_| Some(sweep.clone()));
+            if world.size() > 1 {
+                // Limited nearest-neighbour halo updates.
+                world.halo_1d(halo_bytes);
+                world.allreduce(F64);
+            }
+        }
+    }
+
+    /// Appends only the barotropic phases (for Table 14's timings).
+    pub fn append_barotropic(&self, world: &mut CommWorld<'_>, steps: usize) {
+        let p = world.size() as f64;
+        let local2d = self.horizontal_points() / p;
+        // Per CG iteration: a 5-point SpMV plus vector updates, with the
+        // same roofline-corner calibration as the baroclinic sweeps.
+        let iter_phase = ComputePhase::new(
+            "pop-barotropic",
+            local2d * 50.0,
+            TrafficProfile::strided(local2d * 136.0, local2d * 64.0),
+        )
+        .with_efficiency(0.047);
+        let halo_bytes = self.nx as f64 * F64 * 2.0;
+        for _ in 0..steps {
+            for _ in 0..self.cg_iterations {
+                world.compute_all(|_| Some(iter_phase.clone()));
+                if world.size() > 1 {
+                    world.halo_1d(halo_bytes);
+                    // Two scalar dot-product reductions per iteration —
+                    // the latency sensitivity the paper highlights.
+                    world.allreduce(F64);
+                    world.allreduce(F64);
+                }
+            }
+        }
+    }
+
+    /// Appends the full run: both phases, interleaved per step.
+    pub fn append_run(&self, world: &mut CommWorld<'_>) {
+        for _ in 0..self.steps {
+            self.append_baroclinic(world, 1);
+            self.append_barotropic(world, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_affinity::Scheme;
+    use corescope_machine::{systems, Machine};
+    use corescope_smpi::{LockLayer, MpiImpl};
+
+    fn world<'m>(machine: &'m Machine, n: usize, scheme: Scheme) -> CommWorld<'m> {
+        let placements = scheme.resolve(machine, n).unwrap();
+        CommWorld::new(
+            machine,
+            placements,
+            MpiImpl::Mpich2.profile(),
+            LockLayer::USysV,
+        )
+    }
+
+    #[test]
+    fn x1_matches_paper_configuration() {
+        let m = PopModel::x1();
+        assert_eq!((m.nx, m.ny, m.nz), (320, 384, 40));
+        assert_eq!(m.steps, 50);
+        assert_eq!(m.points(), 320.0 * 384.0 * 40.0);
+    }
+
+    #[test]
+    fn baroclinic_time_is_in_table13_ballpark() {
+        // Table 13: 2 tasks, Longs default = 358.57 s for 50 steps.
+        let machine = Machine::new(systems::longs());
+        let mut w = world(&machine, 2, Scheme::Default);
+        PopModel::x1().append_baroclinic(&mut w, 50);
+        let t = w.run().unwrap().makespan;
+        assert!(t > 170.0 && t < 720.0, "baroclinic 2 tasks = {t:.0} s (paper 358.57)");
+    }
+
+    #[test]
+    fn barotropic_time_is_in_table14_ballpark() {
+        // Table 14: 2 tasks, Longs default = 36.13 s for 50 steps.
+        let machine = Machine::new(systems::longs());
+        let mut w = world(&machine, 2, Scheme::Default);
+        PopModel::x1().append_barotropic(&mut w, 50);
+        let t = w.run().unwrap().makespan;
+        assert!(t > 13.0 && t < 80.0, "barotropic 2 tasks = {t:.1} s (paper 36.13)");
+    }
+
+    #[test]
+    fn both_phases_scale_to_16_cores() {
+        // Table 12: POP scales nearly linearly (baroclinic 16.11x at 16
+        // cores relative to one, i.e. ~8x from 2 to 16).
+        let machine = Machine::new(systems::longs());
+        let model = PopModel { steps: 3, ..PopModel::x1() };
+        let time = |n: usize| {
+            let mut w = world(&machine, n, Scheme::TwoMpiLocalAlloc);
+            model.append_run(&mut w);
+            w.run().unwrap().makespan
+        };
+        let t2 = time(2);
+        let t16 = time(16);
+        let gain = t2 / t16;
+        assert!(gain > 5.0 && gain <= 8.5, "POP 2->16 gain {gain:.1}");
+    }
+
+    #[test]
+    fn barotropic_is_more_latency_sensitive_than_baroclinic() {
+        // The SysV lock layer should hurt the reduction-heavy barotropic
+        // phase relatively more.
+        let machine = Machine::new(systems::longs());
+        let model = PopModel { steps: 5, ..PopModel::x1() };
+        let phase_ratio = |lock: LockLayer| {
+            let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16).unwrap();
+            let mut clinic = CommWorld::new(
+                &machine,
+                placements.clone(),
+                MpiImpl::Lam.profile(),
+                lock,
+            );
+            model.append_baroclinic(&mut clinic, model.steps);
+            let mut tropic =
+                CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), lock);
+            model.append_barotropic(&mut tropic, model.steps);
+            (
+                clinic.run().unwrap().makespan,
+                tropic.run().unwrap().makespan,
+            )
+        };
+        let (clinic_u, tropic_u) = phase_ratio(LockLayer::USysV);
+        let (clinic_s, tropic_s) = phase_ratio(LockLayer::SysV);
+        let clinic_penalty = clinic_s / clinic_u;
+        let tropic_penalty = tropic_s / tropic_u;
+        assert!(
+            tropic_penalty > clinic_penalty,
+            "barotropic penalty {tropic_penalty:.2} vs baroclinic {clinic_penalty:.2}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench: AMBER simulations (Tables 7-9) — a short JAC (PME)
+//! trajectory and a gb_mb (GB) trajectory.
+
+use corescope_affinity::Scheme;
+use corescope_apps::md::AmberBenchmark;
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::new(systems::longs());
+    let run = |mut bench: AmberBenchmark, steps: usize| {
+        bench.steps = steps;
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 8).unwrap();
+        let mut w = CommWorld::new(
+            &machine,
+            placements,
+            MpiImpl::Mpich2.profile(),
+            LockLayer::USysV,
+        );
+        bench.append_run(&mut w);
+        w.run().unwrap()
+    };
+    let mut group = c.benchmark_group("amber");
+    group.sample_size(10);
+    group.bench_function("jac-pme-10steps", |b| {
+        b.iter(|| run(AmberBenchmark::jac(), 10));
+    });
+    group.bench_function("gbmb-gb-50steps", |b| {
+        b.iter(|| run(AmberBenchmark::gb_mb(), 50));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: BLAS star simulations (Figures 4-7) plus the real
+//! blocked DGEMM kernel itself.
+
+use corescope_affinity::Scheme;
+use corescope_kernels::blas::{append_dgemm_star, dgemm_blocked, BlasVariant, DgemmParams};
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blas");
+    group.sample_size(20);
+    group.bench_function("sim-dgemm-star-4", |b| {
+        let machine = Machine::new(systems::dmz());
+        b.iter(|| {
+            let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 4).unwrap();
+            let mut w = CommWorld::new(
+                &machine,
+                placements,
+                MpiImpl::Lam.profile(),
+                LockLayer::USysV,
+            );
+            append_dgemm_star(
+                &mut w,
+                &DgemmParams { n: 1000, reps: 1, variant: BlasVariant::Acml },
+            );
+            w.run().unwrap()
+        });
+    });
+    group.bench_function("real-dgemm-blocked-96", |b| {
+        let n = 96;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 13) as f64).collect();
+        let bm: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        b.iter(|| {
+            let mut cm = vec![0.0; n * n];
+            dgemm_blocked(n, 32, 1.0, &a, &bm, 0.0, &mut cm);
+            black_box(cm)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: HPCC simulations (Figures 8-13) — HPL, PTRANS and
+//! RandomAccess engine paths at reduced problem sizes.
+
+use corescope_affinity::Scheme;
+use corescope_kernels::hpl::{append_run as hpl_run, HplParams};
+use corescope_kernels::ptrans::{append_run as ptrans_run, PtransParams};
+use corescope_kernels::randomaccess::{append_mpi, RaParams};
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn world(machine: &Machine) -> CommWorld<'_> {
+    let placements = Scheme::TwoMpiLocalAlloc.resolve(machine, 16).unwrap();
+    CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV)
+}
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::new(systems::longs());
+    let mut group = c.benchmark_group("hpcc");
+    group.sample_size(10);
+    group.bench_function("hpl-2048", |b| {
+        b.iter(|| {
+            let mut w = world(&machine);
+            hpl_run(&mut w, &HplParams { n: 2048, nb: 256, dgemm_efficiency: 0.85 });
+            w.run().unwrap()
+        });
+    });
+    group.bench_function("ptrans-2048", |b| {
+        b.iter(|| {
+            let mut w = world(&machine);
+            ptrans_run(&mut w, &PtransParams { n: 2048, reps: 1, ..PtransParams::default() });
+            w.run().unwrap()
+        });
+    });
+    group.bench_function("randomaccess-mpi", |b| {
+        b.iter(|| {
+            let mut w = world(&machine);
+            append_mpi(
+                &mut w,
+                &RaParams { table_words_per_rank: 1 << 20, updates_per_rank: 1 << 14 },
+            );
+            w.run().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

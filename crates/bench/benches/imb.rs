@@ -1,0 +1,31 @@
+//! Criterion bench: IMB PingPong/Exchange simulations (Figures 14-17).
+
+use corescope_affinity::Scheme;
+use corescope_machine::{systems, Machine};
+use corescope_smpi::imb::{exchange_time, pingpong_time};
+use corescope_smpi::{LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::new(systems::dmz());
+    let placements = Scheme::Default.resolve(&machine, 2).unwrap();
+    let profile = MpiImpl::OpenMpi.profile();
+    let mut group = c.benchmark_group("imb");
+    group.sample_size(30);
+    group.bench_function("pingpong-1k-x100", |b| {
+        b.iter(|| {
+            pingpong_time(&machine, &placements, &profile, LockLayer::USysV, 1024.0, 100)
+                .unwrap()
+        });
+    });
+    group.bench_function("exchange-64k-x50", |b| {
+        b.iter(|| {
+            exchange_time(&machine, &placements, &profile, LockLayer::USysV, 2, 65536.0, 50)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: LAMMPS simulations (Tables 10-11) plus the real
+//! cell-list Lennard-Jones force kernel.
+
+use corescope_affinity::Scheme;
+use corescope_apps::md::lammps::LammpsBenchmark;
+use corescope_apps::md::lj::{compute_forces, run_nve, LjParams};
+use corescope_apps::md::ParticleSystem;
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::new(systems::longs());
+    let mut group = c.benchmark_group("lammps");
+    group.sample_size(10);
+    for benchmark in LammpsBenchmark::all() {
+        group.bench_function(format!("sim-{}-8", benchmark.name()), |b| {
+            b.iter(|| {
+                let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 8).unwrap();
+                let mut w = CommWorld::new(
+                    &machine,
+                    placements,
+                    MpiImpl::Mpich2.profile(),
+                    LockLayer::USysV,
+                );
+                benchmark.append_run(&mut w);
+                w.run().unwrap()
+            });
+        });
+    }
+    group.bench_function("real-lj-forces-512", |b| {
+        let params = LjParams::default();
+        let mut system = ParticleSystem::lattice(512, 0.6, 42);
+        b.iter(|| {
+            system.clear_forces();
+            black_box(compute_forces(&mut system, &params))
+        });
+    });
+    group.bench_function("real-lj-nve-216x10", |b| {
+        let params = LjParams::default();
+        b.iter(|| {
+            let mut system = ParticleSystem::lattice(216, 0.6, 7);
+            black_box(run_nve(&mut system, &params, 0.002, 10))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

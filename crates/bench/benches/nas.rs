@@ -1,0 +1,48 @@
+//! Criterion bench: NAS kernel simulations (Tables 2-4) — CG, FT, plus
+//! the EP/MG/IS extensions.
+
+use corescope_affinity::Scheme;
+use corescope_kernels::cg::{CgClass, NasCg};
+use corescope_kernels::ep::{append_run as ep_run, EpParams};
+use corescope_kernels::is::{IsClass, NasIs};
+use corescope_kernels::mg::{MgClass, NasMg};
+use corescope_kernels::nasft::{FtClass, NasFt};
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::new(systems::longs());
+    let run = |build: &dyn Fn(&mut CommWorld<'_>)| {
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 8).unwrap();
+        let mut w = CommWorld::new(
+            &machine,
+            placements,
+            MpiImpl::Mpich2.profile(),
+            LockLayer::USysV,
+        );
+        build(&mut w);
+        w.run().unwrap()
+    };
+    let mut group = c.benchmark_group("nas");
+    group.sample_size(10);
+    group.bench_function("cg-a-8", |b| {
+        b.iter(|| run(&|w| NasCg { class: CgClass::A }.append_run(w)));
+    });
+    group.bench_function("ft-a-8", |b| {
+        b.iter(|| run(&|w| NasFt { class: FtClass::A }.append_run(w)));
+    });
+    group.bench_function("ep-26-8", |b| {
+        b.iter(|| run(&|w| ep_run(w, &EpParams { log2_pairs: 26 })));
+    });
+    group.bench_function("mg-a-8", |b| {
+        b.iter(|| run(&|w| NasMg { class: MgClass::A }.append_run(w)));
+    });
+    group.bench_function("is-a-8", |b| {
+        b.iter(|| run(&|w| NasIs { class: IsClass::A }.append_run(w)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: POP simulations (Tables 12-14) plus the real
+//! barotropic CG solver substrate.
+
+use corescope_affinity::Scheme;
+use corescope_apps::ocean::{grid, PopModel};
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::new(systems::longs());
+    let mut group = c.benchmark_group("pop");
+    group.sample_size(10);
+    for (label, barotropic) in [("baroclinic-5steps-8", false), ("barotropic-5steps-8", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let model = PopModel { steps: 5, ..PopModel::x1() };
+                let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 8).unwrap();
+                let mut w = CommWorld::new(
+                    &machine,
+                    placements,
+                    MpiImpl::Mpich2.profile(),
+                    LockLayer::USysV,
+                );
+                if barotropic {
+                    model.append_barotropic(&mut w, model.steps);
+                } else {
+                    model.append_baroclinic(&mut w, model.steps);
+                }
+                w.run().unwrap()
+            });
+        });
+    }
+    group.bench_function("real-barotropic-solve-24x20", |b| {
+        let (nx, ny) = (24, 20);
+        let rhs: Vec<f64> = (0..nx * ny).map(|k| ((k % 5) as f64 - 2.0) * 0.2).collect();
+        b.iter(|| black_box(grid::barotropic_solve(nx, ny, &rhs, 1e-8)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

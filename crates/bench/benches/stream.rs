@@ -1,0 +1,34 @@
+//! Criterion bench: STREAM triad simulations (the Figure 2/3/10 engine
+//! paths) — measures how fast the simulator resolves contended
+//! memory-flow networks.
+
+use corescope_affinity::Scheme;
+use corescope_kernels::stream::{append_star, StreamParams};
+use corescope_machine::{systems, Machine};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(20);
+    for (label, nranks) in [("longs-1", 1usize), ("longs-8", 8), ("longs-16", 16)] {
+        let machine = Machine::new(systems::longs());
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, nranks).unwrap();
+                let mut w = CommWorld::new(
+                    &machine,
+                    placements,
+                    MpiImpl::Lam.profile(),
+                    LockLayer::USysV,
+                );
+                append_star(&mut w, &StreamParams { sweeps: 3, ..StreamParams::default() });
+                w.run().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

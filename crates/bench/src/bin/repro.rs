@@ -1,0 +1,150 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                      # every artifact, full fidelity
+//! repro --artifact t2        # just Table 2
+//! repro --quick              # reduced step counts (fast sanity sweep)
+//! repro --jobs 8             # regenerate artifacts in parallel
+//! repro --csv out/           # also write one CSV per table
+//! repro --list               # list artifact ids
+//! ```
+
+use corescope_harness::{Artifact, Fidelity};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    artifacts: Vec<Artifact>,
+    fidelity: Fidelity,
+    csv_dir: Option<PathBuf>,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut artifacts = Vec::new();
+    let mut fidelity = Fidelity::Full;
+    let mut csv_dir = None;
+    let mut jobs = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .ok_or("--jobs needs a count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1);
+            }
+            "--artifact" | "-a" => {
+                let id = args.next().ok_or("--artifact needs an id (e.g. t2, f10)")?;
+                let artifact =
+                    Artifact::parse(&id).ok_or_else(|| format!("unknown artifact '{id}'"))?;
+                artifacts.push(artifact);
+            }
+            "--quick" | "-q" => fidelity = Fidelity::Quick,
+            "--csv" => {
+                let dir = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--list" | "-l" => {
+                // Ignore EPIPE so `repro --list | head` exits quietly.
+                let mut out = std::io::stdout().lock();
+                for a in Artifact::all() {
+                    if writeln!(out, "{:>4}  {}", a.id(), a.title()).is_err() {
+                        break;
+                    }
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--artifact <id>]... [--quick] [--csv <dir>] [--list]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = Artifact::all();
+    }
+    Ok(Options { artifacts, fidelity, csv_dir, jobs })
+}
+
+type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error>;
+
+/// Runs every artifact, up to `jobs` at a time, preserving input order in
+/// the result vector.
+fn run_all(artifacts: &[Artifact], fidelity: Fidelity, jobs: usize) -> Vec<(Artifact, RunOutcome, f64)> {
+    let results = parking_lot::Mutex::new(vec![None; artifacts.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs.min(artifacts.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&artifact) = artifacts.get(i) else { break };
+                let started = Instant::now();
+                let outcome = artifact.run(fidelity);
+                let elapsed = started.elapsed().as_secs_f64();
+                results.lock()[i] = Some((artifact, outcome, elapsed));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &options.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut failures = 0;
+    for (artifact, outcome, elapsed) in
+        run_all(&options.artifacts, options.fidelity, options.jobs)
+    {
+        match outcome {
+            Ok(tables) => {
+                for (i, table) in tables.iter().enumerate() {
+                    println!("{table}");
+                    if let Some(dir) = &options.csv_dir {
+                        let name = if tables.len() > 1 {
+                            format!("{}_{}.csv", artifact.id(), i)
+                        } else {
+                            format!("{}.csv", artifact.id())
+                        };
+                        let path = dir.join(name);
+                        if let Err(e) = std::fs::File::create(&path)
+                            .and_then(|mut f| f.write_all(table.to_csv().as_bytes()))
+                        {
+                            eprintln!("repro: writing {}: {e}", path.display());
+                            failures += 1;
+                        }
+                    }
+                }
+                eprintln!("[{}] done in {elapsed:.1}s", artifact.id());
+            }
+            Err(e) => {
+                eprintln!("repro: {} failed: {e}", artifact.id());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

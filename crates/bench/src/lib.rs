@@ -1,0 +1,7 @@
+//! # corescope-bench
+//!
+//! Criterion benches (one group per artifact family) and the `repro`
+//! binary that regenerates every table and figure of the paper. See
+//! `benches/` and `src/bin/repro.rs`.
+
+pub use corescope_harness::{Artifact, Fidelity};

@@ -1,0 +1,215 @@
+//! Ablation studies for the simulator's load-bearing modelling choices.
+//!
+//! DESIGN.md singles out four mechanisms as carrying the paper's
+//! phenomenology; each function here sweeps one of them and shows what
+//! the reproduction would get wrong without it:
+//!
+//! 1. the machine-wide coherence **probe-fabric capacity** (Longs' Star
+//!    STREAM collapse),
+//! 2. the default scheme's **page misplacement fraction** (the
+//!    default-vs-localalloc gap),
+//! 3. the per-message **lock sub-layer cost** (RandomAccess/latency
+//!    sensitivity),
+//! 4. the **intra-socket copy-bandwidth boost** (Figures 16/17).
+
+use crate::report::{Cell, Table};
+use corescope_affinity::{os_scatter, policy, Scheme};
+use corescope_kernels::cg::{CgClass, NasCg};
+use corescope_kernels::stream::{append_star, StreamParams};
+use corescope_machine::engine::RankPlacement;
+use corescope_machine::{systems, Machine, Result};
+use corescope_smpi::imb::pingpong_bandwidth;
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl, MpiProfile};
+
+/// Sweeps the Longs probe-fabric capacity and reports 16-core Star STREAM
+/// bandwidth. Without the cap (last row) the ladder would scale like
+/// sixteen independent cores — the shape the paper refutes.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn probe_capacity() -> Result<Table> {
+    let mut table = Table::with_columns(
+        "Ablation: Longs probe-fabric capacity vs 16-core Star STREAM",
+        &["Probe capacity (GB/s)", "Aggregate BW (GB/s)", "Per-core (GB/s)"],
+    );
+    let params = StreamParams { sweeps: 3, ..StreamParams::default() };
+    for cap in [7e9, 14e9, 28e9, 1e12] {
+        let mut spec = systems::longs();
+        spec.coherence.probe_capacity = cap;
+        let machine = Machine::new(spec);
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16)?;
+        let mut world = CommWorld::new(
+            &machine,
+            placements,
+            MpiImpl::Lam.profile(),
+            LockLayer::USysV,
+        );
+        append_star(&mut world, &params);
+        let bw = 16.0 * params.bytes_per_rank() / world.run()?.makespan;
+        let label = if cap >= 1e11 { "unlimited".to_string() } else { format!("{}", cap / 1e9) };
+        table.push_row(label, vec![Cell::num(bw / 1e9), Cell::num(bw / 16.0 / 1e9)]);
+    }
+    Ok(table)
+}
+
+/// Sweeps the default scheme's page-misplacement fraction and reports the
+/// NAS CG class A runtime at 8 ranks on Longs. Zero misplacement makes
+/// "Default" indistinguishable from localalloc; large fractions make it
+/// look like interleave.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn misplacement_fraction() -> Result<Table> {
+    let machine = Machine::new(systems::longs());
+    let mut table = Table::with_columns(
+        "Ablation: default-scheme page misplacement vs NAS CG-A (8 ranks, Longs)",
+        &["Misplaced fraction", "CG time (s)"],
+    );
+    for fraction in [0.0, 0.05, 0.10, 0.20, 0.40] {
+        let placements: Vec<RankPlacement> = os_scatter(&machine, 8)?
+            .into_iter()
+            .map(|core| {
+                Ok(RankPlacement::new(
+                    core,
+                    policy::default_first_touch(&machine, core, fraction)?,
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let mut world = CommWorld::new(
+            &machine,
+            placements,
+            MpiImpl::Mpich2.profile(),
+            LockLayer::USysV,
+        );
+        NasCg { class: CgClass::A }.append_run(&mut world);
+        table.push_row(
+            format!("{fraction:.2}"),
+            vec![Cell::num(world.run()?.makespan)],
+        );
+    }
+    Ok(table)
+}
+
+/// Sweeps the per-message lock cost and reports small-message PingPong
+/// latency on Longs — the knob separating "sysv" from "usysv" everywhere
+/// in Figures 8–13.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn lock_cost() -> Result<Table> {
+    let machine = Machine::new(systems::longs());
+    let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16)?;
+    let mut table = Table::with_columns(
+        "Ablation: lock sub-layer cost vs 8-byte PingPong latency (Longs)",
+        &["Lock layer", "Latency (us)"],
+    );
+    let profile = MpiImpl::Lam.profile();
+    for (label, lock) in [("usysv (spin)", LockLayer::USysV), ("sysv (semaphore)", LockLayer::SysV)]
+    {
+        let t = corescope_smpi::imb::pingpong_time(
+            &machine,
+            &placements,
+            &profile,
+            lock,
+            8.0,
+            50,
+        )?;
+        table.push_row(label, vec![Cell::num(t * 1e6)]);
+    }
+    Ok(table)
+}
+
+/// Sweeps the intra-socket copy-bandwidth boost and reports the bound vs
+/// unbound PingPong bandwidth ratio on DMZ (the paper's measured 10–13%).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn same_socket_boost() -> Result<Table> {
+    let machine = Machine::new(systems::dmz());
+    let near = Scheme::TwoMpiLocalAlloc.resolve(&machine, 2)?;
+    let far = Scheme::OneMpiLocalAlloc.resolve(&machine, 2)?;
+    let mut table = Table::with_columns(
+        "Ablation: intra-socket copy boost vs bound:unbound PingPong ratio (DMZ, 1 MB)",
+        &["Boost", "Bound (MB/s)", "Unbound (MB/s)", "Ratio"],
+    );
+    for boost in [1.0_f64, 1.12, 1.25] {
+        // The boost constant lives in MpiProfile; emulate the sweep by
+        // scaling the intra-socket run's copy bandwidth.
+        let profile = MpiImpl::OpenMpi.profile();
+        let mut boosted = profile.clone();
+        boosted.copy_bw *= boost / MpiProfile::SAME_SOCKET_BW_BOOST;
+        let bw_near =
+            pingpong_bandwidth(&machine, &near, &boosted, LockLayer::USysV, 1e6, 10)?;
+        let bw_far =
+            pingpong_bandwidth(&machine, &far, &profile, LockLayer::USysV, 1e6, 10)?;
+        table.push_row(
+            format!("{boost:.2}"),
+            vec![
+                Cell::num(bw_near / 1e6),
+                Cell::num(bw_far / 1e6),
+                Cell::num_with(bw_near / bw_far, 3),
+            ],
+        );
+    }
+    Ok(table)
+}
+
+/// All four ablations.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn all() -> Result<Vec<Table>> {
+    Ok(vec![
+        probe_capacity()?,
+        misplacement_fraction()?,
+        lock_cost()?,
+        same_socket_boost()?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_capacity_is_the_binding_constraint() {
+        let t = probe_capacity().unwrap();
+        let capped = t.value("14", "Aggregate BW (GB/s)").unwrap();
+        let uncapped = t.value("unlimited", "Aggregate BW (GB/s)").unwrap();
+        assert!((capped - 14.0).abs() < 0.5, "14 GB/s fabric binds: {capped}");
+        assert!(
+            uncapped > 1.5 * capped,
+            "without the fabric the ladder would scale: {uncapped} vs {capped}"
+        );
+    }
+
+    #[test]
+    fn misplacement_strictly_degrades_cg() {
+        let t = misplacement_fraction().unwrap();
+        let clean = t.value("0.00", "CG time (s)").unwrap();
+        let dirty = t.value("0.40", "CG time (s)").unwrap();
+        assert!(dirty > clean, "misplaced pages must cost time: {dirty} vs {clean}");
+    }
+
+    #[test]
+    fn lock_cost_dominates_latency() {
+        let t = lock_cost().unwrap();
+        let spin = t.value("usysv (spin)", "Latency (us)").unwrap();
+        let sem = t.value("sysv (semaphore)", "Latency (us)").unwrap();
+        assert!(sem > 3.0 * spin, "{sem} vs {spin}");
+    }
+
+    #[test]
+    fn boost_sweep_brackets_the_paper_value() {
+        let t = same_socket_boost().unwrap();
+        let none = t.value("1.00", "Ratio").unwrap();
+        let paper = t.value("1.12", "Ratio").unwrap();
+        assert!(none < 1.02, "without the boost there is no bound benefit: {none}");
+        assert!(paper > 1.05 && paper < 1.20, "paper-calibrated ratio: {paper}");
+    }
+}

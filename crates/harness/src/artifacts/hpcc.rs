@@ -1,0 +1,269 @@
+//! HPCC artifacts: Figures 8 (HPL), 9 (DGEMM/FFT single/star), 11
+//! (RandomAccess), 12 (PTRANS + ring/pingpong bandwidth) and 13
+//! (latencies), all under the six LAM/NUMA runtime options.
+
+use crate::context::{lam_profile, Systems};
+use crate::fidelity::Fidelity;
+use crate::report::{Cell, Table};
+use crate::runtime::RuntimeOption;
+use corescope_kernels::blas::{append_dgemm_single, append_dgemm_star, BlasVariant, DgemmParams};
+use corescope_kernels::fft::{append_single as fft_single, append_star as fft_star, FftParams};
+use corescope_kernels::hpcc::{ring_bandwidth, ring_latency};
+use corescope_kernels::hpl::{append_run as hpl_run, HplParams};
+use corescope_kernels::ptrans::{append_run as ptrans_run, PtransParams};
+use corescope_kernels::randomaccess::{
+    append_mpi as ra_mpi, append_single as ra_single, append_star as ra_star, RaParams,
+};
+use corescope_machine::engine::RankPlacement;
+use corescope_machine::{Machine, Result};
+use corescope_smpi::imb::pingpong_bandwidth;
+use corescope_smpi::imb::pingpong_time;
+use corescope_smpi::CommWorld;
+
+/// Runs `build` on Longs/16 ranks under `option`; returns the makespan
+/// (`None` if the option's scheme cannot place 16 ranks — it always can).
+fn option_run(
+    machine: &Machine,
+    option: RuntimeOption,
+    build: impl FnOnce(&mut CommWorld<'_>),
+) -> Result<(f64, Vec<RankPlacement>)> {
+    let placements = option
+        .scheme()
+        .resolve(machine, 16)
+        .expect("all runtime options place 16 ranks on longs");
+    let mut world = CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
+    build(&mut world);
+    Ok((world.run()?.makespan, placements))
+}
+
+/// Figure 8: HPL GFlop/s under the six options (Longs, 16 cores) plus the
+/// DMZ reference point.
+pub fn figure8(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let n = match fidelity {
+        Fidelity::Full => 16_384,
+        Fidelity::Quick => 4_096,
+    };
+    let params = HplParams { n, nb: 256, dgemm_efficiency: 0.85 };
+    let mut table = Table::with_columns(
+        "Figure 8: HPL with LAM/NUMA options (GFlop/s)",
+        &["Option", "Longs 16 cores", "DMZ 4 cores"],
+    );
+    // DMZ reference: default options only, as in the paper.
+    let dmz_placements = RuntimeOption::Default
+        .scheme()
+        .resolve(&systems.dmz, 4)
+        .expect("dmz places 4 ranks");
+    let mut dmz_world = CommWorld::new(
+        &systems.dmz,
+        dmz_placements,
+        lam_profile(),
+        RuntimeOption::Default.lock(),
+    );
+    hpl_run(&mut dmz_world, &params);
+    let dmz_gf = params.gflops(dmz_world.run()?.makespan);
+
+    for option in RuntimeOption::all() {
+        let (time, _) = option_run(&systems.longs, option, |w| hpl_run(w, &params))?;
+        let dmz_cell = if option == RuntimeOption::Default {
+            Cell::num(dmz_gf)
+        } else {
+            Cell::Dash
+        };
+        table.push_row(option.name(), vec![Cell::num(params.gflops(time)), dmz_cell]);
+    }
+    Ok(vec![table])
+}
+
+/// Figure 9: Single and Star DGEMM + FFT GFlop/s per core vs options.
+pub fn figure9(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let machine = &systems.longs;
+    let dgemm = DgemmParams {
+        n: 1000,
+        reps: fidelity.steps(3).max(1),
+        variant: BlasVariant::Acml,
+    };
+    let fft = FftParams {
+        points_per_rank: 1 << 20,
+        reps: fidelity.steps(3).max(1),
+    };
+    let dgemm_flops = dgemm.flops_per_rank();
+    let fft_flops_total =
+        fft.reps as f64 * corescope_kernels::fft::fft_flops(fft.points_per_rank as f64);
+
+    let mut table = Table::with_columns(
+        "Figure 9: Single/Star DGEMM and FFT on Longs (GFlop/s per core)",
+        &["Option", "Single DGEMM", "Star DGEMM", "Single FFT", "Star FFT"],
+    );
+    for option in RuntimeOption::all() {
+        let (t_sd, _) = option_run(machine, option, |w| append_dgemm_single(w, &dgemm))?;
+        let (t_td, _) = option_run(machine, option, |w| append_dgemm_star(w, &dgemm))?;
+        let (t_sf, _) = option_run(machine, option, |w| fft_single(w, &fft))?;
+        let (t_tf, _) = option_run(machine, option, |w| fft_star(w, &fft))?;
+        table.push_row(
+            option.name(),
+            vec![
+                Cell::num(dgemm_flops / t_sd / 1e9),
+                Cell::num(dgemm_flops / t_td / 1e9),
+                Cell::num(fft_flops_total / t_sf / 1e9),
+                Cell::num(fft_flops_total / t_tf / 1e9),
+            ],
+        );
+    }
+    Ok(vec![table])
+}
+
+/// Figure 11: RandomAccess GUP/s (Single, Star per-core, MPI aggregate)
+/// vs options.
+pub fn figure11(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let machine = &systems.longs;
+    let params = match fidelity {
+        Fidelity::Full => RaParams {
+            table_words_per_rank: 1 << 24,
+            updates_per_rank: 1 << 22,
+        },
+        Fidelity::Quick => RaParams {
+            table_words_per_rank: 1 << 21,
+            updates_per_rank: 1 << 16,
+        },
+    };
+    let mut table = Table::with_columns(
+        "Figure 11: RandomAccess on Longs (GUP/s)",
+        &["Option", "Single", "Star per-core", "MPI (16 ranks)"],
+    );
+    for option in RuntimeOption::all() {
+        let (t_single, _) = option_run(machine, option, |w| ra_single(w, &params))?;
+        let (t_star, _) = option_run(machine, option, |w| ra_star(w, &params))?;
+        let (t_mpi, _) = option_run(machine, option, |w| ra_mpi(w, &params))?;
+        table.push_row(
+            option.name(),
+            vec![
+                Cell::num_with(params.gups(1, t_single), 4),
+                Cell::num_with(params.gups(1, t_star), 4),
+                Cell::num_with(params.gups(16, t_mpi), 4),
+            ],
+        );
+    }
+    Ok(vec![table])
+}
+
+/// Figure 12: PTRANS bandwidth plus ring/pingpong bandwidth vs options.
+pub fn figure12(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let machine = &systems.longs;
+    let params = PtransParams {
+        n: match fidelity {
+            Fidelity::Full => 8_192,
+            Fidelity::Quick => 2_048,
+        },
+        reps: 1,
+        ..PtransParams::default()
+    };
+    let moved = (params.n * params.n) as f64 * 8.0;
+    let reps = fidelity.steps(10).max(2);
+    let mut table = Table::with_columns(
+        "Figure 12: PTRANS and ring/pingpong bandwidth on Longs (GB/s)",
+        &["Option", "PTRANS", "Ring BW/rank", "PingPong BW"],
+    );
+    for option in RuntimeOption::all() {
+        let (t_pt, placements) = option_run(machine, option, |w| ptrans_run(w, &params))?;
+        let profile = lam_profile();
+        let ring = ring_bandwidth(machine, &placements, &profile, option.lock(), reps)?;
+        let pp = pingpong_bandwidth(machine, &placements, &profile, option.lock(), 2e6, reps)?;
+        table.push_row(
+            option.name(),
+            vec![
+                Cell::num(moved / t_pt / 1e9),
+                Cell::num_with(ring / 1e9, 3),
+                Cell::num_with(pp / 1e9, 3),
+            ],
+        );
+    }
+    Ok(vec![table])
+}
+
+/// Figure 13: ring and pingpong small-message latency vs options.
+pub fn figure13(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let machine = &systems.longs;
+    let reps = fidelity.steps(50).max(5);
+    let mut table = Table::with_columns(
+        "Figure 13: Communication latency on Longs (microseconds)",
+        &["Option", "PingPong", "Ring"],
+    );
+    for option in RuntimeOption::all() {
+        let placements = option
+            .scheme()
+            .resolve(machine, 16)
+            .expect("16 ranks place on longs");
+        let profile = lam_profile();
+        let pp = pingpong_time(machine, &placements, &profile, option.lock(), 8.0, reps)?;
+        let ring = ring_latency(machine, &placements, &profile, option.lock(), reps)?;
+        table.push_row(
+            option.name(),
+            vec![Cell::num(pp * 1e6), Cell::num(ring * 1e6)],
+        );
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_tuned_options_win() {
+        let t = &figure8(Fidelity::Quick).unwrap()[0];
+        let tuned = t.value("localalloc+usysv", "Longs 16 cores").unwrap();
+        let stock = t.value("sysv", "Longs 16 cores").unwrap();
+        assert!(tuned >= stock, "tuned {tuned} vs stock {stock}");
+        assert!(t.value("default", "DMZ 4 cores").is_some());
+        assert!(t.value("sysv", "DMZ 4 cores").is_none());
+    }
+
+    #[test]
+    fn figure9_dgemm_star_equals_single() {
+        let t = &figure9(Fidelity::Quick).unwrap()[0];
+        for option in ["default", "localalloc+usysv"] {
+            let single = t.value(option, "Single DGEMM").unwrap();
+            let star = t.value(option, "Star DGEMM").unwrap();
+            assert!(
+                (single - star).abs() / single < 0.1,
+                "{option}: DGEMM single {single} vs star {star} should be almost identical"
+            );
+        }
+        // FFT shows more single->star impact than DGEMM.
+        let fs = t.value("default", "Single FFT").unwrap();
+        let ft = t.value("default", "Star FFT").unwrap();
+        assert!(ft <= fs, "star FFT {ft} must not beat single {fs}");
+    }
+
+    #[test]
+    fn figure11_mpi_randomaccess_suffers_under_sysv() {
+        let t = &figure11(Fidelity::Quick).unwrap()[0];
+        let sysv = t.value("sysv", "MPI (16 ranks)").unwrap();
+        let usysv = t.value("usysv", "MPI (16 ranks)").unwrap();
+        assert!(usysv > sysv, "spinlocks must help RA: {usysv} vs {sysv}");
+    }
+
+    #[test]
+    fn figure12_usysv_clearly_beats_sysv_on_ptrans() {
+        let t = &figure12(Fidelity::Quick).unwrap()[0];
+        let sysv = t.value("sysv", "PTRANS").unwrap();
+        let usysv = t.value("usysv", "PTRANS").unwrap();
+        assert!(usysv > sysv, "usysv {usysv} vs sysv {sysv}");
+    }
+
+    #[test]
+    fn figure13_sysv_latency_dominates() {
+        let t = &figure13(Fidelity::Quick).unwrap()[0];
+        let pp_sysv = t.value("sysv", "PingPong").unwrap();
+        let pp_usysv = t.value("usysv", "PingPong").unwrap();
+        assert!(pp_sysv > 2.0 * pp_usysv);
+        // Ring > pingpong under the same option.
+        let ring = t.value("usysv", "Ring").unwrap();
+        assert!(ring > pp_usysv);
+    }
+}

@@ -1,0 +1,234 @@
+//! One entry point per paper artifact (table or figure).
+
+pub mod amber;
+pub mod blas;
+pub mod hpcc;
+pub mod hybrid;
+pub mod imb;
+pub mod lammps;
+pub mod nas;
+pub mod pop;
+pub mod statics;
+pub mod stream;
+
+use crate::fidelity::Fidelity;
+use crate::report::Table;
+use corescope_machine::Result;
+use std::fmt;
+
+/// Every table and figure of the paper's evaluation, by its number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the paper's artifact numbers
+pub enum Artifact {
+    T1,
+    F2,
+    F3,
+    F4,
+    F5,
+    F6,
+    F7,
+    F8,
+    F9,
+    F10,
+    F11,
+    F12,
+    F13,
+    F14,
+    F15,
+    F16,
+    F17,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+    T7,
+    T8,
+    T9,
+    T10,
+    T11,
+    T12,
+    T13,
+    T14,
+    /// Extra (not in the paper): the hybrid programming model Section
+    /// 3.4 proposes, measured.
+    X1,
+    /// Extra: predicted lmbench-style memory-latency plateaus.
+    X2,
+}
+
+impl Artifact {
+    /// All artifacts in paper order.
+    pub fn all() -> Vec<Artifact> {
+        use Artifact::*;
+        vec![
+            T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2,
+            T3, T4, T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2,
+        ]
+    }
+
+    /// Lowercase id used on the `repro` command line ("t2", "f10", ...).
+    pub fn id(self) -> &'static str {
+        use Artifact::*;
+        match self {
+            T1 => "t1",
+            F2 => "f2",
+            F3 => "f3",
+            F4 => "f4",
+            F5 => "f5",
+            F6 => "f6",
+            F7 => "f7",
+            F8 => "f8",
+            F9 => "f9",
+            F10 => "f10",
+            F11 => "f11",
+            F12 => "f12",
+            F13 => "f13",
+            F14 => "f14",
+            F15 => "f15",
+            F16 => "f16",
+            F17 => "f17",
+            T2 => "t2",
+            T3 => "t3",
+            T4 => "t4",
+            T5 => "t5",
+            T6 => "t6",
+            T7 => "t7",
+            T8 => "t8",
+            T9 => "t9",
+            T10 => "t10",
+            T11 => "t11",
+            T12 => "t12",
+            T13 => "t13",
+            T14 => "t14",
+            X1 => "x1",
+            X2 => "x2",
+        }
+    }
+
+    /// Parses an artifact id.
+    pub fn parse(s: &str) -> Option<Artifact> {
+        Artifact::all().into_iter().find(|a| a.id() == s.to_lowercase())
+    }
+
+    /// The paper's caption, abbreviated.
+    pub fn title(self) -> &'static str {
+        use Artifact::*;
+        match self {
+            T1 => "Table 1: System configurations",
+            F2 => "Figure 2: Memory bandwidth",
+            F3 => "Figure 3: Memory bandwidth per core",
+            F4 => "Figure 4: DAXPY performance (ACML)",
+            F5 => "Figure 5: DAXPY performance per core (vanilla)",
+            F6 => "Figure 6: DGEMM performance (ACML)",
+            F7 => "Figure 7: DGEMM performance per core (vanilla)",
+            F8 => "Figure 8: HPL performance with LAM/NUMA options",
+            F9 => "Figure 9: Processor performance with runtime options",
+            F10 => "Figure 10: LAM/NUMA options vs memory performance (STREAM)",
+            F11 => "Figure 11: HPCC RandomAccess with runtime options",
+            F12 => "Figure 12: LAM/NUMA options vs communication performance (PTRANS)",
+            F13 => "Figure 13: Communication latency",
+            F14 => "Figure 14: Intra-node IMB PingPong across MPI implementations",
+            F15 => "Figure 15: Intra-node IMB Exchange across MPI implementations",
+            F16 => "Figure 16: OpenMPI PingPong with scheduler affinity",
+            F17 => "Figure 17: OpenMPI Exchange with scheduler affinity",
+            T2 => "Table 2: numactl options vs NAS CG/FT on Longs",
+            T3 => "Table 3: numactl options vs NAS CG/FT on DMZ",
+            T4 => "Table 4: Multi-core speedup for NAS benchmarks",
+            T5 => "Table 5: numactl options used for experiments",
+            T6 => "Table 6: AMBER benchmark descriptions",
+            T7 => "Table 7: FFT performance in the JAC benchmark",
+            T8 => "Table 8: AMBER PME/GB multi-core speedup",
+            T9 => "Table 9: Overall performance of the JAC benchmark",
+            T10 => "Table 10: LAMMPS multi-core speedup",
+            T11 => "Table 11: numactl options vs LAMMPS LJ",
+            T12 => "Table 12: POP multi-core speedup",
+            T13 => "Table 13: numactl options vs POP baroclinic time",
+            T14 => "Table 14: numactl options vs POP barotropic time",
+            X1 => "Extra X1: hybrid (OpenMP-in-socket) vs pure MPI",
+            X2 => "Extra X2: memory-latency plateaus (lmbench-style)",
+        }
+    }
+
+    /// Regenerates the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors from the underlying simulations.
+    pub fn run(self, fidelity: Fidelity) -> Result<Vec<Table>> {
+        use Artifact::*;
+        match self {
+            T1 => Ok(vec![statics::table1()]),
+            T5 => Ok(vec![statics::table5()]),
+            T6 => Ok(vec![statics::table6()]),
+            F2 => stream::figure2(fidelity),
+            F3 => stream::figure3(fidelity),
+            F4 => blas::figure4(fidelity),
+            F5 => blas::figure5(fidelity),
+            F6 => blas::figure6(fidelity),
+            F7 => blas::figure7(fidelity),
+            F8 => hpcc::figure8(fidelity),
+            F9 => hpcc::figure9(fidelity),
+            F10 => stream::figure10(fidelity),
+            F11 => hpcc::figure11(fidelity),
+            F12 => hpcc::figure12(fidelity),
+            F13 => hpcc::figure13(fidelity),
+            F14 => imb::figure14(fidelity),
+            F15 => imb::figure15(fidelity),
+            F16 => imb::figure16(fidelity),
+            F17 => imb::figure17(fidelity),
+            T2 => nas::table2(fidelity),
+            T3 => nas::table3(fidelity),
+            T4 => nas::table4(fidelity),
+            T7 => amber::table7(fidelity),
+            T8 => amber::table8(fidelity),
+            T9 => amber::table9(fidelity),
+            T10 => lammps::table10(fidelity),
+            T11 => lammps::table11(fidelity),
+            T12 => pop::table12(fidelity),
+            T13 => pop::table13(fidelity),
+            T14 => pop::table14(fidelity),
+            X1 => hybrid::extra1(fidelity),
+            X2 => Ok(vec![statics::extra2()]),
+        }
+    }
+}
+
+impl fmt::Display for Artifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_have_unique_ids() {
+        let all = Artifact::all();
+        assert_eq!(all.len(), 32, "30 paper artifacts + the X1/X2 extras");
+        let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 32);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for a in Artifact::all() {
+            assert_eq!(Artifact::parse(a.id()), Some(a));
+        }
+        assert_eq!(Artifact::parse("T2"), Some(Artifact::T2));
+        assert_eq!(Artifact::parse("nope"), None);
+    }
+
+    #[test]
+    fn statics_run_instantly() {
+        for a in [Artifact::T1, Artifact::T5, Artifact::T6] {
+            let tables = a.run(Fidelity::Quick).unwrap();
+            assert_eq!(tables.len(), 1);
+            assert!(tables[0].num_rows() > 0);
+        }
+    }
+}

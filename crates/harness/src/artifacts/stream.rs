@@ -1,0 +1,156 @@
+//! STREAM artifacts: Figures 2, 3 (bandwidth scaling) and 10 (HPCC
+//! STREAM vs runtime options).
+
+use crate::context::{lam_profile, Systems};
+use crate::fidelity::Fidelity;
+use crate::report::{Cell, Table};
+use crate::runtime::RuntimeOption;
+use corescope_affinity::{os_scatter, policy};
+use corescope_kernels::stream::{append_single, append_star, StreamParams};
+use corescope_machine::engine::RankPlacement;
+use corescope_machine::{Machine, Result};
+use corescope_smpi::{CommWorld, LockLayer};
+
+fn params(fidelity: Fidelity) -> StreamParams {
+    StreamParams { sweeps: fidelity.steps(10).max(2), ..StreamParams::default() }
+}
+
+/// lmbench-style placements: spread over sockets first (the paper's
+/// core-activation order), memory allocated locally.
+fn scatter_local(machine: &Machine, nranks: usize) -> Result<Vec<RankPlacement>> {
+    Ok(os_scatter(machine, nranks)?
+        .into_iter()
+        .map(|core| RankPlacement::new(core, policy::local(machine, core)))
+        .collect())
+}
+
+/// Aggregate triad bandwidth (bytes/s) with `nranks` active cores.
+fn triad_bandwidth(machine: &Machine, nranks: usize, fidelity: Fidelity) -> Result<f64> {
+    let p = params(fidelity);
+    let mut world = CommWorld::new(
+        machine,
+        scatter_local(machine, nranks)?,
+        lam_profile(),
+        LockLayer::USysV,
+    );
+    append_star(&mut world, &p);
+    let report = world.run()?;
+    Ok(nranks as f64 * p.bytes_per_rank() / report.makespan)
+}
+
+fn bandwidth_scaling(fidelity: Fidelity, per_core: bool) -> Result<Table> {
+    let systems = Systems::new();
+    let title = if per_core {
+        "Figure 3: Memory bandwidth per core (GB/s, STREAM triad)"
+    } else {
+        "Figure 2: Memory bandwidth (GB/s aggregate, STREAM triad)"
+    };
+    let mut table = Table::with_columns(title, &["Active cores", "tiger", "dmz", "longs"]);
+    for n in [1usize, 2, 4, 8, 16] {
+        let mut cells = Vec::new();
+        for machine in [&systems.tiger, &systems.dmz, &systems.longs] {
+            if n > machine.num_cores() {
+                cells.push(Cell::Dash);
+            } else {
+                let bw = triad_bandwidth(machine, n, fidelity)?;
+                let value = if per_core { bw / n as f64 } else { bw };
+                cells.push(Cell::num(value / 1e9));
+            }
+        }
+        table.push_row(n.to_string(), cells);
+    }
+    Ok(table)
+}
+
+/// Figure 2: aggregate triad bandwidth vs active cores.
+pub fn figure2(fidelity: Fidelity) -> Result<Vec<Table>> {
+    Ok(vec![bandwidth_scaling(fidelity, false)?])
+}
+
+/// Figure 3: per-core triad bandwidth vs active cores.
+pub fn figure3(fidelity: Fidelity) -> Result<Vec<Table>> {
+    Ok(vec![bandwidth_scaling(fidelity, true)?])
+}
+
+/// Figure 10: HPCC STREAM Single vs Star on Longs under the six runtime
+/// options.
+pub fn figure10(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let machine = &systems.longs;
+    let p = params(fidelity);
+    let mut table = Table::with_columns(
+        "Figure 10: STREAM triad on Longs, 16 ranks (GB/s)",
+        &["Option", "Single", "Star per-core", "Single:Star"],
+    );
+    for option in RuntimeOption::all() {
+        let Ok(placements) = option.scheme().resolve(machine, 16) else {
+            table.push_row(option.name(), vec![Cell::Dash, Cell::Dash, Cell::Dash]);
+            continue;
+        };
+        let single = {
+            let mut w =
+                CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
+            append_single(&mut w, &p);
+            p.bytes_per_rank() / w.run()?.makespan
+        };
+        let star = {
+            let mut w = CommWorld::new(machine, placements, lam_profile(), option.lock());
+            append_star(&mut w, &p);
+            p.bytes_per_rank() / w.run()?.makespan
+        };
+        table.push_row(
+            option.name(),
+            vec![
+                Cell::num(single / 1e9),
+                Cell::num(star / 1e9),
+                Cell::num(single / star),
+            ],
+        );
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_socket_scaling_beats_core_packing() {
+        let t = &figure2(Fidelity::Quick).unwrap()[0];
+        // DMZ: 2 cores (one per socket) ~2x of 1; 4 cores (both per
+        // socket) well under 4x.
+        let b1 = t.value("1", "dmz").unwrap();
+        let b2 = t.value("2", "dmz").unwrap();
+        let b4 = t.value("4", "dmz").unwrap();
+        assert!(b2 > 1.85 * b1);
+        assert!(b4 < 3.0 * b1, "second cores must be flat/degraded: {b4} vs {b1}");
+        // Tiger has no 4-core configuration.
+        assert_eq!(t.value("4", "tiger"), None);
+    }
+
+    #[test]
+    fn figure3_longs_per_core_is_lowest() {
+        let t = &figure3(Fidelity::Quick).unwrap()[0];
+        let longs = t.value("1", "longs").unwrap();
+        let dmz = t.value("1", "dmz").unwrap();
+        assert!(
+            longs < 0.6 * dmz,
+            "8-socket per-core bandwidth {longs} must trail dmz {dmz}"
+        );
+    }
+
+    #[test]
+    fn figure10_star_ratio_exceeds_two_on_default() {
+        let t = &figure10(Fidelity::Quick).unwrap()[0];
+        let ratio = t.value("default", "Single:Star").unwrap();
+        assert!(
+            ratio > 2.0,
+            "paper: 'Single to Star ratio of greater than 2:1', got {ratio:.2}"
+        );
+        // The tuned option should not be worse than default's ratio by
+        // much — localalloc star per-core should beat default star.
+        let star_tuned = t.value("localalloc+usysv", "Star per-core").unwrap();
+        let star_default = t.value("default", "Star per-core").unwrap();
+        assert!(star_tuned >= star_default * 0.95);
+    }
+}

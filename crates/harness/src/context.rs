@@ -1,0 +1,151 @@
+//! Shared helpers for artifact implementations.
+
+use corescope_affinity::Scheme;
+use corescope_machine::engine::RunReport;
+use corescope_machine::{systems, Machine, Result};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl, MpiProfile};
+
+/// The three evaluation systems, built once per artifact run.
+#[derive(Debug)]
+pub struct Systems {
+    /// Cray XD1 node, 2 x single-core Opteron 248.
+    pub tiger: Machine,
+    /// 2 x dual-core Opteron 275.
+    pub dmz: Machine,
+    /// Iwill H8501, 8 x dual-core Opteron 865.
+    pub longs: Machine,
+}
+
+impl Systems {
+    /// Builds all three.
+    pub fn new() -> Self {
+        Self {
+            tiger: Machine::new(systems::tiger()),
+            dmz: Machine::new(systems::dmz()),
+            longs: Machine::new(systems::longs()),
+        }
+    }
+}
+
+impl Default for Systems {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs a workload builder under a placement scheme; returns `None` when
+/// the scheme cannot host `nranks` on the machine (the paper's "—"
+/// cells).
+///
+/// # Errors
+///
+/// Propagates engine errors (anything other than an unplaceable scheme).
+pub fn run_scheme(
+    machine: &Machine,
+    scheme: Scheme,
+    nranks: usize,
+    profile: &MpiProfile,
+    lock: LockLayer,
+    build: impl FnOnce(&mut CommWorld<'_>),
+) -> Result<Option<RunReport>> {
+    let Ok(placements) = scheme.resolve(machine, nranks) else {
+        return Ok(None);
+    };
+    let mut world = CommWorld::new(machine, placements, profile.clone(), lock);
+    build(&mut world);
+    world.run().map(Some)
+}
+
+/// Like [`run_scheme`] but returns just the makespan.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn time_scheme(
+    machine: &Machine,
+    scheme: Scheme,
+    nranks: usize,
+    profile: &MpiProfile,
+    lock: LockLayer,
+    build: impl FnOnce(&mut CommWorld<'_>),
+) -> Result<Option<f64>> {
+    Ok(run_scheme(machine, scheme, nranks, profile, lock, build)?.map(|r| r.makespan))
+}
+
+/// A named workload builder: appends one benchmark run for `nranks`
+/// ranks to a world.
+pub type WorkloadFn<'w> = dyn Fn(&mut CommWorld<'_>, usize) + 'w;
+
+/// Builds a scheme-comparison table in the paper's layout: one row per
+/// `(task count, workload)` pair, one column per Table 5 scheme, values
+/// from `measure` (typically the makespan in seconds). Unplaceable
+/// combinations render as the paper's "—".
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn scheme_sweep(
+    title: &str,
+    machine: &Machine,
+    task_counts: &[usize],
+    workloads: &[(&str, &WorkloadFn<'_>)],
+    profile: &MpiProfile,
+    lock: LockLayer,
+) -> Result<crate::report::Table> {
+    let mut columns = vec!["Tasks / workload".to_string()];
+    columns.extend(Scheme::all().iter().map(|s| s.name().to_string()));
+    let mut table = crate::report::Table::new(title, columns);
+    for &n in task_counts {
+        if n > machine.num_cores() {
+            continue;
+        }
+        for (name, build) in workloads {
+            let mut cells = Vec::new();
+            for scheme in Scheme::all() {
+                let t = time_scheme(machine, scheme, n, profile, lock, |w| build(w, n))?;
+                cells.push(crate::report::Cell::from(t));
+            }
+            table.push_row(format!("{n} {name}"), cells);
+        }
+    }
+    Ok(table)
+}
+
+/// The MPI stack the paper uses for the NAS/application tables (MPICH2
+/// with spin locks).
+pub fn default_stack() -> (MpiProfile, LockLayer) {
+    (MpiImpl::Mpich2.profile(), LockLayer::USysV)
+}
+
+/// The LAM stack used for the HPCC figures.
+pub fn lam_profile() -> MpiProfile {
+    MpiImpl::Lam.profile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_machine::ComputePhase;
+    use corescope_machine::TrafficProfile;
+
+    #[test]
+    fn unplaceable_scheme_yields_none() {
+        let s = Systems::new();
+        let (profile, lock) = default_stack();
+        let out = time_scheme(&s.longs, Scheme::OneMpiLocalAlloc, 16, &profile, lock, |_| {})
+            .unwrap();
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn placeable_scheme_runs() {
+        let s = Systems::new();
+        let (profile, lock) = default_stack();
+        let out = time_scheme(&s.dmz, Scheme::Default, 2, &profile, lock, |w| {
+            let phase = ComputePhase::new("x", 1e9, TrafficProfile::none());
+            w.compute_all(|_| Some(phase.clone()));
+        })
+        .unwrap();
+        assert!(out.unwrap() > 0.0);
+    }
+}

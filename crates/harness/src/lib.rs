@@ -1,0 +1,29 @@
+//! # corescope-harness
+//!
+//! The experiment harness: one entry point per table and figure of the
+//! paper, producing [`report::Table`]s whose rows/series mirror what the
+//! paper reports.
+//!
+//! ```
+//! use corescope_harness::{Artifact, Fidelity};
+//!
+//! # fn main() -> Result<(), corescope_machine::Error> {
+//! // Regenerate Table 4 (NAS multi-core speedup) at reduced fidelity.
+//! let tables = Artifact::T4.run(Fidelity::Quick)?;
+//! assert!(!tables.is_empty());
+//! println!("{}", tables[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ablation;
+pub mod artifacts;
+pub mod context;
+pub mod fidelity;
+pub mod report;
+pub mod runtime;
+
+pub use artifacts::Artifact;
+pub use fidelity::Fidelity;
+pub use report::{Cell, Table};
+pub use runtime::RuntimeOption;

@@ -1,0 +1,106 @@
+//! The six LAM/NUMA runtime-option combinations of the paper's HPCC
+//! figures (Figures 8–13): page placement × MPI lock sub-layer.
+
+use corescope_affinity::Scheme;
+use corescope_smpi::LockLayer;
+use std::fmt;
+
+/// One HPCC runtime configuration (Figure 8's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeOption {
+    /// Stock LAM (SysV semaphores), default placement.
+    Default,
+    /// Explicit `sysv` sub-layer, default placement.
+    SysV,
+    /// Spin-lock (`usysv`) sub-layer, default placement.
+    USysV,
+    /// `--localalloc`, stock lock layer.
+    LocalAlloc,
+    /// `--localalloc` plus `usysv` — the tuned configuration.
+    LocalAllocUSysV,
+    /// `--interleave=all`, stock lock layer.
+    Interleave,
+}
+
+impl RuntimeOption {
+    /// All six options in the paper's figure order.
+    pub fn all() -> [RuntimeOption; 6] {
+        [
+            RuntimeOption::Default,
+            RuntimeOption::SysV,
+            RuntimeOption::USysV,
+            RuntimeOption::LocalAlloc,
+            RuntimeOption::LocalAllocUSysV,
+            RuntimeOption::Interleave,
+        ]
+    }
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeOption::Default => "default",
+            RuntimeOption::SysV => "sysv",
+            RuntimeOption::USysV => "usysv",
+            RuntimeOption::LocalAlloc => "localalloc",
+            RuntimeOption::LocalAllocUSysV => "localalloc+usysv",
+            RuntimeOption::Interleave => "interleave",
+        }
+    }
+
+    /// The task/memory placement scheme this option implies.
+    pub fn scheme(self) -> Scheme {
+        match self {
+            RuntimeOption::Default | RuntimeOption::SysV | RuntimeOption::USysV => {
+                Scheme::Default
+            }
+            RuntimeOption::LocalAlloc | RuntimeOption::LocalAllocUSysV => {
+                Scheme::TwoMpiLocalAlloc
+            }
+            RuntimeOption::Interleave => Scheme::Interleave,
+        }
+    }
+
+    /// The lock sub-layer this option selects (LAM's stock build used the
+    /// SysV semaphores).
+    pub fn lock(self) -> LockLayer {
+        match self {
+            RuntimeOption::USysV | RuntimeOption::LocalAllocUSysV => LockLayer::USysV,
+            _ => LockLayer::SysV,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_options() {
+        let all = RuntimeOption::all();
+        assert_eq!(all.len(), 6);
+        let mut names: Vec<_> = all.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn usysv_options_use_spinlocks() {
+        assert_eq!(RuntimeOption::USysV.lock(), LockLayer::USysV);
+        assert_eq!(RuntimeOption::LocalAllocUSysV.lock(), LockLayer::USysV);
+        assert_eq!(RuntimeOption::Default.lock(), LockLayer::SysV);
+    }
+
+    #[test]
+    fn placement_mapping() {
+        assert_eq!(RuntimeOption::LocalAlloc.scheme(), Scheme::TwoMpiLocalAlloc);
+        assert_eq!(RuntimeOption::Interleave.scheme(), Scheme::Interleave);
+        assert_eq!(RuntimeOption::SysV.scheme(), Scheme::Default);
+    }
+}

@@ -1,0 +1,193 @@
+//! NAS EP (Embarrassingly Parallel): the real NPB random-number kernel
+//! plus its (trivially scaling) workload model.
+//!
+//! The paper runs "a subset of the NAS Parallel Benchmarks"; EP is the
+//! control case — no communication beyond a final reduction, so it scales
+//! linearly on every system and isolates pure per-core compute from the
+//! NUMA effects the other kernels expose.
+
+use corescope_machine::{ComputePhase, TrafficProfile};
+use corescope_smpi::CommWorld;
+
+/// The NPB linear congruential generator: x' = a·x mod 2⁴⁶.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpbRng {
+    state: u64,
+}
+
+/// NPB multiplier a = 5¹³.
+pub const NPB_A: u64 = 1_220_703_125;
+/// NPB default seed.
+pub const NPB_SEED: u64 = 271_828_183;
+const MOD46: u64 = 1 << 46;
+
+impl NpbRng {
+    /// Starts from the canonical NPB seed.
+    pub fn new() -> Self {
+        Self { state: NPB_SEED }
+    }
+
+    /// Starts from an explicit seed (must be odd, below 2⁴⁶).
+    pub fn with_seed(seed: u64) -> Self {
+        Self { state: seed % MOD46 }
+    }
+
+    /// Advances and returns a uniform deviate in (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        // 46-bit modular multiply fits in u128.
+        self.state = ((self.state as u128 * NPB_A as u128) % MOD46 as u128) as u64;
+        self.state as f64 / MOD46 as f64
+    }
+}
+
+impl Default for NpbRng {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of an EP run: Gaussian-pair counts per annulus plus the sums
+/// the benchmark verifies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Accepted Gaussian pairs.
+    pub pairs: u64,
+    /// Counts per square annulus `l = max(|X|,|Y|)` in `[l, l+1)`.
+    pub annuli: [u64; 10],
+    /// Sum of X deviates.
+    pub sx: f64,
+    /// Sum of Y deviates.
+    pub sy: f64,
+}
+
+/// Runs the real EP kernel: `n` candidate pairs through the Marsaglia
+/// polar method, counting accepted Gaussian deviates per annulus.
+pub fn run_ep(n: u64, mut rng: NpbRng) -> EpResult {
+    let mut result = EpResult { pairs: 0, annuli: [0; 10], sx: 0.0, sy: 0.0 };
+    for _ in 0..n {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            let factor = (-2.0 * t.ln() / t).sqrt();
+            let gx = x * factor;
+            let gy = y * factor;
+            result.pairs += 1;
+            result.sx += gx;
+            result.sy += gy;
+            let l = gx.abs().max(gy.abs()) as usize;
+            if l < 10 {
+                result.annuli[l] += 1;
+            }
+        }
+    }
+    result
+}
+
+/// EP workload parameters (class B: 2³⁰ pairs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpParams {
+    /// log₂ of the number of candidate pairs.
+    pub log2_pairs: u32,
+}
+
+impl Default for EpParams {
+    fn default() -> Self {
+        Self { log2_pairs: 30 }
+    }
+}
+
+/// Appends an EP run: pure per-rank compute (≈60 flops per candidate
+/// pair, cache-resident) plus one final 10-bin reduction.
+pub fn append_run(world: &mut CommWorld<'_>, params: &EpParams) {
+    let pairs = (1u64 << params.log2_pairs) as f64 / world.size() as f64;
+    let phase = ComputePhase::new("ep", pairs * 60.0, TrafficProfile::none())
+        .with_efficiency(0.25);
+    world.compute_all(|_| Some(phase.clone()));
+    if world.size() > 1 {
+        world.allreduce(10.0 * 8.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = NpbRng::new();
+        let mut b = NpbRng::new();
+        for _ in 0..1000 {
+            let va = a.next_f64();
+            assert_eq!(va, b.next_f64());
+            assert!(va > 0.0 && va < 1.0);
+        }
+    }
+
+    #[test]
+    fn acceptance_ratio_approaches_pi_over_four() {
+        let result = run_ep(200_000, NpbRng::new());
+        let ratio = result.pairs as f64 / 200_000.0;
+        let expected = std::f64::consts::PI / 4.0;
+        assert!(
+            (ratio - expected).abs() < 0.01,
+            "acceptance {ratio:.4} vs pi/4 = {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn gaussian_deviates_have_near_zero_mean() {
+        let result = run_ep(200_000, NpbRng::new());
+        let mean_x = result.sx / result.pairs as f64;
+        let mean_y = result.sy / result.pairs as f64;
+        assert!(mean_x.abs() < 0.01 && mean_y.abs() < 0.01, "{mean_x} {mean_y}");
+    }
+
+    #[test]
+    fn annuli_counts_decay_like_a_gaussian_tail() {
+        let result = run_ep(100_000, NpbRng::new());
+        assert!(result.annuli[0] > result.annuli[1]);
+        assert!(result.annuli[1] > result.annuli[2]);
+        assert_eq!(result.annuli.iter().sum::<u64>(), result.pairs);
+    }
+
+    #[test]
+    fn disjoint_seeds_give_different_streams() {
+        let a = run_ep(10_000, NpbRng::with_seed(271_828_183));
+        let b = run_ep(10_000, NpbRng::with_seed(314_159_265));
+        assert_ne!(a.sx, b.sx);
+    }
+
+    mod sim {
+        use super::super::*;
+        use corescope_affinity::Scheme;
+        use corescope_machine::{systems, Machine};
+        use corescope_smpi::{LockLayer, MpiImpl};
+
+        #[test]
+        fn ep_scales_linearly_everywhere() {
+            // EP is the anti-STREAM: no memory traffic, no placement
+            // sensitivity, near-perfect speedup even on the ladder.
+            let m = Machine::new(systems::longs());
+            let time = |n: usize, scheme: Scheme| {
+                let placements = scheme.resolve(&m, n).unwrap();
+                let mut w = CommWorld::new(
+                    &m,
+                    placements,
+                    MpiImpl::Mpich2.profile(),
+                    LockLayer::USysV,
+                );
+                append_run(&mut w, &EpParams { log2_pairs: 26 });
+                w.run().unwrap().makespan
+            };
+            let t2 = time(2, Scheme::TwoMpiLocalAlloc);
+            let t16 = time(16, Scheme::TwoMpiLocalAlloc);
+            let gain = t2 / t16;
+            assert!(gain > 7.5, "EP 2->16 gain {gain:.2} should be ~8");
+            // Placement-insensitive.
+            let membind = time(8, Scheme::OneMpiMembind);
+            let local = time(8, Scheme::OneMpiLocalAlloc);
+            assert!((membind - local).abs() / local < 0.02);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! HPC Challenge glue: ring latency/bandwidth runners (Figures 12/13)
+//! and the Single/Star mode conventions shared by the HPCC kernels.
+//!
+//! *Single* mode runs a kernel on exactly one rank while the others sit
+//! idle; *Star* ("embarrassingly parallel") mode runs it on every rank
+//! concurrently without communication. The per-kernel `append_single` /
+//! `append_star` builders live in the kernel modules; this module adds
+//! the communication micro-measurements HPCC reports alongside them.
+
+use corescope_machine::engine::RankPlacement;
+use corescope_machine::{Machine, Result};
+use corescope_smpi::{CommWorld, LockLayer, MpiProfile};
+
+/// Time per ring iteration with `bytes`-sized messages: every rank sends
+/// to its right neighbour and receives from its left simultaneously.
+///
+/// # Errors
+///
+/// Propagates engine errors; needs at least two ranks.
+pub fn ring_time(
+    machine: &Machine,
+    placements: &[RankPlacement],
+    profile: &MpiProfile,
+    lock: LockLayer,
+    bytes: f64,
+    reps: usize,
+) -> Result<f64> {
+    if placements.len() < 2 {
+        return Err(corescope_machine::Error::InvalidSpec(
+            "ring needs at least two ranks".into(),
+        ));
+    }
+    let mut world = CommWorld::new(machine, placements.to_vec(), profile.clone(), lock);
+    for _ in 0..reps {
+        world.ring_shift(bytes);
+        // The ring is synchronous per iteration.
+        world.barrier();
+    }
+    Ok(world.run()?.makespan / reps as f64)
+}
+
+/// HPCC ring latency in seconds (8-byte messages).
+///
+/// # Errors
+///
+/// Propagates [`ring_time`] errors.
+pub fn ring_latency(
+    machine: &Machine,
+    placements: &[RankPlacement],
+    profile: &MpiProfile,
+    lock: LockLayer,
+    reps: usize,
+) -> Result<f64> {
+    ring_time(machine, placements, profile, lock, 8.0, reps)
+}
+
+/// HPCC ring bandwidth in bytes/s per rank (2 MB messages).
+///
+/// # Errors
+///
+/// Propagates [`ring_time`] errors.
+pub fn ring_bandwidth(
+    machine: &Machine,
+    placements: &[RankPlacement],
+    profile: &MpiProfile,
+    lock: LockLayer,
+    reps: usize,
+) -> Result<f64> {
+    let bytes = 2e6;
+    let t = ring_time(machine, placements, profile, lock, bytes, reps)?;
+    Ok(bytes / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_affinity::Scheme;
+    use corescope_machine::systems;
+    use corescope_smpi::MpiImpl;
+
+    #[test]
+    fn ring_latency_exceeds_pingpong_latency() {
+        // Figure 13: "As expected ring latencies are higher than PingPong
+        // latencies".
+        let m = Machine::new(systems::longs());
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, 16).unwrap();
+        let profile = MpiImpl::Lam.profile();
+        let ring = ring_latency(&m, &placements, &profile, LockLayer::USysV, 10).unwrap();
+        let pp = corescope_smpi::imb::pingpong_time(
+            &m,
+            &placements,
+            &profile,
+            LockLayer::USysV,
+            8.0,
+            10,
+        )
+        .unwrap();
+        assert!(ring > pp, "ring {ring:.3e} vs pingpong {pp:.3e}");
+    }
+
+    #[test]
+    fn sysv_dominates_ring_latency() {
+        // Figure 13: differences between ring and pingpong "are
+        // overwhelmed by the high latencies associated with the SysV MPI
+        // sub-layer".
+        let m = Machine::new(systems::longs());
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, 16).unwrap();
+        let profile = MpiImpl::Lam.profile();
+        let sysv = ring_latency(&m, &placements, &profile, LockLayer::SysV, 5).unwrap();
+        let usysv = ring_latency(&m, &placements, &profile, LockLayer::USysV, 5).unwrap();
+        assert!(sysv > 1.5 * usysv, "sysv {sysv:.3e} vs usysv {usysv:.3e}");
+    }
+
+    #[test]
+    fn ring_bandwidth_reflects_topology_congestion() {
+        // The ladder congests ring traffic relative to a 2-socket node's
+        // point-to-point links.
+        let longs = Machine::new(systems::longs());
+        let dmz = Machine::new(systems::dmz());
+        let profile = MpiImpl::Lam.profile();
+        let p_longs = Scheme::TwoMpiLocalAlloc.resolve(&longs, 16).unwrap();
+        let p_dmz = Scheme::TwoMpiLocalAlloc.resolve(&dmz, 4).unwrap();
+        let bw_longs =
+            ring_bandwidth(&longs, &p_longs, &profile, LockLayer::USysV, 3).unwrap();
+        let bw_dmz = ring_bandwidth(&dmz, &p_dmz, &profile, LockLayer::USysV, 3).unwrap();
+        assert!(
+            bw_longs < bw_dmz,
+            "ladder ring bw {bw_longs:.3e} should trail dmz {bw_dmz:.3e}"
+        );
+    }
+
+    #[test]
+    fn rejects_one_rank() {
+        let m = Machine::new(systems::dmz());
+        let placements = Scheme::Default.resolve(&m, 1).unwrap();
+        let profile = MpiImpl::Lam.profile();
+        assert!(ring_latency(&m, &placements, &profile, LockLayer::USysV, 1).is_err());
+    }
+}

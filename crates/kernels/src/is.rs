@@ -1,0 +1,201 @@
+//! NAS IS (Integer Sort): a real bucketed counting sort plus the
+//! workload model.
+//!
+//! IS is the most communication-bound NPB kernel: each iteration ranks
+//! `N` small-range integer keys, which distributed implementations do
+//! with a bucket histogram, an all-to-all key redistribution and a local
+//! counting sort — all bandwidth, barely any flops.
+
+use crate::F64;
+use corescope_machine::{ComputePhase, TrafficProfile};
+use corescope_smpi::CommWorld;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the NPB-style key array: `n` keys in `[0, max_key)` with the
+/// benchmark's sum-of-four-uniforms (approximately Gaussian) distribution.
+pub fn generate_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s: f64 = (0..4).map(|_| rng.gen_range(0.0..1.0)).sum();
+            ((s / 4.0) * max_key as f64) as u32 % max_key
+        })
+        .collect()
+}
+
+/// Ranks the keys with a counting sort; returns `(ranks, sorted_keys)`
+/// where `ranks[i]` is the position key `i` would take in sorted order
+/// (ties broken by input order, as NPB IS specifies).
+///
+/// # Panics
+///
+/// Panics if any key is ≥ `max_key`.
+pub fn rank_keys(keys: &[u32], max_key: u32) -> (Vec<usize>, Vec<u32>) {
+    let mut histogram = vec![0usize; max_key as usize];
+    for &k in keys {
+        assert!(k < max_key, "key {k} out of range");
+        histogram[k as usize] += 1;
+    }
+    // Exclusive prefix sum: start position of each key value.
+    let mut start = vec![0usize; max_key as usize];
+    let mut acc = 0;
+    for (s, &h) in start.iter_mut().zip(&histogram) {
+        *s = acc;
+        acc += h;
+    }
+    let mut ranks = vec![0usize; keys.len()];
+    let mut cursor = start;
+    for (i, &k) in keys.iter().enumerate() {
+        ranks[i] = cursor[k as usize];
+        cursor[k as usize] += 1;
+    }
+    let mut sorted = vec![0u32; keys.len()];
+    for (i, &k) in keys.iter().enumerate() {
+        sorted[ranks[i]] = k;
+    }
+    (ranks, sorted)
+}
+
+/// NAS IS classes: (log₂ keys, log₂ max key, iterations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsClass {
+    /// Class S: 2¹⁶ keys.
+    S,
+    /// Class A: 2²³ keys.
+    A,
+    /// Class B: 2²⁵ keys.
+    B,
+}
+
+impl IsClass {
+    /// `(log2_keys, log2_max_key, iterations)` per the NPB spec.
+    pub fn parameters(self) -> (u32, u32, usize) {
+        match self {
+            IsClass::S => (16, 11, 10),
+            IsClass::A => (23, 19, 10),
+            IsClass::B => (25, 21, 10),
+        }
+    }
+}
+
+/// NAS IS workload model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasIs {
+    /// Problem class.
+    pub class: IsClass,
+}
+
+impl NasIs {
+    /// Appends the benchmark: per iteration a local histogram (random
+    /// stores over the bucket array), an all-to-all key redistribution
+    /// (the dominant cost), and a local counting sort (streaming).
+    pub fn append_run(&self, world: &mut CommWorld<'_>) {
+        let (log_keys, log_max, iters) = self.class.parameters();
+        let p = world.size() as f64;
+        let keys_local = (1u64 << log_keys) as f64 / p;
+        let buckets = (1u64 << log_max) as f64;
+        for _ in 0..iters {
+            let histogram = ComputePhase::new(
+                "is-histogram",
+                keys_local * 2.0,
+                TrafficProfile::random(keys_local * 4.0, buckets * 4.0),
+            );
+            world.compute_all(|_| Some(histogram.clone()));
+            if world.size() > 1 {
+                // Bucket-boundary allreduce, then the key exchange: on
+                // average (p-1)/p of the keys move (4-byte keys).
+                world.allreduce(buckets / p * 4.0);
+                world.alltoall(keys_local * 4.0 / p);
+            }
+            let sort = ComputePhase::new(
+                "is-sort",
+                keys_local * 3.0,
+                TrafficProfile::stream(keys_local * 2.0 * 4.0 + keys_local * F64),
+            );
+            world.compute_all(|_| Some(sort.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_keys_sorts() {
+        let keys = generate_keys(10_000, 1 << 11, 7);
+        let (_, sorted) = rank_keys(&keys, 1 << 11);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let keys = generate_keys(5_000, 512, 3);
+        let (ranks, _) = rank_keys(&keys, 512);
+        let mut seen = vec![false; ranks.len()];
+        for &r in &ranks {
+            assert!(!seen[r], "rank {r} assigned twice");
+            seen[r] = true;
+        }
+    }
+
+    #[test]
+    fn sorting_preserves_multiset() {
+        let keys = generate_keys(3_000, 256, 11);
+        let (_, sorted) = rank_keys(&keys, 256);
+        let mut a = keys.clone();
+        let mut b = sorted.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ties_break_by_input_order() {
+        let keys = vec![5, 3, 5, 3];
+        let (ranks, _) = rank_keys(&keys, 8);
+        assert_eq!(ranks, vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn key_distribution_is_center_heavy() {
+        // Sum of four uniforms peaks near max_key/2.
+        let keys = generate_keys(100_000, 1024, 1);
+        let center = keys.iter().filter(|&&k| (256..768).contains(&k)).count();
+        assert!(
+            center > 80_000,
+            "Gaussian-ish keys should cluster centrally: {center}/100000"
+        );
+    }
+
+    mod sim {
+        use super::super::*;
+        use corescope_affinity::Scheme;
+        use corescope_machine::{systems, Machine};
+        use corescope_smpi::{LockLayer, MpiImpl};
+
+        #[test]
+        fn is_scaling_is_communication_limited() {
+            let m = Machine::new(systems::longs());
+            let time = |n: usize| {
+                let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, n).unwrap();
+                let mut w = CommWorld::new(
+                    &m,
+                    placements,
+                    MpiImpl::Mpich2.profile(),
+                    LockLayer::USysV,
+                );
+                NasIs { class: IsClass::A }.append_run(&mut w);
+                w.run().unwrap().makespan
+            };
+            let t2 = time(2);
+            let t16 = time(16);
+            let gain = t2 / t16;
+            assert!(
+                gain > 1.5 && gain < 7.0,
+                "IS 2->16 gain {gain:.1} should be clearly communication-limited"
+            );
+        }
+    }
+}

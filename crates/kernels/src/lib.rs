@@ -1,0 +1,38 @@
+//! # corescope-kernels
+//!
+//! Micro-benchmarks and scientific kernels: the workloads of the paper's
+//! Section 3 (STREAM, BLAS level 1/3, the HPC Challenge suite, and the
+//! NAS CG/FT kernels).
+//!
+//! Every kernel comes in two forms:
+//!
+//! 1. a **real implementation** — actual Rust numerics (triad loops,
+//!    blocked DGEMM, radix-2 FFT, sparse conjugate gradient, GUPS table
+//!    updates) used by the unit/property tests and available standalone;
+//! 2. a **workload model** — a builder that appends the kernel's phase
+//!    structure (flops, memory traffic, message schedule) to a
+//!    [`CommWorld`](corescope_smpi::CommWorld), to be executed by the
+//!    machine simulator at paper scale.
+//!
+//! The models derive their operation counts from the same complexity
+//! formulas the real implementations execute, so the simulator sees the
+//! flop/byte/message volumes the real codes would generate.
+
+pub mod blas;
+pub mod cg;
+pub mod ep;
+pub mod fft;
+pub mod hpcc;
+pub mod hpl;
+pub mod is;
+pub mod memlat;
+pub mod mg;
+pub mod nasft;
+pub mod ptrans;
+pub mod randomaccess;
+pub mod stream;
+
+/// Bytes per `f64`.
+pub const F64: f64 = 8.0;
+/// Bytes per complex `f64` pair.
+pub const C64: f64 = 16.0;

@@ -1,0 +1,362 @@
+//! NAS MG (MultiGrid): a real 3-D V-cycle Poisson solver plus the
+//! workload model.
+//!
+//! MG exercises a different point of the paper's design space than CG or
+//! FT: streaming stencil sweeps over a hierarchy of grids whose coarse
+//! levels turn latency-bound, with nearest-neighbour halo exchanges whose
+//! message size shrinks with the level.
+
+use crate::F64;
+use corescope_machine::{ComputePhase, TrafficProfile};
+use corescope_smpi::CommWorld;
+
+/// A cubic periodic grid of edge `n` (power of two).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// A zero grid of edge `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two ≥ 2.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "grid edge must be a power of two");
+        Self { n, data: vec![0.0; n * n * n] }
+    }
+
+    /// Grid edge length.
+    pub fn edge(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    /// Value at (i, j, k).
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Sets the value at (i, j, k).
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = v;
+    }
+
+    fn wrap(&self, x: isize) -> usize {
+        x.rem_euclid(self.n as isize) as usize
+    }
+
+    /// 7-point periodic Laplacian `(A u)(i,j,k) = 6u - Σ neighbours`.
+    pub fn apply_laplacian(&self, out: &mut Grid3) {
+        assert_eq!(self.n, out.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let (ii, jj, kk) = (i as isize, j as isize, k as isize);
+                    let neighbours = self.get(self.wrap(ii - 1), j, k)
+                        + self.get(self.wrap(ii + 1), j, k)
+                        + self.get(i, self.wrap(jj - 1), k)
+                        + self.get(i, self.wrap(jj + 1), k)
+                        + self.get(i, j, self.wrap(kk - 1))
+                        + self.get(i, j, self.wrap(kk + 1));
+                    let ix = out.idx(i, j, k);
+                    out.data[ix] = 6.0 * self.get(i, j, k) - neighbours;
+                }
+            }
+        }
+    }
+
+    /// Residual 2-norm of `A u = f`.
+    pub fn residual_norm(&self, f: &Grid3) -> f64 {
+        let mut au = Grid3::zeros(self.n);
+        self.apply_laplacian(&mut au);
+        au.data
+            .iter()
+            .zip(&f.data)
+            .map(|(a, b)| (b - a) * (b - a))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// One weighted-Jacobi smoothing sweep for `A u = f`.
+    pub fn smooth(&mut self, f: &Grid3, weight: f64) {
+        let src = self.clone();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let (ii, jj, kk) = (i as isize, j as isize, k as isize);
+                    let neighbours = src.get(src.wrap(ii - 1), j, k)
+                        + src.get(src.wrap(ii + 1), j, k)
+                        + src.get(i, src.wrap(jj - 1), k)
+                        + src.get(i, src.wrap(jj + 1), k)
+                        + src.get(i, j, src.wrap(kk - 1))
+                        + src.get(i, j, src.wrap(kk + 1));
+                    let jacobi = (f.get(i, j, k) + neighbours) / 6.0;
+                    let ix = self.idx(i, j, k);
+                    self.data[ix] = (1.0 - weight) * src.get(i, j, k) + weight * jacobi;
+                }
+            }
+        }
+    }
+
+    /// Full-weighting restriction to the next coarser grid (edge n/2).
+    ///
+    /// # Panics
+    ///
+    /// Panics for grids smaller than 4³ — there is no meaningful coarser
+    /// level (the V-cycle stops before reaching them).
+    pub fn restrict(&self) -> Grid3 {
+        assert!(self.n >= 4, "cannot restrict an edge-{} grid", self.n);
+        let m = self.n / 2;
+        let mut coarse = Grid3::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                for k in 0..m {
+                    // Average the 2x2x2 fine cell.
+                    let mut acc = 0.0;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            for dk in 0..2 {
+                                acc += self.get(2 * i + di, 2 * j + dj, 2 * k + dk);
+                            }
+                        }
+                    }
+                    coarse.set(i, j, k, acc / 8.0);
+                }
+            }
+        }
+        coarse
+    }
+
+    /// Trilinear-ish prolongation (piecewise-constant injection) back to
+    /// the fine grid, accumulated into `self`.
+    pub fn prolong_add(&mut self, coarse: &Grid3) {
+        let m = coarse.n;
+        assert_eq!(self.n, 2 * m);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let c = coarse.get(i / 2, j / 2, k / 2);
+                    let ix = self.idx(i, j, k);
+                    self.data[ix] += c;
+                }
+            }
+        }
+    }
+}
+
+/// One V-cycle for `A u = f`: pre-smooth, restrict the residual, recurse,
+/// prolong the correction, post-smooth.
+pub fn v_cycle(u: &mut Grid3, f: &Grid3, pre: usize, post: usize) {
+    for _ in 0..pre {
+        u.smooth(f, 0.8);
+    }
+    if u.edge() > 4 {
+        // Residual r = f - A u.
+        let mut au = Grid3::zeros(u.edge());
+        u.apply_laplacian(&mut au);
+        let mut r = Grid3::zeros(u.edge());
+        for ix in 0..r.data.len() {
+            r.data[ix] = f.data[ix] - au.data[ix];
+        }
+        let r_coarse = r.restrict();
+        let mut e_coarse = Grid3::zeros(r_coarse.edge());
+        v_cycle(&mut e_coarse, &r_coarse, pre, post);
+        u.prolong_add(&e_coarse);
+    }
+    for _ in 0..post {
+        u.smooth(f, 0.8);
+    }
+}
+
+/// NAS MG classes: (grid edge, V-cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MgClass {
+    /// Class S: 32³, 4 iterations.
+    S,
+    /// Class A: 256³, 4 iterations.
+    A,
+    /// Class B: 256³, 20 iterations.
+    B,
+}
+
+impl MgClass {
+    /// `(edge, iterations)`.
+    pub fn parameters(self) -> (usize, usize) {
+        match self {
+            MgClass::S => (32, 4),
+            MgClass::A => (256, 4),
+            MgClass::B => (256, 20),
+        }
+    }
+}
+
+/// NAS MG workload model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasMg {
+    /// Problem class.
+    pub class: MgClass,
+}
+
+impl NasMg {
+    /// Appends the benchmark: per V-cycle, stencil sweeps over each grid
+    /// level (traffic shrinking 8× per level) with halo exchanges whose
+    /// messages shrink 4× per level — coarse levels are pure latency.
+    pub fn append_run(&self, world: &mut CommWorld<'_>) {
+        let (edge, iters) = self.class.parameters();
+        let p = world.size() as f64;
+        for _ in 0..iters {
+            let mut level_edge = edge;
+            // Down-sweep and up-sweep visit each level ~3 times
+            // (pre-smooth, residual, post-smooth).
+            while level_edge >= 4 {
+                let points = (level_edge * level_edge * level_edge) as f64 / p;
+                let sweep = ComputePhase::new(
+                    "mg-sweep",
+                    points * 3.0 * 14.0,
+                    TrafficProfile::stream_over(points * 3.0 * 2.0 * F64, points * F64),
+                )
+                .with_efficiency(0.2);
+                world.compute_all(|_| Some(sweep.clone()));
+                if world.size() > 1 {
+                    let face = ((level_edge * level_edge) as f64 / p) * F64 * 2.0;
+                    world.halo_1d(face.max(F64));
+                }
+                level_edge /= 2;
+            }
+            if world.size() > 1 {
+                world.allreduce(F64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manufactured(n: usize) -> (Grid3, Grid3) {
+        // u* with zero mean (the periodic Laplacian annihilates
+        // constants), f = A u*.
+        let mut u_true = Grid3::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let v = ((i as f64 * 0.7).sin()
+                        + (j as f64 * 1.3).cos()
+                        + (k as f64 * 0.4).sin())
+                        * 0.5;
+                    u_true.set(i, j, k, v);
+                }
+            }
+        }
+        let mean: f64 =
+            u_true.data.iter().sum::<f64>() / u_true.data.len() as f64;
+        for v in &mut u_true.data {
+            *v -= mean;
+        }
+        let mut f = Grid3::zeros(n);
+        u_true.apply_laplacian(&mut f);
+        (u_true, f)
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_zero() {
+        let mut g = Grid3::zeros(8);
+        for v in &mut g.data {
+            *v = 3.5;
+        }
+        let mut out = Grid3::zeros(8);
+        g.apply_laplacian(&mut out);
+        assert!(out.data.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn smoothing_reduces_residual() {
+        let (_, f) = manufactured(16);
+        let mut u = Grid3::zeros(16);
+        let r0 = u.residual_norm(&f);
+        for _ in 0..10 {
+            u.smooth(&f, 0.8);
+        }
+        let r1 = u.residual_norm(&f);
+        assert!(r1 < r0 * 0.8, "{r0} -> {r1}");
+    }
+
+    #[test]
+    fn v_cycle_beats_plain_smoothing() {
+        let (_, f) = manufactured(32);
+        let mut u_smooth = Grid3::zeros(32);
+        for _ in 0..6 {
+            u_smooth.smooth(&f, 0.8);
+        }
+        let mut u_mg = Grid3::zeros(32);
+        v_cycle(&mut u_mg, &f, 3, 3); // same number of fine sweeps
+        let r_smooth = u_smooth.residual_norm(&f);
+        let r_mg = u_mg.residual_norm(&f);
+        assert!(
+            r_mg < r_smooth,
+            "multigrid {r_mg:.3e} must beat smoothing {r_smooth:.3e}"
+        );
+    }
+
+    #[test]
+    fn repeated_v_cycles_converge() {
+        let (_, f) = manufactured(16);
+        let mut u = Grid3::zeros(16);
+        let mut last = u.residual_norm(&f);
+        for _ in 0..5 {
+            v_cycle(&mut u, &f, 2, 2);
+            let r = u.residual_norm(&f);
+            assert!(r < last, "residual must fall monotonically: {last} -> {r}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_constants() {
+        let mut g = Grid3::zeros(8);
+        for v in &mut g.data {
+            *v = 2.0;
+        }
+        let c = g.restrict();
+        assert_eq!(c.edge(), 4);
+        assert!(c.data.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    mod sim {
+        use super::super::*;
+        use corescope_affinity::Scheme;
+        use corescope_machine::{systems, Machine};
+        use corescope_smpi::{LockLayer, MpiImpl};
+
+        #[test]
+        fn mg_scales_but_coarse_levels_limit_it() {
+            let m = Machine::new(systems::longs());
+            let time = |n: usize| {
+                let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, n).unwrap();
+                let mut w = CommWorld::new(
+                    &m,
+                    placements,
+                    MpiImpl::Mpich2.profile(),
+                    LockLayer::USysV,
+                );
+                NasMg { class: MgClass::A }.append_run(&mut w);
+                w.run().unwrap().makespan
+            };
+            let t2 = time(2);
+            let t16 = time(16);
+            let gain = t2 / t16;
+            assert!(
+                gain > 3.0 && gain < 8.0,
+                "MG 2->16 gain {gain:.1}: good but below the core ratio"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for machine construction and simulation.
+
+use crate::ids::RankId;
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building machines or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The machine specification is internally inconsistent.
+    InvalidSpec(String),
+    /// The socket link graph is not connected, so some routes do not exist.
+    DisconnectedTopology {
+        /// A socket unreachable from socket 0.
+        unreachable: usize,
+    },
+    /// A program referenced a core outside the machine.
+    CoreOutOfRange {
+        /// The offending core index.
+        core: usize,
+        /// The number of cores the machine actually has.
+        num_cores: usize,
+    },
+    /// A program referenced a NUMA node outside the machine.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes the machine actually has.
+        num_nodes: usize,
+    },
+    /// Two ranks were bound to the same core but the engine was configured
+    /// to forbid oversubscription.
+    CoreOversubscribed {
+        /// The core with more than one rank.
+        core: usize,
+    },
+    /// The simulation stopped making progress: every live rank is blocked
+    /// on a message that will never arrive (e.g. a `Recv` with no matching
+    /// `Send`).
+    Deadlock {
+        /// Ranks blocked at the time of detection.
+        blocked: Vec<RankId>,
+        /// Simulated time when the deadlock was detected.
+        at_time: f64,
+    },
+    /// A rank's memory layout was missing or had non-positive weight.
+    InvalidLayout(String),
+    /// A flow was routed through a resource with zero capacity (e.g. a
+    /// deliberately failed link in failure-injection tests).
+    ZeroCapacityRoute {
+        /// Human-readable description of the dead resource.
+        resource: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSpec(msg) => write!(f, "invalid machine spec: {msg}"),
+            Error::DisconnectedTopology { unreachable } => {
+                write!(f, "socket {unreachable} is unreachable from socket 0")
+            }
+            Error::CoreOutOfRange { core, num_cores } => {
+                write!(f, "core {core} out of range (machine has {num_cores} cores)")
+            }
+            Error::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (machine has {num_nodes} nodes)")
+            }
+            Error::CoreOversubscribed { core } => {
+                write!(f, "core {core} has more than one rank bound to it")
+            }
+            Error::Deadlock { blocked, at_time } => write!(
+                f,
+                "deadlock at t={at_time:.6}s: {} rank(s) blocked forever",
+                blocked.len()
+            ),
+            Error::InvalidLayout(msg) => write!(f, "invalid memory layout: {msg}"),
+            Error::ZeroCapacityRoute { resource } => {
+                write!(f, "flow routed through zero-capacity resource {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_reasonably() {
+        let e = Error::CoreOutOfRange { core: 9, num_cores: 4 };
+        assert_eq!(e.to_string(), "core 9 out of range (machine has 4 cores)");
+        let e = Error::Deadlock { blocked: vec![RankId::new(0)], at_time: 1.5 };
+        assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

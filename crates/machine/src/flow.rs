@@ -1,0 +1,346 @@
+//! Shared-resource flows and the max-min fair rate solver.
+//!
+//! Every byte-moving activity in the simulator — a compute phase's DRAM
+//! traffic, an MPI message crossing HyperTransport links — is a *flow*
+//! over a route of resources (memory controllers, directed links), with a
+//! per-flow rate cap (the core's Little's-law limit or the transport's
+//! copy bandwidth). Rates are assigned by **progressive-filling max-min
+//! fairness**: all flows ramp up together; when a resource saturates or a
+//! flow hits its cap, the affected flows freeze and the rest continue.
+//!
+//! This is the standard fluid model for fair-shared interconnects and
+//! reproduces the paper's contention effects: two cores streaming through
+//! one DDR-400 controller each get half of it, while a cache-resident
+//! DGEMM is never throttled.
+
+use crate::error::{Error, Result};
+
+/// Index of a resource in a [`ResourceTable`].
+pub type ResourceIndex = usize;
+
+/// A named, capacity-limited shared resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// Human-readable name ("mc:socket0", "link:socket0->socket1").
+    pub name: String,
+    /// Capacity in bytes/s.
+    pub capacity: f64,
+}
+
+/// The set of shared resources in a machine.
+///
+/// Built once per simulation; failure-injection tests may degrade
+/// individual capacities with [`ResourceTable::set_capacity`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResourceTable {
+    resources: Vec<Resource>,
+}
+
+impl ResourceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource and returns its index.
+    pub fn add(&mut self, name: impl Into<String>, capacity: f64) -> ResourceIndex {
+        self.resources.push(Resource { name: name.into(), capacity });
+        self.resources.len() - 1
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// The resource at `index`.
+    pub fn get(&self, index: ResourceIndex) -> &Resource {
+        &self.resources[index]
+    }
+
+    /// Overrides a resource's capacity (failure injection / what-if).
+    pub fn set_capacity(&mut self, index: ResourceIndex, capacity: f64) {
+        self.resources[index].capacity = capacity;
+    }
+
+    /// Capacities as a slice-compatible vector.
+    pub fn capacities(&self) -> Vec<f64> {
+        self.resources.iter().map(|r| r.capacity).collect()
+    }
+}
+
+/// A flow demand handed to the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Resources the flow traverses (order irrelevant to the solver).
+    pub route: Vec<ResourceIndex>,
+    /// The flow's own maximum rate in bytes/s (must be finite and >= 0).
+    pub cap: f64,
+}
+
+impl FlowSpec {
+    /// Creates a flow over `route` with per-flow cap `cap`.
+    pub fn new(route: Vec<ResourceIndex>, cap: f64) -> Self {
+        Self { route, cap }
+    }
+}
+
+/// Solves max-min fair rates for `flows` over `table`.
+///
+/// Returns one rate per flow, in input order. Flows with zero cap or a
+/// zero-capacity resource on their route receive rate 0.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSpec`] if a flow references a resource outside
+/// the table or has a non-finite cap.
+pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64>> {
+    let caps = table.capacities();
+    for (i, f) in flows.iter().enumerate() {
+        if !f.cap.is_finite() || f.cap < 0.0 {
+            return Err(Error::InvalidSpec(format!(
+                "flow {i} has invalid cap {}",
+                f.cap
+            )));
+        }
+        for &r in &f.route {
+            if r >= caps.len() {
+                return Err(Error::InvalidSpec(format!(
+                    "flow {i} references resource {r} outside table of {}",
+                    caps.len()
+                )));
+            }
+        }
+    }
+
+    let n = flows.len();
+    let mut rates = vec![0.0; n];
+    if n == 0 {
+        return Ok(rates);
+    }
+
+    let scale = flows
+        .iter()
+        .map(|f| f.cap)
+        .chain(caps.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
+    let eps = scale * 1e-12;
+
+    let mut fixed = vec![false; n];
+    let mut remaining = caps.clone();
+    // Count of unfixed flows using each resource. A flow listing the same
+    // resource twice consumes it twice (e.g. a hairpin route) — count
+    // multiplicity.
+    let mut usage = vec![0usize; caps.len()];
+    for f in flows {
+        for &r in &f.route {
+            usage[r] += 1;
+        }
+    }
+
+    let mut unfixed = n;
+    // Immediately freeze zero-cap flows.
+    for (i, f) in flows.iter().enumerate() {
+        if f.cap <= eps {
+            fixed[i] = true;
+            unfixed -= 1;
+            for &r in &f.route {
+                usage[r] -= 1;
+            }
+        }
+    }
+
+    while unfixed > 0 {
+        // Smallest headroom: either a resource's fair increment or a
+        // flow's distance to its own cap.
+        let mut inc = f64::INFINITY;
+        for (r, &rem) in remaining.iter().enumerate() {
+            if usage[r] > 0 {
+                inc = inc.min(rem.max(0.0) / usage[r] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !fixed[i] {
+                inc = inc.min(f.cap - rates[i]);
+            }
+        }
+        debug_assert!(inc.is_finite(), "at least one limit must apply");
+        let inc = inc.max(0.0);
+
+        // Ramp all unfixed flows by `inc`.
+        for (i, f) in flows.iter().enumerate() {
+            if !fixed[i] {
+                rates[i] += inc;
+                for &r in &f.route {
+                    remaining[r] -= inc;
+                }
+            }
+        }
+
+        // Freeze flows at their cap or on a saturated resource.
+        let mut froze_any = false;
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let at_cap = f.cap - rates[i] <= eps;
+            let saturated = f.route.iter().any(|&r| remaining[r] <= eps);
+            if at_cap || saturated {
+                fixed[i] = true;
+                unfixed -= 1;
+                froze_any = true;
+                for &r in &f.route {
+                    usage[r] -= 1;
+                }
+            }
+        }
+        debug_assert!(froze_any, "progressive filling must freeze at least one flow");
+        if !froze_any {
+            // Defensive: avoid an infinite loop under pathological
+            // floating-point behaviour by freezing everything.
+            for (i, f) in flows.iter().enumerate() {
+                if !fixed[i] {
+                    fixed[i] = true;
+                    unfixed -= 1;
+                    for &r in &f.route {
+                        usage[r] -= 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(caps: &[f64]) -> ResourceTable {
+        let mut t = ResourceTable::new();
+        for (i, &c) in caps.iter().enumerate() {
+            t.add(format!("r{i}"), c);
+        }
+        t
+    }
+
+    #[test]
+    fn single_flow_gets_min_of_cap_and_resource() {
+        let t = table(&[4.0e9]);
+        let rates = solve_maxmin(&t, &[FlowSpec::new(vec![0], 3.0e9)]).unwrap();
+        assert!((rates[0] - 3.0e9).abs() < 1.0);
+        let rates = solve_maxmin(&t, &[FlowSpec::new(vec![0], 9.0e9)]).unwrap();
+        assert!((rates[0] - 4.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_a_controller_fairly() {
+        // The STREAM "second core" effect: both cores capped at 3.7 GB/s
+        // individually, but the 6.4 GB/s controller limits each to 3.2.
+        let t = table(&[6.4e9]);
+        let flows = vec![FlowSpec::new(vec![0], 3.7e9), FlowSpec::new(vec![0], 3.7e9)];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        assert!((rates[0] - 3.2e9).abs() < 1.0);
+        assert!((rates[1] - 3.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn capped_flow_releases_bandwidth_to_others() {
+        let t = table(&[10.0e9]);
+        let flows = vec![FlowSpec::new(vec![0], 1.0e9), FlowSpec::new(vec![0], 20.0e9)];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        assert!((rates[0] - 1.0e9).abs() < 1.0);
+        assert!((rates[1] - 9.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_resource_bottleneck() {
+        // Flow A uses r0+r1, flow B uses r1 only; r1 is the bottleneck.
+        let t = table(&[100.0, 10.0]);
+        let flows = vec![
+            FlowSpec::new(vec![0, 1], 1000.0),
+            FlowSpec::new(vec![1], 1000.0),
+        ];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks() {
+        // Classic max-min example: r0 cap 10 shared by A,B; r1 cap 100
+        // used by B only; B should get more once A is frozen at 5.
+        let t = table(&[10.0, 100.0]);
+        let flows = vec![
+            FlowSpec::new(vec![0], 5.0),
+            FlowSpec::new(vec![0, 1], 1000.0),
+        ];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9, "r0 still splits fairly: {rates:?}");
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_flow() {
+        let t = table(&[0.0, 10.0]);
+        let flows = vec![FlowSpec::new(vec![0], 5.0), FlowSpec::new(vec![1], 5.0)];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_route_flow_runs_at_cap() {
+        let t = table(&[1.0]);
+        let rates = solve_maxmin(&t, &[FlowSpec::new(Vec::new(), 7.0)]).unwrap();
+        assert!((rates[0] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_out_of_range_resource() {
+        let t = table(&[1.0]);
+        assert!(solve_maxmin(&t, &[FlowSpec::new(vec![3], 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_cap() {
+        let t = table(&[1.0]);
+        assert!(solve_maxmin(&t, &[FlowSpec::new(vec![0], f64::INFINITY)]).is_err());
+        assert!(solve_maxmin(&t, &[FlowSpec::new(vec![0], f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn no_resource_oversubscribed() {
+        // Random-ish mesh of flows; verify feasibility invariant.
+        let t = table(&[7.0, 3.0, 11.0]);
+        let flows = vec![
+            FlowSpec::new(vec![0, 1], 10.0),
+            FlowSpec::new(vec![1, 2], 10.0),
+            FlowSpec::new(vec![0, 2], 10.0),
+            FlowSpec::new(vec![2], 2.0),
+        ];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        let mut used = [0.0; 3];
+        for (f, &rate) in flows.iter().zip(&rates) {
+            for &r in &f.route {
+                used[r] += rate;
+            }
+        }
+        for (r, &u) in used.iter().enumerate() {
+            assert!(u <= t.get(r).capacity * (1.0 + 1e-9), "resource {r} oversubscribed: {u}");
+        }
+    }
+
+    #[test]
+    fn hairpin_route_counts_twice() {
+        let t = table(&[10.0]);
+        let rates = solve_maxmin(&t, &[FlowSpec::new(vec![0, 0], 100.0)]).unwrap();
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Typed identifiers for machine entities.
+//!
+//! Newtypes keep core/socket/node/rank indices from being confused with one
+//! another (the classic NUMA bug the paper's `membind` results illustrate:
+//! binding memory to node *k* while the scheduler runs the task on socket
+//! *j*).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A hardware core (the fundamental execution unit).
+    CoreId,
+    "core"
+);
+id_type!(
+    /// A processor socket (one or more cores + a memory link).
+    SocketId,
+    "socket"
+);
+id_type!(
+    /// A NUMA memory node. On the Opteron systems modelled here each socket
+    /// has its own directly-attached memory, so nodes map 1:1 to sockets.
+    NumaNodeId,
+    "node"
+);
+id_type!(
+    /// An MPI rank (a simulated process).
+    RankId,
+    "rank"
+);
+id_type!(
+    /// A directed HyperTransport link between two sockets.
+    LinkId,
+    "link"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix_and_index() {
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+        assert_eq!(SocketId::new(0).to_string(), "socket0");
+        assert_eq!(NumaNodeId::new(7).to_string(), "node7");
+        assert_eq!(RankId::new(12).to_string(), "rank12");
+        assert_eq!(LinkId::new(1).to_string(), "link1");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c: CoreId = 5usize.into();
+        assert_eq!(usize::from(c), 5);
+        assert_eq!(c.index(), 5);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+        assert_eq!(RankId::default(), RankId::new(0));
+    }
+}

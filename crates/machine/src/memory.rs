@@ -1,0 +1,199 @@
+//! Memory layouts: where a rank's pages live.
+//!
+//! The affinity crate decides *policy* (localalloc, membind, interleave,
+//! first-touch under the default scheduler); this module provides the
+//! *mechanism*: a normalized distribution of a rank's pages over NUMA
+//! nodes that the engine uses to split each compute phase's DRAM traffic
+//! into per-node flows.
+
+use crate::error::{Error, Result};
+use crate::ids::NumaNodeId;
+
+/// Fraction of a rank's pages resident on each NUMA node.
+///
+/// Invariant: weights are non-negative and sum to 1 (enforced by
+/// [`MemoryLayout::new`], which normalizes).
+///
+/// ```
+/// use corescope_machine::{MemoryLayout, NumaNodeId};
+/// # fn main() -> Result<(), corescope_machine::Error> {
+/// let layout = MemoryLayout::new(vec![(NumaNodeId::new(0), 3.0), (NumaNodeId::new(1), 1.0)])?;
+/// assert!((layout.fraction(NumaNodeId::new(0)) - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryLayout {
+    shares: Vec<(NumaNodeId, f64)>,
+}
+
+impl MemoryLayout {
+    /// Builds a layout from raw node weights, normalizing them to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayout`] if the weights are empty, contain a
+    /// negative or non-finite entry, or all weights are zero.
+    pub fn new(weights: Vec<(NumaNodeId, f64)>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(Error::InvalidLayout("no node weights".into()));
+        }
+        let mut total = 0.0;
+        for &(node, w) in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(Error::InvalidLayout(format!(
+                    "weight {w} for {node} is negative or non-finite"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(Error::InvalidLayout("all node weights are zero".into()));
+        }
+        // Merge duplicate nodes, normalize, and drop zero entries.
+        let mut merged: Vec<(NumaNodeId, f64)> = Vec::new();
+        for (node, w) in weights {
+            if w == 0.0 {
+                continue;
+            }
+            match merged.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, acc)) => *acc += w / total,
+                None => merged.push((node, w / total)),
+            }
+        }
+        merged.sort_by_key(|(n, _)| *n);
+        Ok(Self { shares: merged })
+    }
+
+    /// A layout with every page on a single node.
+    pub fn single(node: NumaNodeId) -> Self {
+        Self { shares: vec![(node, 1.0)] }
+    }
+
+    /// A layout spreading pages uniformly over the given nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayout`] if `nodes` is empty.
+    pub fn uniform(nodes: &[NumaNodeId]) -> Result<Self> {
+        Self::new(nodes.iter().map(|&n| (n, 1.0)).collect())
+    }
+
+    /// Mixes this layout with another: `(1 - alpha)` of self plus `alpha`
+    /// of `other`. Used to model the default scheduler's page
+    /// misplacement fraction.
+    pub fn mix(&self, other: &Self, alpha: f64) -> Self {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let mut weights: Vec<(NumaNodeId, f64)> = Vec::new();
+        for &(n, w) in &self.shares {
+            weights.push((n, w * (1.0 - alpha)));
+        }
+        for &(n, w) in &other.shares {
+            weights.push((n, w * alpha));
+        }
+        Self::new(weights).expect("mix of valid layouts is valid")
+    }
+
+    /// The fraction of pages on `node` (0 when absent).
+    pub fn fraction(&self, node: NumaNodeId) -> f64 {
+        self.shares
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterates `(node, fraction)` pairs with positive fractions, in node
+    /// order.
+    pub fn shares(&self) -> impl Iterator<Item = (NumaNodeId, f64)> + '_ {
+        self.shares.iter().copied()
+    }
+
+    /// Number of nodes holding pages.
+    pub fn num_nodes(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Validates that every node index is below `num_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] for an out-of-machine node.
+    pub fn check_nodes(&self, num_nodes: usize) -> Result<()> {
+        for &(n, _) in &self.shares {
+            if n.index() >= num_nodes {
+                return Err(Error::NodeOutOfRange { node: n.index(), num_nodes });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: usize) -> NumaNodeId {
+        NumaNodeId::new(i)
+    }
+
+    #[test]
+    fn normalizes_weights() {
+        let l = MemoryLayout::new(vec![(node(0), 2.0), (node(1), 6.0)]).unwrap();
+        assert!((l.fraction(node(0)) - 0.25).abs() < 1e-12);
+        assert!((l.fraction(node(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merges_duplicates() {
+        let l = MemoryLayout::new(vec![(node(0), 1.0), (node(0), 1.0), (node(1), 2.0)]).unwrap();
+        assert!((l.fraction(node(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(l.num_nodes(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(MemoryLayout::new(vec![]).is_err());
+        assert!(MemoryLayout::new(vec![(node(0), -1.0)]).is_err());
+        assert!(MemoryLayout::new(vec![(node(0), f64::NAN)]).is_err());
+        assert!(MemoryLayout::new(vec![(node(0), 0.0)]).is_err());
+    }
+
+    #[test]
+    fn single_puts_everything_on_one_node() {
+        let l = MemoryLayout::single(node(3));
+        assert_eq!(l.fraction(node(3)), 1.0);
+        assert_eq!(l.fraction(node(0)), 0.0);
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let l = MemoryLayout::uniform(&[node(0), node(1), node(2), node(3)]).unwrap();
+        for i in 0..4 {
+            assert!((l.fraction(node(i)) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mix_blends_layouts() {
+        let local = MemoryLayout::single(node(0));
+        let spread = MemoryLayout::uniform(&[node(0), node(1)]).unwrap();
+        let mixed = local.mix(&spread, 0.2);
+        assert!((mixed.fraction(node(0)) - 0.9).abs() < 1e-12);
+        assert!((mixed.fraction(node(1)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_nodes_catches_out_of_range() {
+        let l = MemoryLayout::single(node(9));
+        assert!(l.check_nodes(8).is_err());
+        assert!(l.check_nodes(10).is_ok());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let l = MemoryLayout::new(vec![(node(0), 0.3), (node(2), 0.5), (node(5), 1.1)]).unwrap();
+        let sum: f64 = l.shares().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

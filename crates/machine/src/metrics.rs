@@ -1,0 +1,106 @@
+//! Simulation metrics collected by the engine.
+
+use crate::ids::RankId;
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Pure compute time per rank (seconds of cpu-bound work, before
+    /// memory stretching).
+    pub compute_time: Vec<f64>,
+    /// DRAM bytes actually moved per rank.
+    pub dram_bytes: Vec<f64>,
+    /// Messages sent per rank.
+    pub messages_sent: Vec<usize>,
+    /// Payload bytes sent per rank.
+    pub bytes_sent: Vec<f64>,
+    /// Total bytes that crossed each shared resource (indexed like the
+    /// engine's resource table: memory controllers first, then directed
+    /// links).
+    pub resource_bytes: Vec<f64>,
+    /// Number of discrete events processed.
+    pub events: usize,
+}
+
+impl RunMetrics {
+    /// Creates zeroed metrics for `ranks` ranks and `resources` resources.
+    pub fn new(ranks: usize, resources: usize) -> Self {
+        Self {
+            compute_time: vec![0.0; ranks],
+            dram_bytes: vec![0.0; ranks],
+            messages_sent: vec![0; ranks],
+            bytes_sent: vec![0.0; ranks],
+            resource_bytes: vec![0.0; resources],
+            events: 0,
+        }
+    }
+
+    /// Total DRAM bytes across all ranks.
+    pub fn total_dram_bytes(&self) -> f64 {
+        self.dram_bytes.iter().sum()
+    }
+
+    /// Total messages across all ranks.
+    pub fn total_messages(&self) -> usize {
+        self.messages_sent.iter().sum()
+    }
+
+    /// Total payload bytes across all ranks.
+    pub fn total_bytes_sent(&self) -> f64 {
+        self.bytes_sent.iter().sum()
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Time at which the last rank finished (the figure-of-merit for the
+    /// paper's runtime tables).
+    pub makespan: f64,
+    /// Per-rank completion times.
+    pub rank_finish: Vec<f64>,
+    /// Accumulated counters.
+    pub metrics: RunMetrics,
+}
+
+impl RunReport {
+    /// Finish time of a specific rank.
+    pub fn finish_of(&self, rank: RankId) -> f64 {
+        self.rank_finish[rank.index()]
+    }
+
+    /// Aggregate achieved DRAM bandwidth over the run (bytes/s).
+    pub fn mean_dram_bandwidth(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.metrics.total_dram_bytes() / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_rank_values() {
+        let mut m = RunMetrics::new(3, 2);
+        m.dram_bytes = vec![1.0, 2.0, 3.0];
+        m.messages_sent = vec![4, 0, 1];
+        m.bytes_sent = vec![10.0, 0.0, 5.0];
+        assert_eq!(m.total_dram_bytes(), 6.0);
+        assert_eq!(m.total_messages(), 5);
+        assert_eq!(m.total_bytes_sent(), 15.0);
+    }
+
+    #[test]
+    fn report_bandwidth_handles_zero_makespan() {
+        let r = RunReport {
+            makespan: 0.0,
+            rank_finish: vec![0.0],
+            metrics: RunMetrics::new(1, 1),
+        };
+        assert_eq!(r.mean_dram_bandwidth(), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-rank simulated programs.
+//!
+//! A [`Program`] is the list of operations one rank executes: compute
+//! phases (with flop counts and memory-traffic profiles), point-to-point
+//! messages with explicit cost parameters (filled in by the MPI layer),
+//! barriers, and fixed delays. Workload models in the kernel/application
+//! crates build programs; the [`Engine`](crate::engine::Engine) executes
+//! them.
+
+use crate::ids::RankId;
+use crate::traffic::TrafficProfile;
+
+/// One compute phase on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputePhase {
+    /// Label for tracing/metrics ("triad", "dgemm", "fft-butterfly", ...).
+    pub label: &'static str,
+    /// Double-precision floating-point operations executed.
+    pub flops: f64,
+    /// Fraction of core peak flop/s the phase sustains when its data is
+    /// cache-resident (ACML DGEMM ≈ 0.88, compiled Fortran ≈ 0.13,
+    /// bandwidth-bound loops ≈ anything — they are memory-limited anyway).
+    pub efficiency: f64,
+    /// Memory traffic the phase generates.
+    pub traffic: TrafficProfile,
+}
+
+impl ComputePhase {
+    /// Creates a phase; efficiency defaults to 1.0 via [`Self::with_efficiency`].
+    pub fn new(label: &'static str, flops: f64, traffic: TrafficProfile) -> Self {
+        Self { label, flops, efficiency: 1.0, traffic }
+    }
+
+    /// Sets the sustained-fraction-of-peak efficiency.
+    pub fn with_efficiency(mut self, efficiency: f64) -> Self {
+        self.efficiency = efficiency.clamp(1e-6, 1.0);
+        self
+    }
+}
+
+/// Resolved cost parameters of a message, provided by the MPI layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageCost {
+    /// Fixed pre-transfer cost in seconds (software overhead + lock
+    /// acquisition + per-hop wire latency).
+    pub setup: f64,
+    /// Maximum transfer rate in bytes/s (e.g. the shared-memory copy
+    /// bandwidth); link contention may lower the achieved rate.
+    pub cap: f64,
+    /// Time the *sender* is occupied before it can continue, for eager
+    /// (buffered) sends. Ignored for rendezvous sends.
+    pub sender_busy: f64,
+    /// Rendezvous protocol: the sender blocks until delivery completes.
+    /// Eager protocol (`false`): the sender continues after `sender_busy`.
+    pub rendezvous: bool,
+}
+
+impl MessageCost {
+    /// A free message (useful in tests): zero setup and an effectively
+    /// unlimited (1 TB/s) rate cap.
+    pub fn free() -> Self {
+        Self { setup: 0.0, cap: 1e12, sender_busy: 0.0, rendezvous: false }
+    }
+}
+
+/// One operation in a rank's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Execute a compute phase (roofline: duration is the max of the cpu
+    /// time and the time to drain the phase's DRAM traffic).
+    Compute(ComputePhase),
+    /// Send `bytes` to `to` with matching `tag`.
+    Send {
+        /// Destination rank.
+        to: RankId,
+        /// Payload size in bytes.
+        bytes: f64,
+        /// Match tag (FIFO matching per `(src, dst, tag)`).
+        tag: u64,
+        /// Resolved cost parameters.
+        cost: MessageCost,
+    },
+    /// Receive a message from `from` with matching `tag`. Blocks until the
+    /// matching transfer is delivered.
+    Recv {
+        /// Source rank.
+        from: RankId,
+        /// Match tag.
+        tag: u64,
+    },
+    /// Synchronize with every other rank in the run.
+    Barrier,
+    /// Sleep for a fixed number of seconds (serial sections, lock costs,
+    /// I/O stand-ins).
+    Delay(f64),
+}
+
+/// A rank's full operation list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a compute phase.
+    pub fn compute(&mut self, phase: ComputePhase) -> &mut Self {
+        self.ops.push(Op::Compute(phase));
+        self
+    }
+
+    /// Appends a send.
+    pub fn send(&mut self, to: RankId, bytes: f64, tag: u64, cost: MessageCost) -> &mut Self {
+        self.ops.push(Op::Send { to, bytes, tag, cost });
+        self
+    }
+
+    /// Appends a receive.
+    pub fn recv(&mut self, from: RankId, tag: u64) -> &mut Self {
+        self.ops.push(Op::Recv { from, tag });
+        self
+    }
+
+    /// Appends a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// Appends a fixed delay.
+    pub fn delay(&mut self, seconds: f64) -> &mut Self {
+        self.ops.push(Op::Delay(seconds));
+        self
+    }
+
+    /// Appends an arbitrary op.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operation list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total flops across all compute phases (for sanity checks).
+    pub fn total_flops(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(p) => p.flops,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total bytes sent by this program.
+    pub fn total_sent_bytes(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Send { bytes, .. } => *bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+impl FromIterator<Op> for Program {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Self { ops: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Op> for Program {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_ops() {
+        let mut p = Program::new();
+        p.compute(ComputePhase::new("x", 100.0, TrafficProfile::none()))
+            .send(RankId::new(1), 64.0, 0, MessageCost::free())
+            .recv(RankId::new(1), 0)
+            .barrier()
+            .delay(1e-6);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.total_flops(), 100.0);
+        assert_eq!(p.total_sent_bytes(), 64.0);
+    }
+
+    #[test]
+    fn efficiency_is_clamped() {
+        let p = ComputePhase::new("x", 1.0, TrafficProfile::none()).with_efficiency(7.0);
+        assert_eq!(p.efficiency, 1.0);
+        let p = ComputePhase::new("x", 1.0, TrafficProfile::none()).with_efficiency(-1.0);
+        assert!(p.efficiency > 0.0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: Program = vec![Op::Barrier, Op::Delay(1.0)].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+}

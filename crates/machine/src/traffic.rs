@@ -1,0 +1,98 @@
+//! Memory-traffic descriptors for compute phases.
+//!
+//! A workload model describes each compute phase by the bytes its inner
+//! loops *touch*, the access pattern, and the working-set size. The cache
+//! model in [`crate::cache`] turns this into the DRAM traffic the phase
+//! actually generates and the per-core bandwidth cap it can sustain.
+
+/// How a phase walks memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Sequential, prefetch-friendly streaming (STREAM, DAXPY, stencils).
+    Stream,
+    /// Dependent or random accesses that defeat prefetch (RandomAccess,
+    /// sparse matrix-vector with irregular columns).
+    Random,
+    /// Large-strided sweeps that defeat the prefetcher but touch whole
+    /// lines (FFT butterflies, matrix transposes): latency-sensitive at
+    /// full line utilization.
+    Strided,
+    /// Cache-blocked access with high reuse (DGEMM, FFT butterflies); the
+    /// reuse factor is carried in [`TrafficProfile::reuse`].
+    Blocked,
+}
+
+/// Memory traffic description of one compute phase on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficProfile {
+    /// Bytes the phase's loops touch (reads + writes), before cache
+    /// filtering.
+    pub bytes: f64,
+    /// Size of the data the phase cycles over. If this fits in L2 the
+    /// phase only pays compulsory misses.
+    pub working_set: f64,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// For [`AccessPattern::Blocked`]: the number of times each byte is
+    /// reused from cache (DGEMM with block size `b` reuses ~`b` times).
+    /// Ignored for other patterns. Must be >= 1.
+    pub reuse: f64,
+}
+
+impl TrafficProfile {
+    /// A streaming profile that touches `bytes` over a working set of the
+    /// same size (no reuse).
+    pub fn stream(bytes: f64) -> Self {
+        Self { bytes, working_set: bytes, pattern: AccessPattern::Stream, reuse: 1.0 }
+    }
+
+    /// A streaming profile with an explicit working set (for repeated
+    /// sweeps over the same array: `bytes` may exceed `working_set`).
+    pub fn stream_over(bytes: f64, working_set: f64) -> Self {
+        Self { bytes, working_set, pattern: AccessPattern::Stream, reuse: 1.0 }
+    }
+
+    /// A random-access profile over `working_set` bytes touching `bytes`.
+    pub fn random(bytes: f64, working_set: f64) -> Self {
+        Self { bytes, working_set, pattern: AccessPattern::Random, reuse: 1.0 }
+    }
+
+    /// A cache-blocked profile with the given reuse factor.
+    pub fn blocked(bytes: f64, working_set: f64, reuse: f64) -> Self {
+        Self { bytes, working_set, pattern: AccessPattern::Blocked, reuse: reuse.max(1.0) }
+    }
+
+    /// A prefetch-defeating strided profile over `working_set` bytes.
+    pub fn strided(bytes: f64, working_set: f64) -> Self {
+        Self { bytes, working_set, pattern: AccessPattern::Strided, reuse: 1.0 }
+    }
+
+    /// A profile that generates no memory traffic (pure compute, e.g. the
+    /// Generalized Born inner loops once data is cache-resident).
+    pub fn none() -> Self {
+        Self { bytes: 0.0, working_set: 0.0, pattern: AccessPattern::Stream, reuse: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_patterns() {
+        assert_eq!(TrafficProfile::stream(8.0).pattern, AccessPattern::Stream);
+        assert_eq!(TrafficProfile::random(8.0, 64.0).pattern, AccessPattern::Random);
+        assert_eq!(TrafficProfile::blocked(8.0, 64.0, 16.0).pattern, AccessPattern::Blocked);
+    }
+
+    #[test]
+    fn blocked_clamps_reuse_to_one() {
+        let p = TrafficProfile::blocked(8.0, 64.0, 0.25);
+        assert_eq!(p.reuse, 1.0);
+    }
+
+    #[test]
+    fn none_has_zero_bytes() {
+        assert_eq!(TrafficProfile::none().bytes, 0.0);
+    }
+}

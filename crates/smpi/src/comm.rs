@@ -1,0 +1,247 @@
+//! The [`CommWorld`] program builder: an MPI communicator over placed
+//! ranks.
+//!
+//! A `CommWorld` owns one [`Program`] per rank and appends compute phases
+//! and messages to them; [`CommWorld::run`] executes the programs on the
+//! machine's engine. Message costs are resolved through
+//! [`crate::transport::message_cost`] at append time, so the topology and
+//! lock sub-layer are baked into each message exactly once.
+
+use crate::profiles::{LockLayer, MpiProfile};
+use crate::transport::message_cost;
+use corescope_machine::engine::{Engine, RankPlacement, RunReport};
+use corescope_machine::program::{ComputePhase, Program};
+use corescope_machine::{Machine, RankId, Result};
+
+/// An MPI communicator bound to placed ranks on a machine.
+#[derive(Debug, Clone)]
+pub struct CommWorld<'m> {
+    machine: &'m Machine,
+    placements: Vec<RankPlacement>,
+    profile: MpiProfile,
+    lock: LockLayer,
+    programs: Vec<Program>,
+    next_tag: u64,
+}
+
+impl<'m> CommWorld<'m> {
+    /// Creates a world over `placements`, one rank per placement.
+    pub fn new(
+        machine: &'m Machine,
+        placements: Vec<RankPlacement>,
+        profile: MpiProfile,
+        lock: LockLayer,
+    ) -> Self {
+        let n = placements.len();
+        Self {
+            machine,
+            placements,
+            profile,
+            lock,
+            programs: vec![Program::new(); n],
+            next_tag: 0,
+        }
+    }
+
+    /// Creates a world using the profile's default lock sub-layer.
+    pub fn with_default_lock(
+        machine: &'m Machine,
+        placements: Vec<RankPlacement>,
+        profile: MpiProfile,
+    ) -> Self {
+        let lock = profile.default_lock;
+        Self::new(machine, placements, profile, lock)
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The machine the world runs on.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// The rank placements.
+    pub fn placements(&self) -> &[RankPlacement] {
+        &self.placements
+    }
+
+    /// The per-rank programs built so far.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// A tag never handed out before by this world.
+    pub fn fresh_tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        tag
+    }
+
+    /// Appends a compute phase to one rank.
+    pub fn compute(&mut self, rank: usize, phase: ComputePhase) -> &mut Self {
+        self.programs[rank].compute(phase);
+        self
+    }
+
+    /// Appends per-rank compute phases produced by `f` (return `None` to
+    /// skip a rank).
+    pub fn compute_all(&mut self, mut f: impl FnMut(usize) -> Option<ComputePhase>) -> &mut Self {
+        for rank in 0..self.size() {
+            if let Some(phase) = f(rank) {
+                self.programs[rank].compute(phase);
+            }
+        }
+        self
+    }
+
+    /// Appends a fixed delay to one rank.
+    pub fn delay(&mut self, rank: usize, seconds: f64) -> &mut Self {
+        self.programs[rank].delay(seconds);
+        self
+    }
+
+    /// Appends a raw send (no matching recv — pair it yourself).
+    pub fn send(&mut self, src: usize, dst: usize, bytes: f64, tag: u64) -> &mut Self {
+        let cost = message_cost(
+            self.machine,
+            &self.placements,
+            &self.profile,
+            self.lock,
+            src,
+            dst,
+            bytes,
+        );
+        self.programs[src].send(RankId::new(dst), bytes, tag, cost);
+        self
+    }
+
+    /// Appends a raw recv. The receiver pays one lock acquisition to
+    /// dequeue the message from the shared-memory transport — serial CPU
+    /// time that no pipelining can hide, and the second half of why the
+    /// SysV semaphore sub-layer is so expensive per message.
+    pub fn recv(&mut self, dst: usize, src: usize, tag: u64) -> &mut Self {
+        self.programs[dst].recv(RankId::new(src), tag);
+        self.programs[dst].delay(self.lock.cost());
+        self
+    }
+
+    /// A matched point-to-point transfer: send on `src`, recv on `dst`,
+    /// with a fresh tag.
+    pub fn p2p(&mut self, src: usize, dst: usize, bytes: f64) -> &mut Self {
+        let tag = self.fresh_tag();
+        self.send(src, dst, bytes, tag);
+        self.recv(dst, src, tag);
+        self
+    }
+
+    /// A bidirectional exchange between `a` and `b` (both send, then both
+    /// receive — safe because sends are buffered).
+    pub fn sendrecv(&mut self, a: usize, b: usize, bytes: f64) -> &mut Self {
+        let t_ab = self.fresh_tag();
+        let t_ba = self.fresh_tag();
+        self.send(a, b, bytes, t_ab);
+        self.send(b, a, bytes, t_ba);
+        self.recv(b, a, t_ab);
+        self.recv(a, b, t_ba);
+        self
+    }
+
+    /// An engine-level barrier across every rank (zero software cost; use
+    /// [`crate::collectives`]' `barrier_mpi` for a costed dissemination
+    /// barrier).
+    pub fn barrier(&mut self) -> &mut Self {
+        for p in &mut self.programs {
+            p.barrier();
+        }
+        self
+    }
+
+    /// Runs the built programs on a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (deadlock, bad placements, event limit).
+    pub fn run(&self) -> Result<RunReport> {
+        Engine::new(self.machine).run(&self.placements, &self.programs)
+    }
+
+    /// Runs on a caller-configured engine (failure injection, event caps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run_on(&self, engine: &Engine<'_>) -> Result<RunReport> {
+        engine.run(&self.placements, &self.programs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::MpiImpl;
+    use corescope_affinity::Scheme;
+    use corescope_machine::systems;
+    use corescope_machine::TrafficProfile;
+
+    fn world(machine: &Machine, n: usize) -> CommWorld<'_> {
+        let placements = Scheme::OneMpiLocalAlloc.resolve(machine, n).unwrap();
+        CommWorld::new(machine, placements, MpiImpl::OpenMpi.profile(), LockLayer::USysV)
+    }
+
+    #[test]
+    fn p2p_transfers_complete() {
+        let m = Machine::new(systems::dmz());
+        let mut w = world(&m, 2);
+        w.p2p(0, 1, 1024.0);
+        let report = w.run().unwrap();
+        assert!(report.makespan > 0.0);
+        assert_eq!(report.metrics.total_messages(), 1);
+    }
+
+    #[test]
+    fn sendrecv_is_symmetric_and_deadlock_free() {
+        let m = Machine::new(systems::dmz());
+        let mut w = world(&m, 2);
+        for _ in 0..100 {
+            w.sendrecv(0, 1, 1e6);
+        }
+        let report = w.run().unwrap();
+        assert_eq!(report.metrics.total_messages(), 200);
+    }
+
+    #[test]
+    fn fresh_tags_are_unique() {
+        let m = Machine::new(systems::dmz());
+        let mut w = world(&m, 2);
+        let a = w.fresh_tag();
+        let b = w.fresh_tag();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn compute_all_skips_none() {
+        let m = Machine::new(systems::dmz());
+        let mut w = world(&m, 2);
+        w.compute_all(|rank| {
+            (rank == 0).then(|| {
+                ComputePhase::new("work", 1e9, TrafficProfile::none()).with_efficiency(1.0)
+            })
+        });
+        let report = w.run().unwrap();
+        assert!(report.finish_of(RankId::new(0)) > 0.0);
+        assert_eq!(report.finish_of(RankId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn barrier_holds_back_fast_ranks() {
+        let m = Machine::new(systems::dmz());
+        let mut w = world(&m, 2);
+        w.delay(0, 1e-3);
+        w.barrier();
+        let report = w.run().unwrap();
+        assert!(report.finish_of(RankId::new(1)) >= 1e-3 * 0.999);
+    }
+}

@@ -1,0 +1,41 @@
+//! # corescope-smpi
+//!
+//! A simulated MPI runtime over [`corescope_machine`].
+//!
+//! The paper studies three MPI implementations (MPICH2 1.0.3, LAM 7.1.2,
+//! OpenMPI 1.0.1) and two LAM shared-memory lock sub-layers (SysV
+//! semaphores vs. "USysV" spin locks) on multi-core Opteron nodes. This
+//! crate reproduces that design space:
+//!
+//! * [`profiles`] — per-implementation cost profiles and lock layers;
+//! * [`transport`] — the per-message cost model (software overhead + lock
+//!   cost + HyperTransport hop latency + shared-memory copy bandwidth);
+//! * [`comm`] / [`collectives`] — a [`CommWorld`] builder that appends
+//!   point-to-point and real collective algorithms (recursive doubling,
+//!   pairwise exchange, binomial broadcast, rings) to per-rank programs;
+//! * [`imb`] — Intel-MPI-Benchmark-style PingPong and Exchange runners.
+//!
+//! ```
+//! use corescope_machine::{systems, Machine};
+//! use corescope_affinity::Scheme;
+//! use corescope_smpi::{imb, profiles::{LockLayer, MpiImpl}};
+//!
+//! # fn main() -> Result<(), corescope_machine::Error> {
+//! let machine = Machine::new(systems::dmz());
+//! let placements = Scheme::OneMpiLocalAlloc.resolve(&machine, 2)?;
+//! let profile = MpiImpl::OpenMpi.profile();
+//! let t = imb::pingpong_time(&machine, &placements, &profile, LockLayer::USysV, 8.0, 10)?;
+//! // Small-message half-round-trip on one node: a few microseconds.
+//! assert!(t > 5e-7 && t < 2e-5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod imb;
+pub mod profiles;
+pub mod transport;
+
+pub use comm::CommWorld;
+pub use profiles::{LockLayer, MpiImpl, MpiProfile};

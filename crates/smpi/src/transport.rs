@@ -1,0 +1,140 @@
+//! Per-message cost resolution.
+//!
+//! Turns (implementation profile, lock layer, endpoint cores, message
+//! size) into the [`MessageCost`] the engine consumes. The three classes
+//! of communication channel the paper identifies — within a multi-core
+//! socket, between sockets of an SMP node, and the system interconnect —
+//! fall out of the hop count and the same-socket bandwidth boost.
+
+use crate::profiles::{LockLayer, MpiProfile};
+use corescope_machine::engine::RankPlacement;
+use corescope_machine::program::MessageCost;
+use corescope_machine::Machine;
+
+/// Resolves the cost of one message between two placed ranks.
+///
+/// The cost breaks down as:
+/// * `setup` — software overhead + one lock acquisition + per-hop
+///   HyperTransport latency (+ a handshake and a second lock for
+///   rendezvous-sized messages);
+/// * `cap` — the shared-memory copy bandwidth, boosted 12% when both
+///   ranks share a socket (Figures 16/17) — link contention may lower the
+///   achieved rate below this;
+/// * `sender_busy` — the time the sender is occupied before continuing
+///   (setup plus its share of the copy).
+///
+/// All messages are modelled as buffered (non-blocking senders): the
+/// rendezvous *cost* is charged, but the engine-level blocking rendezvous
+/// is not used, which keeps symmetric exchanges deadlock-free exactly the
+/// way `MPI_Sendrecv` does.
+pub fn message_cost(
+    machine: &Machine,
+    placements: &[RankPlacement],
+    profile: &MpiProfile,
+    lock: LockLayer,
+    src: usize,
+    dst: usize,
+    bytes: f64,
+) -> MessageCost {
+    let s_src = machine.socket_of(placements[src].core);
+    let s_dst = machine.socket_of(placements[dst].core);
+    let hops = machine.topology().hops(s_src, s_dst) as f64;
+    let hop_latency = machine.spec().link.hop_latency;
+
+    let rendezvous_sized = bytes > profile.eager_threshold;
+    let mut setup = profile.overhead + lock.cost() + hops * hop_latency;
+    if rendezvous_sized {
+        // Request-to-send / clear-to-send round trip plus a second lock.
+        setup += profile.rendezvous_handshake + lock.cost() + 2.0 * hops * hop_latency;
+    }
+
+    let mut cap = profile.copy_bw;
+    if s_src == s_dst {
+        cap *= MpiProfile::SAME_SOCKET_BW_BOOST;
+    }
+
+    // The copies read the source buffer and write the destination buffer:
+    // page placement shapes MPI throughput ("clearly, the MPI sub-layer
+    // is affecting page placement" — the paper's STREAM/PTRANS vs NUMA
+    // option interactions). Interleaved or membind-misplaced buffers pull
+    // most pages over HyperTransport, halving the copy rate in the limit.
+    let locality = 0.5
+        * (placements[src].layout.fraction(machine.node_of_socket(s_src))
+            + placements[dst].layout.fraction(machine.node_of_socket(s_dst)));
+    cap *= 0.5 + 0.5 * locality;
+    setup += (1.0 - locality) * hops.max(1.0) * hop_latency;
+
+    // The sender drives the copy into the shm buffer; approximate its
+    // busy time by the uncontended transfer time.
+    let sender_busy = setup + bytes / cap;
+
+    MessageCost { setup, cap, sender_busy, rendezvous: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::MpiImpl;
+    use corescope_affinity::Scheme;
+    use corescope_machine::systems;
+
+    fn setup_machine() -> (Machine, Vec<RankPlacement>) {
+        let m = Machine::new(systems::longs());
+        let p = Scheme::TwoMpiLocalAlloc.resolve(&m, 16).unwrap();
+        (m, p)
+    }
+
+    #[test]
+    fn same_socket_is_cheaper_than_cross_socket() {
+        let (m, p) = setup_machine();
+        let prof = MpiImpl::OpenMpi.profile();
+        // Ranks 0 and 1 share a socket under the packed mapping; 0 and 2
+        // do not.
+        let near = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 1, 8.0);
+        let far = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 2, 8.0);
+        assert!(near.setup < far.setup, "hop latency must show up");
+        assert!(near.cap > far.cap, "same-socket boost must show up");
+        let boost = near.cap / far.cap;
+        assert!((boost - 1.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sysv_lock_dominates_small_message_setup() {
+        let (m, p) = setup_machine();
+        let prof = MpiImpl::Lam.profile();
+        let sysv = message_cost(&m, &p, &prof, LockLayer::SysV, 0, 2, 8.0);
+        let usysv = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 2, 8.0);
+        assert!(sysv.setup > 2.0 * usysv.setup, "sysv {} vs usysv {}", sysv.setup, usysv.setup);
+    }
+
+    #[test]
+    fn rendezvous_sized_messages_pay_handshake() {
+        let (m, p) = setup_machine();
+        let prof = MpiImpl::OpenMpi.profile();
+        let small = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 2, 1024.0);
+        let large = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 2, 1e6);
+        assert!(large.setup > small.setup + prof.rendezvous_handshake * 0.99);
+    }
+
+    #[test]
+    fn distant_sockets_pay_more_hops() {
+        let (m, _) = setup_machine();
+        let prof = MpiImpl::OpenMpi.profile();
+        // One rank per socket, in socket-id order, so ranks land on
+        // opposite ladder corners.
+        let p = Scheme::Default.resolve(&m, 8).unwrap();
+        let near = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 1, 8.0);
+        let far = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 7, 8.0);
+        let hop = m.spec().link.hop_latency;
+        assert!(far.setup >= near.setup + 2.9 * hop, "corner-to-corner is 4 hops vs 1");
+    }
+
+    #[test]
+    fn sender_busy_includes_copy_time() {
+        let (m, p) = setup_machine();
+        let prof = MpiImpl::Mpich2.profile();
+        let c = message_cost(&m, &p, &prof, LockLayer::USysV, 0, 2, 1e6);
+        assert!(c.sender_busy > 1e6 / prof.copy_bw);
+        assert!(!c.rendezvous, "smpi messages are buffered");
+    }
+}

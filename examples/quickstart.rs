@@ -1,0 +1,58 @@
+//! Quickstart: build the three paper systems, run STREAM triad on each,
+//! and show the multi-core memory-bandwidth story in one screen.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use corescope::affinity::Scheme;
+use corescope::kernels::stream::{append_star, StreamParams};
+use corescope::machine::{systems, Machine};
+use corescope::smpi::{CommWorld, LockLayer, MpiImpl};
+
+fn triad_bandwidth(
+    machine: &Machine,
+    scheme: Scheme,
+    nranks: usize,
+) -> Result<f64, corescope::machine::Error> {
+    let placements = scheme.resolve(machine, nranks)?;
+    let mut world =
+        CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
+    let params = StreamParams { sweeps: 3, ..StreamParams::default() };
+    append_star(&mut world, &params);
+    let report = world.run()?;
+    Ok(nranks as f64 * params.bytes_per_rank() / report.makespan)
+}
+
+fn main() -> Result<(), corescope::machine::Error> {
+    println!("corescope quickstart: STREAM triad across the paper's systems\n");
+    for spec in systems::all() {
+        let machine = Machine::new(spec);
+        println!("{machine}");
+        let one = triad_bandwidth(&machine, Scheme::OneMpiLocalAlloc, 1)?;
+        println!("  1 core                : {:6.2} GB/s", one / 1e9);
+        let sockets = machine.num_sockets();
+        let spread = triad_bandwidth(&machine, Scheme::OneMpiLocalAlloc, sockets)?;
+        println!(
+            "  {sockets:2} cores (1/socket)   : {:6.2} GB/s  ({:.2}x)",
+            spread / 1e9,
+            spread / one
+        );
+        let all = machine.num_cores();
+        if all > sockets {
+            let packed = triad_bandwidth(&machine, Scheme::TwoMpiLocalAlloc, all)?;
+            println!(
+                "  {all:2} cores (2/socket)   : {:6.2} GB/s  ({:.2}x)",
+                packed / 1e9,
+                packed / one
+            );
+        }
+        println!();
+    }
+    println!(
+        "The shape to notice (paper Figs 2/3): bandwidth scales with sockets,\n\
+         second cores per socket add little — and on the 8-socket ladder the\n\
+         coherence fabric caps what sixteen streaming cores can pull."
+    );
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! Workspace-level property-based tests (proptest) on the core data
+//! structures and invariants.
+
+use corescope::kernels::cg::{cg_solve, CsrMatrix};
+use corescope::kernels::fft::{dft_naive, fft_inplace, ifft_normalized, Complex};
+use corescope::kernels::randomaccess::{run_updates, RaStream};
+use corescope::machine::flow::{solve_maxmin, FlowSpec, ResourceTable};
+use corescope::machine::{systems, Machine, MemoryLayout, NumaNodeId, SocketId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min fairness never oversubscribes a resource and never exceeds
+    /// a flow's own cap.
+    #[test]
+    fn maxmin_is_feasible(
+        caps in proptest::collection::vec(1.0f64..1e3, 1..6),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 0..4), 0.1f64..1e3),
+            1..10,
+        ),
+    ) {
+        let mut table = ResourceTable::new();
+        for (i, &c) in caps.iter().enumerate() {
+            table.add(format!("r{i}"), c);
+        }
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|(route, cap)| {
+                let route: Vec<usize> =
+                    route.iter().map(|&r| r % caps.len()).collect();
+                FlowSpec::new(route, *cap)
+            })
+            .collect();
+        let rates = solve_maxmin(&table, &specs).unwrap();
+        let mut used = vec![0.0; caps.len()];
+        for (spec, &rate) in specs.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= spec.cap * (1.0 + 1e-9));
+            for &r in &spec.route {
+                used[r] += rate;
+            }
+        }
+        for (r, &u) in used.iter().enumerate() {
+            prop_assert!(u <= caps[r] * (1.0 + 1e-6), "resource {r}: {u} > {}", caps[r]);
+        }
+    }
+
+    /// Max-min rates are Pareto-efficient for flows with non-empty
+    /// routes: every such flow is limited by its cap or by a saturated
+    /// resource.
+    #[test]
+    fn maxmin_is_pareto(
+        caps in proptest::collection::vec(1.0f64..1e3, 1..5),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..5, 1..4), 0.1f64..1e3),
+            1..8,
+        ),
+    ) {
+        let mut table = ResourceTable::new();
+        for (i, &c) in caps.iter().enumerate() {
+            table.add(format!("r{i}"), c);
+        }
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|(route, cap)| {
+                FlowSpec::new(route.iter().map(|&r| r % caps.len()).collect(), *cap)
+            })
+            .collect();
+        let rates = solve_maxmin(&table, &specs).unwrap();
+        let mut used = vec![0.0; caps.len()];
+        for (spec, &rate) in specs.iter().zip(&rates) {
+            for &r in &spec.route {
+                used[r] += rate;
+            }
+        }
+        let tol = 1e-6;
+        for (spec, &rate) in specs.iter().zip(&rates) {
+            let at_cap = rate >= spec.cap * (1.0 - tol);
+            let blocked = spec
+                .route
+                .iter()
+                .any(|&r| used[r] >= caps[r] * (1.0 - tol));
+            prop_assert!(
+                at_cap || blocked,
+                "flow at rate {rate} could still grow (cap {})",
+                spec.cap
+            );
+        }
+    }
+
+    /// FFT of random data matches the O(n^2) DFT and round-trips.
+    #[test]
+    fn fft_matches_dft_and_roundtrips(
+        values in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..5),
+        log_n in 1u32..7,
+    ) {
+        let n = 1usize << log_n;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| {
+                let (re, im) = values[i % values.len()];
+                Complex::new(re + i as f64 * 0.01, im)
+            })
+            .collect();
+        let mut data = input.clone();
+        fft_inplace(&mut data, false);
+        let reference = dft_naive(&input);
+        for (a, b) in data.iter().zip(&reference) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+        }
+        ifft_normalized(&mut data);
+        for (a, b) in data.iter().zip(&input) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// CG solves random SPD systems to the requested tolerance.
+    #[test]
+    fn cg_solves_random_spd(seed in 0u64..1000, n in 10usize..80) {
+        let a = CsrMatrix::random_spd(n, 4, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 19) as f64 - 9.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let sol = cg_solve(&a, &b, 1e-9, 20 * n);
+        prop_assert!(sol.residual < 1e-8, "residual {}", sol.residual);
+    }
+
+    /// GUPS updates are an involution for any power-of-two table.
+    #[test]
+    fn gups_updates_are_involutive(log_size in 3u32..10, updates in 1usize..2000) {
+        let n = 1usize << log_size;
+        let mut table: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        let original = table.clone();
+        run_updates(&mut table, updates, RaStream::new());
+        run_updates(&mut table, updates, RaStream::new());
+        prop_assert_eq!(table, original);
+    }
+
+    /// Memory layouts always normalize to unit total weight.
+    #[test]
+    fn layouts_normalize(
+        weights in proptest::collection::vec((0usize..8, 0.01f64..100.0), 1..12),
+    ) {
+        let layout = MemoryLayout::new(
+            weights.iter().map(|&(n, w)| (NumaNodeId::new(n), w)).collect(),
+        ).unwrap();
+        let total: f64 = layout.shares().map(|(_, f)| f).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Routing is symmetric in length and stays within the diameter on
+    /// the ladder.
+    #[test]
+    fn ladder_routes_are_sane(a in 0usize..8, b in 0usize..8) {
+        let machine = Machine::new(systems::longs());
+        let topo = machine.topology();
+        let (sa, sb) = (SocketId::new(a), SocketId::new(b));
+        prop_assert_eq!(topo.hops(sa, sb), topo.hops(sb, sa));
+        prop_assert!(topo.hops(sa, sb) <= topo.diameter());
+        prop_assert_eq!(topo.route(sa, sb).len(), topo.hops(sa, sb));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Engine liveness: any well-formed program mix (matched p2p,
+    /// symmetric exchanges, collectives, compute) completes without
+    /// deadlock, with monotone non-negative finish times.
+    #[test]
+    fn random_wellformed_programs_complete(
+        ops in proptest::collection::vec((0usize..4, 0usize..8, 0usize..8, 1.0f64..1e6), 1..40),
+        nranks in 2usize..9,
+    ) {
+        use corescope::affinity::Scheme;
+        use corescope::smpi::{CommWorld, LockLayer, MpiImpl};
+        use corescope::machine::{ComputePhase, TrafficProfile};
+
+        let machine = Machine::new(systems::longs());
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, nranks).unwrap();
+        let mut world = CommWorld::new(
+            &machine,
+            placements,
+            MpiImpl::OpenMpi.profile(),
+            LockLayer::USysV,
+        );
+        for (kind, a, b, bytes) in ops {
+            let (a, b) = (a % nranks, b % nranks);
+            match kind {
+                0 if a != b => { world.p2p(a, b, bytes); }
+                1 if a != b => { world.sendrecv(a, b, bytes); }
+                2 => { world.allreduce(bytes); }
+                _ => {
+                    let phase = ComputePhase::new(
+                        "work",
+                        bytes * 10.0,
+                        TrafficProfile::stream(bytes),
+                    );
+                    world.compute(a, phase);
+                }
+            }
+        }
+        let report = world.run().unwrap();
+        prop_assert!(report.makespan.is_finite() && report.makespan >= 0.0);
+        for &t in &report.rank_finish {
+            prop_assert!(t <= report.makespan + 1e-12);
+        }
+    }
+}
