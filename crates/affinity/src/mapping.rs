@@ -90,10 +90,7 @@ pub fn os_scatter(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
     let cps = machine.spec().cores_per_socket;
     'outer: for pass in 0..cps {
         for s in machine.sockets() {
-            let core = machine
-                .cores_of(s)
-                .nth(pass)
-                .expect("pass below cores_per_socket");
+            let core = machine.cores_of(s).nth(pass).expect("pass below cores_per_socket");
             cores.push(core);
             if cores.len() == nranks {
                 break 'outer;

@@ -40,17 +40,35 @@ pub struct AmberBenchmark {
 impl AmberBenchmark {
     /// `dhfr`: 22 930 atoms, PME.
     pub fn dhfr() -> Self {
-        Self { name: "dhfr", atoms: 22_930, method: AmberMethod::Pme, grid_points: 64.0 * 64.0 * 64.0, steps: 100 }
+        Self {
+            name: "dhfr",
+            atoms: 22_930,
+            method: AmberMethod::Pme,
+            grid_points: 64.0 * 64.0 * 64.0,
+            steps: 100,
+        }
     }
 
     /// `factor_ix`: 90 906 atoms, PME.
     pub fn factor_ix() -> Self {
-        Self { name: "factor_ix", atoms: 90_906, method: AmberMethod::Pme, grid_points: 128.0 * 128.0 * 96.0, steps: 100 }
+        Self {
+            name: "factor_ix",
+            atoms: 90_906,
+            method: AmberMethod::Pme,
+            grid_points: 128.0 * 128.0 * 96.0,
+            steps: 100,
+        }
     }
 
     /// `gb_cox2`: 18 056 atoms, GB.
     pub fn gb_cox2() -> Self {
-        Self { name: "gb_cox2", atoms: 18_056, method: AmberMethod::Gb, grid_points: 0.0, steps: 20 }
+        Self {
+            name: "gb_cox2",
+            atoms: 18_056,
+            method: AmberMethod::Gb,
+            grid_points: 0.0,
+            steps: 20,
+        }
     }
 
     /// `gb_mb`: 2 492 atoms, GB.
@@ -60,7 +78,13 @@ impl AmberBenchmark {
 
     /// `JAC`: 23 558 atoms, PME (the joint AMBER-CHARMM benchmark).
     pub fn jac() -> Self {
-        Self { name: "JAC", atoms: 23_558, method: AmberMethod::Pme, grid_points: 64.0 * 64.0 * 64.0, steps: 100 }
+        Self {
+            name: "JAC",
+            atoms: 23_558,
+            method: AmberMethod::Pme,
+            grid_points: 64.0 * 64.0 * 64.0,
+            steps: 100,
+        }
     }
 
     /// The five Table 6 benchmarks in column order.
@@ -199,12 +223,8 @@ mod tests {
 
     fn run(bench: &AmberBenchmark, machine: &Machine, n: usize, scheme: Scheme) -> f64 {
         let placements = scheme.resolve(machine, n).unwrap();
-        let mut w = CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         bench.append_run(&mut w);
         w.run().unwrap().makespan
     }
@@ -232,12 +252,7 @@ mod tests {
         // Table 7 vs Table 9: the FFT part is ~3.1 s of 38.1 s at 2 tasks.
         let m = Machine::new(systems::longs());
         let placements = Scheme::Default.resolve(&m, 2).unwrap();
-        let mut w = CommWorld::new(
-            &m,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w = CommWorld::new(&m, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         let jac = AmberBenchmark::jac();
         for _ in 0..jac.steps {
             jac.append_pme_fft_part(&mut w);
@@ -245,10 +260,7 @@ mod tests {
         let fft_t = w.run().unwrap().makespan;
         let total = run(&jac, &m, 2, Scheme::Default);
         let share = fft_t / total;
-        assert!(
-            share > 0.03 && share < 0.25,
-            "FFT share {share:.2} (paper: 3.13/38.08 = 0.082)"
-        );
+        assert!(share > 0.03 && share < 0.25, "FFT share {share:.2} (paper: 3.13/38.08 = 0.082)");
     }
 
     #[test]
@@ -273,12 +285,9 @@ mod tests {
         gb.steps = 20;
         let pme_gain = run(&jac, &m, 2, Scheme::TwoMpiLocalAlloc)
             / run(&jac, &m, 16, Scheme::TwoMpiLocalAlloc);
-        let gb_gain = run(&gb, &m, 2, Scheme::TwoMpiLocalAlloc)
-            / run(&gb, &m, 16, Scheme::TwoMpiLocalAlloc);
-        assert!(
-            pme_gain < gb_gain,
-            "PME gain {pme_gain:.1} must trail GB gain {gb_gain:.1}"
-        );
+        let gb_gain =
+            run(&gb, &m, 2, Scheme::TwoMpiLocalAlloc) / run(&gb, &m, 16, Scheme::TwoMpiLocalAlloc);
+        assert!(pme_gain < gb_gain, "PME gain {pme_gain:.1} must trail GB gain {gb_gain:.1}");
     }
 
     #[test]

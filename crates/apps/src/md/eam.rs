@@ -65,10 +65,8 @@ pub fn compute_forces(system: &mut ParticleSystem, params: &EamParams) -> f64 {
 
     // Embedding energy F(rho) = -sqrt(rho) and its derivative.
     let mut energy: f64 = rho.iter().map(|&r| -(r.max(0.0)).sqrt()).sum();
-    let dfdrho: Vec<f64> = rho
-        .iter()
-        .map(|&r| if r > 1e-12 { -0.5 / r.sqrt() } else { 0.0 })
-        .collect();
+    let dfdrho: Vec<f64> =
+        rho.iter().map(|&r| if r > 1e-12 { -0.5 / r.sqrt() } else { 0.0 }).collect();
 
     // Pass 2: pair term + embedding forces.
     for i in 0..n {

@@ -92,9 +92,8 @@ pub fn ewald_energy(
                 let k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
                 let (mut s_re, mut s_im) = (0.0, 0.0);
                 for i in 0..n {
-                    let phase = k[0] * positions[i][0]
-                        + k[1] * positions[i][1]
-                        + k[2] * positions[i][2];
+                    let phase =
+                        k[0] * positions[i][0] + k[1] * positions[i][1] + k[2] * positions[i][2];
                     s_re += charges[i] * phase.cos();
                     s_im += charges[i] * phase.sin();
                 }
@@ -106,8 +105,7 @@ pub fn ewald_energy(
     e_recip *= 2.0 * PI / volume;
 
     // Self-interaction correction.
-    let e_self: f64 =
-        -alpha / PI.sqrt() * charges.iter().map(|q| q * q).sum::<f64>();
+    let e_self: f64 = -alpha / PI.sqrt() * charges.iter().map(|q| q * q).sum::<f64>();
 
     e_real + e_recip + e_self
 }
@@ -140,12 +138,7 @@ mod tests {
         // The splitting parameter must not change the physics.
         let box_len = 12.0;
         let charges = [1.0, -1.0, 1.0, -1.0];
-        let positions = [
-            [1.0, 1.0, 1.0],
-            [4.0, 2.0, 1.5],
-            [7.0, 8.0, 3.0],
-            [2.0, 9.0, 10.0],
-        ];
+        let positions = [[1.0, 1.0, 1.0], [4.0, 2.0, 1.5], [7.0, 8.0, 3.0], [2.0, 9.0, 10.0]];
         let e1 = ewald_energy(
             &charges,
             &positions,

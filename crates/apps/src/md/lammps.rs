@@ -146,12 +146,8 @@ mod tests {
 
     fn run(bench: LammpsBenchmark, machine: &Machine, n: usize, scheme: Scheme) -> f64 {
         let placements = scheme.resolve(machine, n).unwrap();
-        let mut w = CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         bench.append_run(&mut w);
         w.run().unwrap().makespan
     }

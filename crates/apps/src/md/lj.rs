@@ -70,9 +70,7 @@ pub fn compute_forces(system: &mut ParticleSystem, params: &LjParams) -> f64 {
         (f(p[0]), f(p[1]), f(p[2]))
     };
     let mut cells = vec![Vec::new(); cells_per_side * cells_per_side * cells_per_side];
-    let idx = |c: (usize, usize, usize)| {
-        (c.0 * cells_per_side + c.1) * cells_per_side + c.2
-    };
+    let idx = |c: (usize, usize, usize)| (c.0 * cells_per_side + c.1) * cells_per_side + c.2;
     for i in 0..n {
         cells[idx(cell_of(&system.positions[i]))].push(i);
     }

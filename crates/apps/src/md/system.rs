@@ -45,21 +45,9 @@ impl ParticleSystem {
             }
         }
         let velocities = (0..n)
-            .map(|_| {
-                [
-                    rng.gen_range(-0.1..0.1),
-                    rng.gen_range(-0.1..0.1),
-                    rng.gen_range(-0.1..0.1),
-                ]
-            })
+            .map(|_| [rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1)])
             .collect();
-        Self {
-            positions,
-            velocities,
-            forces: vec![[0.0; 3]; n],
-            masses: vec![1.0; n],
-            box_len,
-        }
+        Self { positions, velocities, forces: vec![[0.0; 3]; n], masses: vec![1.0; n], box_len }
     }
 
     /// Number of particles.

@@ -66,7 +66,11 @@ impl Grid2d {
                     + at(i + 1, j)
                     + at(i, j - 1)
                     + at(i, j + 1)
-                    + 0.5 * (at(i - 1, j - 1) + at(i - 1, j + 1) + at(i + 1, j - 1) + at(i + 1, j + 1));
+                    + 0.5
+                        * (at(i - 1, j - 1)
+                            + at(i - 1, j + 1)
+                            + at(i + 1, j - 1)
+                            + at(i + 1, j + 1));
                 let avg = neighbours / 6.0;
                 let new = (1.0 - weight) * at(i, j) + weight * avg;
                 max_delta = max_delta.max((new - at(i, j)).abs());

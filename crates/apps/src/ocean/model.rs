@@ -114,12 +114,7 @@ mod tests {
 
     fn world<'m>(machine: &'m Machine, n: usize, scheme: Scheme) -> CommWorld<'m> {
         let placements = scheme.resolve(machine, n).unwrap();
-        CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        )
+        CommWorld::new(machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV)
     }
 
     #[test]
@@ -175,20 +170,12 @@ mod tests {
         let model = PopModel { steps: 5, ..PopModel::x1() };
         let phase_ratio = |lock: LockLayer| {
             let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16).unwrap();
-            let mut clinic = CommWorld::new(
-                &machine,
-                placements.clone(),
-                MpiImpl::Lam.profile(),
-                lock,
-            );
+            let mut clinic =
+                CommWorld::new(&machine, placements.clone(), MpiImpl::Lam.profile(), lock);
             model.append_baroclinic(&mut clinic, model.steps);
-            let mut tropic =
-                CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), lock);
+            let mut tropic = CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), lock);
             model.append_barotropic(&mut tropic, model.steps);
-            (
-                clinic.run().unwrap().makespan,
-                tropic.run().unwrap().makespan,
-            )
+            (clinic.run().unwrap().makespan, tropic.run().unwrap().makespan)
         };
         let (clinic_u, tropic_u) = phase_ratio(LockLayer::USysV);
         let (clinic_s, tropic_s) = phase_ratio(LockLayer::SysV);

@@ -12,12 +12,8 @@ fn bench(c: &mut Criterion) {
     let run = |mut bench: AmberBenchmark, steps: usize| {
         bench.steps = steps;
         let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 8).unwrap();
-        let mut w = CommWorld::new(
-            &machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         bench.append_run(&mut w);
         w.run().unwrap()
     };

@@ -15,12 +15,8 @@ fn bench(c: &mut Criterion) {
         let machine = Machine::new(systems::dmz());
         b.iter(|| {
             let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 4).unwrap();
-            let mut w = CommWorld::new(
-                &machine,
-                placements,
-                MpiImpl::Lam.profile(),
-                LockLayer::USysV,
-            );
+            let mut w =
+                CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
             append_dgemm_star(
                 &mut w,
                 &DgemmParams { n: 1000, reps: 1, variant: BlasVariant::Acml },

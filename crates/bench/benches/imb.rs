@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(30);
     group.bench_function("pingpong-1k-x100", |b| {
         b.iter(|| {
-            pingpong_time(&machine, &placements, &profile, LockLayer::USysV, 1024.0, 100)
-                .unwrap()
+            pingpong_time(&machine, &placements, &profile, LockLayer::USysV, 1024.0, 100).unwrap()
         });
     });
     group.bench_function("exchange-64k-x50", |b| {

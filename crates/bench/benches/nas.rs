@@ -15,12 +15,8 @@ fn bench(c: &mut Criterion) {
     let machine = Machine::new(systems::longs());
     let run = |build: &dyn Fn(&mut CommWorld<'_>)| {
         let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 8).unwrap();
-        let mut w = CommWorld::new(
-            &machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         build(&mut w);
         w.run().unwrap()
     };

@@ -16,12 +16,8 @@ fn bench(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, nranks).unwrap();
-                let mut w = CommWorld::new(
-                    &machine,
-                    placements,
-                    MpiImpl::Lam.profile(),
-                    LockLayer::USysV,
-                );
+                let mut w =
+                    CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
                 append_star(&mut w, &StreamParams { sweeps: 3, ..StreamParams::default() });
                 w.run().unwrap()
             });

@@ -75,24 +75,29 @@ type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error
 
 /// Runs every artifact, up to `jobs` at a time, preserving input order in
 /// the result vector.
-fn run_all(artifacts: &[Artifact], fidelity: Fidelity, jobs: usize) -> Vec<(Artifact, RunOutcome, f64)> {
-    let results = parking_lot::Mutex::new(vec![None; artifacts.len()]);
+fn run_all(
+    artifacts: &[Artifact],
+    fidelity: Fidelity,
+    jobs: usize,
+) -> Vec<(Artifact, RunOutcome, f64)> {
+    let results = std::sync::Mutex::new(vec![None; artifacts.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..jobs.min(artifacts.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&artifact) = artifacts.get(i) else { break };
                 let started = Instant::now();
                 let outcome = artifact.run(fidelity);
                 let elapsed = started.elapsed().as_secs_f64();
-                results.lock()[i] = Some((artifact, outcome, elapsed));
+                results.lock().expect("no panics while holding the results lock")[i] =
+                    Some((artifact, outcome, elapsed));
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     results
         .into_inner()
+        .expect("no panics while holding the results lock")
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
@@ -114,8 +119,7 @@ fn main() {
     }
 
     let mut failures = 0;
-    for (artifact, outcome, elapsed) in
-        run_all(&options.artifacts, options.fidelity, options.jobs)
+    for (artifact, outcome, elapsed) in run_all(&options.artifacts, options.fidelity, options.jobs)
     {
         match outcome {
             Ok(tables) => {

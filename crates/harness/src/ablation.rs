@@ -39,12 +39,8 @@ pub fn probe_capacity() -> Result<Table> {
         spec.coherence.probe_capacity = cap;
         let machine = Machine::new(spec);
         let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16)?;
-        let mut world = CommWorld::new(
-            &machine,
-            placements,
-            MpiImpl::Lam.profile(),
-            LockLayer::USysV,
-        );
+        let mut world =
+            CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
         append_star(&mut world, &params);
         let bw = 16.0 * params.bytes_per_rank() / world.run()?.makespan;
         let label = if cap >= 1e11 { "unlimited".to_string() } else { format!("{}", cap / 1e9) };
@@ -71,23 +67,13 @@ pub fn misplacement_fraction() -> Result<Table> {
         let placements: Vec<RankPlacement> = os_scatter(&machine, 8)?
             .into_iter()
             .map(|core| {
-                Ok(RankPlacement::new(
-                    core,
-                    policy::default_first_touch(&machine, core, fraction)?,
-                ))
+                Ok(RankPlacement::new(core, policy::default_first_touch(&machine, core, fraction)?))
             })
             .collect::<Result<_>>()?;
-        let mut world = CommWorld::new(
-            &machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut world =
+            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         NasCg { class: CgClass::A }.append_run(&mut world);
-        table.push_row(
-            format!("{fraction:.2}"),
-            vec![Cell::num(world.run()?.makespan)],
-        );
+        table.push_row(format!("{fraction:.2}"), vec![Cell::num(world.run()?.makespan)]);
     }
     Ok(table)
 }
@@ -109,14 +95,7 @@ pub fn lock_cost() -> Result<Table> {
     let profile = MpiImpl::Lam.profile();
     for (label, lock) in [("usysv (spin)", LockLayer::USysV), ("sysv (semaphore)", LockLayer::SysV)]
     {
-        let t = corescope_smpi::imb::pingpong_time(
-            &machine,
-            &placements,
-            &profile,
-            lock,
-            8.0,
-            50,
-        )?;
+        let t = corescope_smpi::imb::pingpong_time(&machine, &placements, &profile, lock, 8.0, 50)?;
         table.push_row(label, vec![Cell::num(t * 1e6)]);
     }
     Ok(table)
@@ -142,10 +121,8 @@ pub fn same_socket_boost() -> Result<Table> {
         let profile = MpiImpl::OpenMpi.profile();
         let mut boosted = profile.clone();
         boosted.copy_bw *= boost / MpiProfile::SAME_SOCKET_BW_BOOST;
-        let bw_near =
-            pingpong_bandwidth(&machine, &near, &boosted, LockLayer::USysV, 1e6, 10)?;
-        let bw_far =
-            pingpong_bandwidth(&machine, &far, &profile, LockLayer::USysV, 1e6, 10)?;
+        let bw_near = pingpong_bandwidth(&machine, &near, &boosted, LockLayer::USysV, 1e6, 10)?;
+        let bw_far = pingpong_bandwidth(&machine, &far, &profile, LockLayer::USysV, 1e6, 10)?;
         table.push_row(
             format!("{boost:.2}"),
             vec![
@@ -164,12 +141,7 @@ pub fn same_socket_boost() -> Result<Table> {
 ///
 /// Propagates engine errors.
 pub fn all() -> Result<Vec<Table>> {
-    Ok(vec![
-        probe_capacity()?,
-        misplacement_fraction()?,
-        lock_cost()?,
-        same_socket_boost()?,
-    ])
+    Ok(vec![probe_capacity()?, misplacement_fraction()?, lock_cost()?, same_socket_boost()?])
 }
 
 #[cfg(test)]

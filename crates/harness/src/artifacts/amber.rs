@@ -30,8 +30,7 @@ pub fn table7(fidelity: Fidelity) -> Result<Vec<Table>> {
             bench.append_pme_fft_part(w);
         }
     };
-    let workloads: Vec<(&str, &crate::context::WorkloadFn<'_>)> =
-        vec![("JAC FFT", &build)];
+    let workloads: Vec<(&str, &crate::context::WorkloadFn<'_>)> = vec![("JAC FFT", &build)];
     let longs = scheme_sweep(
         "Table 7: FFT part of the JAC benchmark, Longs (seconds)",
         &systems.longs,
@@ -51,16 +50,10 @@ pub fn table7(fidelity: Fidelity) -> Result<Vec<Table>> {
     Ok(vec![longs, dmz])
 }
 
-fn speedup_row(
-    machine: &Machine,
-    bench: &AmberBenchmark,
-    counts: &[usize],
-) -> Result<Vec<Cell>> {
+fn speedup_row(machine: &Machine, bench: &AmberBenchmark, counts: &[usize]) -> Result<Vec<Cell>> {
     let (profile, lock) = default_stack();
     let time = |n: usize| -> Result<f64> {
-        let placements = Scheme::Default
-            .resolve(machine, n)
-            .expect("counts fit the machine");
+        let placements = Scheme::Default.resolve(machine, n).expect("counts fit the machine");
         let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
         bench.append_run(&mut w);
         Ok(w.run()?.makespan)
@@ -85,22 +78,16 @@ pub fn table8(fidelity: Fidelity) -> Result<Vec<Table>> {
         "Table 8: AMBER multi-core speedup (no numactl)",
         &["Cores/system", "dhfr", "factor_ix", "gb_cox2", "gb_mb", "JAC"],
     );
-    let benches: Vec<AmberBenchmark> = AmberBenchmark::all()
-        .into_iter()
-        .map(|b| sized(b, fidelity))
-        .collect();
-    for (sys_name, machine, counts) in [
-        ("DMZ", &systems.dmz, vec![2usize, 4]),
-        ("Longs", &systems.longs, vec![2, 4, 8, 16]),
-    ] {
+    let benches: Vec<AmberBenchmark> =
+        AmberBenchmark::all().into_iter().map(|b| sized(b, fidelity)).collect();
+    for (sys_name, machine, counts) in
+        [("DMZ", &systems.dmz, vec![2usize, 4]), ("Longs", &systems.longs, vec![2, 4, 8, 16])]
+    {
         // Collect per-benchmark speedup columns.
-        let per_bench: Vec<Vec<Cell>> = benches
-            .iter()
-            .map(|b| speedup_row(machine, b, &counts))
-            .collect::<Result<_>>()?;
+        let per_bench: Vec<Vec<Cell>> =
+            benches.iter().map(|b| speedup_row(machine, b, &counts)).collect::<Result<_>>()?;
         for (row_idx, &n) in counts.iter().enumerate() {
-            let cells: Vec<Cell> =
-                per_bench.iter().map(|col| col[row_idx].clone()).collect();
+            let cells: Vec<Cell> = per_bench.iter().map(|col| col[row_idx].clone()).collect();
             table.push_row(format!("{n} {sys_name}"), cells);
         }
     }

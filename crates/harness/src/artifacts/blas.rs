@@ -28,9 +28,8 @@ fn star_gflops(
     fidelity: Fidelity,
 ) -> Result<f64> {
     let (profile, lock) = default_stack();
-    let placements = scheme
-        .resolve(machine, nranks)
-        .expect("blas figures use placeable configurations");
+    let placements =
+        scheme.resolve(machine, nranks).expect("blas figures use placeable configurations");
     let mut world = CommWorld::new(machine, placements, profile, lock);
     let flops_per_rank = match kernel {
         Kernel::Daxpy => {
@@ -171,10 +170,7 @@ mod tests {
         let daxpy = &figure4(Fidelity::Quick).unwrap()[0];
         let d1 = daxpy.value("10000000", "Total (1 core)").unwrap();
         let d4 = daxpy.value("10000000", "Total (4 cores)").unwrap();
-        assert!(
-            d4 < 2.5 * d1,
-            "bandwidth-bound DAXPY must not scale with cores: {d4} vs {d1}"
-        );
+        assert!(d4 < 2.5 * d1, "bandwidth-bound DAXPY must not scale with cores: {d4} vs {d1}");
     }
 
     #[test]

@@ -27,10 +27,8 @@ fn option_run(
     option: RuntimeOption,
     build: impl FnOnce(&mut CommWorld<'_>),
 ) -> Result<(f64, Vec<RankPlacement>)> {
-    let placements = option
-        .scheme()
-        .resolve(machine, 16)
-        .expect("all runtime options place 16 ranks on longs");
+    let placements =
+        option.scheme().resolve(machine, 16).expect("all runtime options place 16 ranks on longs");
     let mut world = CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
     build(&mut world);
     Ok((world.run()?.makespan, placements))
@@ -50,26 +48,17 @@ pub fn figure8(fidelity: Fidelity) -> Result<Vec<Table>> {
         &["Option", "Longs 16 cores", "DMZ 4 cores"],
     );
     // DMZ reference: default options only, as in the paper.
-    let dmz_placements = RuntimeOption::Default
-        .scheme()
-        .resolve(&systems.dmz, 4)
-        .expect("dmz places 4 ranks");
-    let mut dmz_world = CommWorld::new(
-        &systems.dmz,
-        dmz_placements,
-        lam_profile(),
-        RuntimeOption::Default.lock(),
-    );
+    let dmz_placements =
+        RuntimeOption::Default.scheme().resolve(&systems.dmz, 4).expect("dmz places 4 ranks");
+    let mut dmz_world =
+        CommWorld::new(&systems.dmz, dmz_placements, lam_profile(), RuntimeOption::Default.lock());
     hpl_run(&mut dmz_world, &params);
     let dmz_gf = params.gflops(dmz_world.run()?.makespan);
 
     for option in RuntimeOption::all() {
         let (time, _) = option_run(&systems.longs, option, |w| hpl_run(w, &params))?;
-        let dmz_cell = if option == RuntimeOption::Default {
-            Cell::num(dmz_gf)
-        } else {
-            Cell::Dash
-        };
+        let dmz_cell =
+            if option == RuntimeOption::Default { Cell::num(dmz_gf) } else { Cell::Dash };
         table.push_row(option.name(), vec![Cell::num(params.gflops(time)), dmz_cell]);
     }
     Ok(vec![table])
@@ -79,15 +68,8 @@ pub fn figure8(fidelity: Fidelity) -> Result<Vec<Table>> {
 pub fn figure9(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let machine = &systems.longs;
-    let dgemm = DgemmParams {
-        n: 1000,
-        reps: fidelity.steps(3).max(1),
-        variant: BlasVariant::Acml,
-    };
-    let fft = FftParams {
-        points_per_rank: 1 << 20,
-        reps: fidelity.steps(3).max(1),
-    };
+    let dgemm = DgemmParams { n: 1000, reps: fidelity.steps(3).max(1), variant: BlasVariant::Acml };
+    let fft = FftParams { points_per_rank: 1 << 20, reps: fidelity.steps(3).max(1) };
     let dgemm_flops = dgemm.flops_per_rank();
     let fft_flops_total =
         fft.reps as f64 * corescope_kernels::fft::fft_flops(fft.points_per_rank as f64);
@@ -120,14 +102,8 @@ pub fn figure11(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let machine = &systems.longs;
     let params = match fidelity {
-        Fidelity::Full => RaParams {
-            table_words_per_rank: 1 << 24,
-            updates_per_rank: 1 << 22,
-        },
-        Fidelity::Quick => RaParams {
-            table_words_per_rank: 1 << 21,
-            updates_per_rank: 1 << 16,
-        },
+        Fidelity::Full => RaParams { table_words_per_rank: 1 << 24, updates_per_rank: 1 << 22 },
+        Fidelity::Quick => RaParams { table_words_per_rank: 1 << 21, updates_per_rank: 1 << 16 },
     };
     let mut table = Table::with_columns(
         "Figure 11: RandomAccess on Longs (GUP/s)",
@@ -194,17 +170,11 @@ pub fn figure13(fidelity: Fidelity) -> Result<Vec<Table>> {
         &["Option", "PingPong", "Ring"],
     );
     for option in RuntimeOption::all() {
-        let placements = option
-            .scheme()
-            .resolve(machine, 16)
-            .expect("16 ranks place on longs");
+        let placements = option.scheme().resolve(machine, 16).expect("16 ranks place on longs");
         let profile = lam_profile();
         let pp = pingpong_time(machine, &placements, &profile, option.lock(), 8.0, reps)?;
         let ring = ring_latency(machine, &placements, &profile, option.lock(), reps)?;
-        table.push_row(
-            option.name(),
-            vec![Cell::num(pp * 1e6), Cell::num(ring * 1e6)],
-        );
+        table.push_row(option.name(), vec![Cell::num(pp * 1e6), Cell::num(ring * 1e6)]);
     }
     Ok(vec![table])
 }

@@ -53,10 +53,7 @@ pub fn extra1(fidelity: Fidelity) -> Result<Vec<Table>> {
     for kernel in ["CG", "FT"] {
         let pure = run(false, kernel)?;
         let hybrid = run(true, kernel)?;
-        table.push_row(
-            kernel,
-            vec![Cell::num(pure), Cell::num(hybrid), Cell::num(pure / hybrid)],
-        );
+        table.push_row(kernel, vec![Cell::num(pure), Cell::num(hybrid), Cell::num(pure / hybrid)]);
     }
     Ok(vec![table])
 }
@@ -71,10 +68,7 @@ mod tests {
         // hypothesis should hold for the reduction-heavy CG.
         let t = &extra1(Fidelity::Quick).unwrap()[0];
         let gain = t.value("CG", "Hybrid speedup").unwrap();
-        assert!(
-            gain > 0.97,
-            "hybrid must at least break even for CG, got {gain:.3}"
-        );
+        assert!(gain > 0.97, "hybrid must at least break even for CG, got {gain:.3}");
         // And never catastrophically hurt FT (same total transpose bytes).
         let ft = t.value("FT", "Hybrid speedup").unwrap();
         assert!(ft > 0.8, "hybrid FT ratio {ft:.3}");

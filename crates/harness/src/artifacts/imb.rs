@@ -161,12 +161,8 @@ impl Binding {
 pub fn figure16(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let machine = &systems.dmz;
-    let bindings = [
-        Binding::BoundSocket0,
-        Binding::BoundSocket1,
-        Binding::Unbound,
-        Binding::UnboundParked,
-    ];
+    let bindings =
+        [Binding::BoundSocket0, Binding::BoundSocket1, Binding::Unbound, Binding::UnboundParked];
     let mut columns = vec!["Bytes".to_string()];
     columns.extend(bindings.iter().map(|b| b.label().to_string()));
     let mut table = Table::new(
@@ -199,13 +195,7 @@ pub fn figure17(fidelity: Fidelity) -> Result<Vec<Table>> {
     let machine = &systems.dmz;
     let mut table = Table::with_columns(
         "Figure 17: OpenMPI Exchange time with scheduler affinity, DMZ (microseconds)",
-        &[
-            "Bytes",
-            "2 procs, bound 0",
-            "2 procs, unbound",
-            "2 procs, unbound, 2 parked",
-            "4 procs",
-        ],
+        &["Bytes", "2 procs, bound 0", "2 procs, unbound", "2 procs, unbound, 2 parked", "4 procs"],
     );
     for bytes in sizes(fidelity) {
         let mut cells = Vec::new();
@@ -267,10 +257,7 @@ mod tests {
         let bound = t.value(big, "2 procs, bound 0").unwrap();
         let unbound = t.value(big, "2 procs, unbound").unwrap();
         let gain = bound / unbound;
-        assert!(
-            gain > 1.05 && gain < 1.25,
-            "paper: 10-13% intra-socket benefit, got {gain:.3}"
-        );
+        assert!(gain > 1.05 && gain < 1.25, "paper: 10-13% intra-socket benefit, got {gain:.3}");
         // Parked processes cost a little extra.
         let parked = t.value(big, "2 procs, unbound, 2 parked").unwrap();
         assert!(parked <= unbound * 1.01);

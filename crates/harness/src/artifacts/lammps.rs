@@ -11,9 +11,7 @@ use corescope_smpi::CommWorld;
 
 fn time(machine: &Machine, bench: LammpsBenchmark, n: usize) -> Result<f64> {
     let (profile, lock) = default_stack();
-    let placements = Scheme::Default
-        .resolve(machine, n)
-        .expect("counts fit the machine");
+    let placements = Scheme::Default.resolve(machine, n).expect("counts fit the machine");
     let mut w = CommWorld::new(machine, placements, profile, lock);
     bench.append_run(&mut w);
     Ok(w.run()?.makespan)
@@ -31,10 +29,8 @@ pub fn table10(_fidelity: Fidelity) -> Result<Vec<Table>> {
         ("Longs", &systems.longs, vec![2, 4, 8, 16]),
         ("Tiger", &systems.tiger, vec![2]),
     ] {
-        let t1: Vec<f64> = LammpsBenchmark::all()
-            .iter()
-            .map(|&b| time(machine, b, 1))
-            .collect::<Result<_>>()?;
+        let t1: Vec<f64> =
+            LammpsBenchmark::all().iter().map(|&b| time(machine, b, 1)).collect::<Result<_>>()?;
         for &n in &counts {
             let mut cells = Vec::new();
             for (i, &b) in LammpsBenchmark::all().iter().enumerate() {
@@ -50,8 +46,7 @@ pub fn table10(_fidelity: Fidelity) -> Result<Vec<Table>> {
 pub fn table11(_fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let (profile, lock) = default_stack();
-    let build =
-        |w: &mut CommWorld<'_>, _n: usize| LammpsBenchmark::Lj.append_run(w);
+    let build = |w: &mut CommWorld<'_>, _n: usize| LammpsBenchmark::Lj.append_run(w);
     let workloads: Vec<(&str, &crate::context::WorkloadFn<'_>)> = vec![("LJ", &build)];
     let longs = scheme_sweep(
         "Table 11: numactl options vs LAMMPS LJ, Longs (seconds)",

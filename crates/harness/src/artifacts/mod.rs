@@ -55,6 +55,9 @@ pub enum Artifact {
     X1,
     /// Extra: predicted lmbench-style memory-latency plateaus.
     X2,
+    /// Extra: fault-injection resilience campaign (scheduled brownouts,
+    /// kills, and rank stalls with bounded-degradation checks).
+    X3,
 }
 
 impl Artifact {
@@ -62,8 +65,8 @@ impl Artifact {
     pub fn all() -> Vec<Artifact> {
         use Artifact::*;
         vec![
-            T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2,
-            T3, T4, T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2,
+            T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3,
         ]
     }
 
@@ -103,6 +106,7 @@ impl Artifact {
             T14 => "t14",
             X1 => "x1",
             X2 => "x2",
+            X3 => "x3",
         }
     }
 
@@ -147,6 +151,7 @@ impl Artifact {
             T14 => "Table 14: numactl options vs POP barotropic time",
             X1 => "Extra X1: hybrid (OpenMP-in-socket) vs pure MPI",
             X2 => "Extra X2: memory-latency plateaus (lmbench-style)",
+            X3 => "Extra X3: fault-injection resilience campaign",
         }
     }
 
@@ -190,6 +195,7 @@ impl Artifact {
             T14 => pop::table14(fidelity),
             X1 => hybrid::extra1(fidelity),
             X2 => Ok(vec![statics::extra2()]),
+            X3 => crate::resilience::extra3(fidelity),
         }
     }
 }
@@ -207,11 +213,11 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 32, "30 paper artifacts + the X1/X2 extras");
+        assert_eq!(all.len(), 33, "30 paper artifacts + the X1/X2/X3 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 32);
+        assert_eq!(ids.len(), 33);
     }
 
     #[test]

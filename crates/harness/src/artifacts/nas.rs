@@ -30,14 +30,8 @@ fn nas_workloads(
     let cg = cg_class(fidelity);
     let ft = ft_class(fidelity);
     vec![
-        (
-            "CG",
-            Box::new(move |w: &mut CommWorld<'_>, _| NasCg { class: cg }.append_run(w)),
-        ),
-        (
-            "FT",
-            Box::new(move |w: &mut CommWorld<'_>, _| NasFt { class: ft }.append_run(w)),
-        ),
+        ("CG", Box::new(move |w: &mut CommWorld<'_>, _| NasCg { class: cg }.append_run(w))),
+        ("FT", Box::new(move |w: &mut CommWorld<'_>, _| NasFt { class: ft }.append_run(w))),
     ]
 }
 
@@ -92,9 +86,8 @@ pub fn table4(fidelity: Fidelity) -> Result<Vec<Table>> {
             [("DMZ", &systems.dmz), ("Longs", &systems.longs), ("Tiger", &systems.tiger)]
         {
             let t1 = {
-                let placements = Scheme::Default
-                    .resolve(machine, 1)
-                    .expect("one rank always places");
+                let placements =
+                    Scheme::Default.resolve(machine, 1).expect("one rank always places");
                 let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
                 build(&mut w, 1);
                 w.run()?.makespan
@@ -105,9 +98,8 @@ pub fn table4(fidelity: Fidelity) -> Result<Vec<Table>> {
                     cells.push(Cell::Dash);
                     continue;
                 }
-                let placements = Scheme::Default
-                    .resolve(machine, n)
-                    .expect("counts fit the machine");
+                let placements =
+                    Scheme::Default.resolve(machine, n).expect("counts fit the machine");
                 let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
                 build(&mut w, n);
                 let tn = w.run()?.makespan;

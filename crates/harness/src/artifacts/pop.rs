@@ -63,8 +63,7 @@ pub fn table12(fidelity: Fidelity) -> Result<Vec<Table>> {
         for &n in &counts {
             let mut cells = Vec::new();
             for (i, ph) in [Phase::Baroclinic, Phase::Barotropic].into_iter().enumerate() {
-                let tn = phase_time(machine, Scheme::Default, n, &pop, ph)?
-                    .expect("counts fit");
+                let tn = phase_time(machine, Scheme::Default, n, &pop, ph)?.expect("counts fit");
                 cells.push(Cell::num(base[i] / tn));
             }
             table.push_row(format!("{n} {sys_name}"), cells);

@@ -9,19 +9,11 @@ use corescope_machine::systems;
 pub fn table1() -> Table {
     let mut t = Table::with_columns(
         "Table 1: System configurations",
-        &[
-            "Name",
-            "GHz",
-            "Cores/socket",
-            "Sockets",
-            "Total cores",
-            "Node mem (GB)",
-        ],
+        &["Name", "GHz", "Cores/socket", "Sockets", "Total cores", "Node mem (GB)"],
     );
     for spec in systems::all() {
         let sockets = spec.sockets.len();
-        let mem_gb: f64 =
-            spec.sockets.iter().sum::<f64>() / (1024.0 * 1024.0 * 1024.0);
+        let mem_gb: f64 = spec.sockets.iter().sum::<f64>() / (1024.0 * 1024.0 * 1024.0);
         t.push_row(
             spec.name.clone(),
             vec![
@@ -67,10 +59,7 @@ pub fn table6() -> Table {
             corescope_apps::md::AmberMethod::Pme => "PME",
             corescope_apps::md::AmberMethod::Gb => "GB",
         };
-        t.push_row(
-            b.name,
-            vec![Cell::num_with(b.atoms as f64, 0), Cell::text(method)],
-        );
+        t.push_row(b.name, vec![Cell::num_with(b.atoms as f64, 0), Cell::text(method)]);
     }
     t
 }

@@ -27,12 +27,8 @@ fn scatter_local(machine: &Machine, nranks: usize) -> Result<Vec<RankPlacement>>
 /// Aggregate triad bandwidth (bytes/s) with `nranks` active cores.
 fn triad_bandwidth(machine: &Machine, nranks: usize, fidelity: Fidelity) -> Result<f64> {
     let p = params(fidelity);
-    let mut world = CommWorld::new(
-        machine,
-        scatter_local(machine, nranks)?,
-        lam_profile(),
-        LockLayer::USysV,
-    );
+    let mut world =
+        CommWorld::new(machine, scatter_local(machine, nranks)?, lam_profile(), LockLayer::USysV);
     append_star(&mut world, &p);
     let report = world.run()?;
     Ok(nranks as f64 * p.bytes_per_rank() / report.makespan)
@@ -88,8 +84,7 @@ pub fn figure10(fidelity: Fidelity) -> Result<Vec<Table>> {
             continue;
         };
         let single = {
-            let mut w =
-                CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
+            let mut w = CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
             append_single(&mut w, &p);
             p.bytes_per_rank() / w.run()?.makespan
         };
@@ -100,11 +95,7 @@ pub fn figure10(fidelity: Fidelity) -> Result<Vec<Table>> {
         };
         table.push_row(
             option.name(),
-            vec![
-                Cell::num(single / 1e9),
-                Cell::num(star / 1e9),
-                Cell::num(single / star),
-            ],
+            vec![Cell::num(single / 1e9), Cell::num(star / 1e9), Cell::num(single / star)],
         );
     }
     Ok(vec![table])
@@ -133,20 +124,14 @@ mod tests {
         let t = &figure3(Fidelity::Quick).unwrap()[0];
         let longs = t.value("1", "longs").unwrap();
         let dmz = t.value("1", "dmz").unwrap();
-        assert!(
-            longs < 0.6 * dmz,
-            "8-socket per-core bandwidth {longs} must trail dmz {dmz}"
-        );
+        assert!(longs < 0.6 * dmz, "8-socket per-core bandwidth {longs} must trail dmz {dmz}");
     }
 
     #[test]
     fn figure10_star_ratio_exceeds_two_on_default() {
         let t = &figure10(Fidelity::Quick).unwrap()[0];
         let ratio = t.value("default", "Single:Star").unwrap();
-        assert!(
-            ratio > 2.0,
-            "paper: 'Single to Star ratio of greater than 2:1', got {ratio:.2}"
-        );
+        assert!(ratio > 2.0, "paper: 'Single to Star ratio of greater than 2:1', got {ratio:.2}");
         // The tuned option should not be worse than default's ratio by
         // much — localalloc star per-core should beat default star.
         let star_tuned = t.value("localalloc+usysv", "Star per-core").unwrap();

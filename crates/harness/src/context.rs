@@ -132,8 +132,8 @@ mod tests {
     fn unplaceable_scheme_yields_none() {
         let s = Systems::new();
         let (profile, lock) = default_stack();
-        let out = time_scheme(&s.longs, Scheme::OneMpiLocalAlloc, 16, &profile, lock, |_| {})
-            .unwrap();
+        let out =
+            time_scheme(&s.longs, Scheme::OneMpiLocalAlloc, 16, &profile, lock, |_| {}).unwrap();
         assert_eq!(out, None);
     }
 

@@ -21,6 +21,7 @@ pub mod artifacts;
 pub mod context;
 pub mod fidelity;
 pub mod report;
+pub mod resilience;
 pub mod runtime;
 
 pub use artifacts::Artifact;

@@ -132,9 +132,7 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(
-            &self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for (label, cells) in &self.rows {
             let mut line = vec![field(label)];
@@ -157,12 +155,8 @@ impl fmt::Display for Table {
             }
         }
         writeln!(f, "{}", self.title)?;
-        let head: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let head: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         writeln!(f, "  {}", head.join("  "))?;
         let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
         writeln!(f, "  {}", "-".repeat(total))?;

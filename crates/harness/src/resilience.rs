@@ -1,0 +1,275 @@
+//! Extra X3: fault-injection resilience campaigns.
+//!
+//! Each campaign takes a representative workload from the paper's
+//! artifacts — STREAM (Figures 2/3), IMB PingPong (Figure 14), NAS CG
+//! (Table 2) — and runs it five ways against the resource class it is
+//! bound by:
+//!
+//! 1. **healthy** — no faults, the reference makespan;
+//! 2. **brownout + restore** — the resources degrade to half capacity
+//!    for the middle quarter of the healthy run, then recover;
+//! 3. **permanent degrade** — half capacity from `t = 0`, never restored;
+//! 4. **kill** — capacity drops to zero mid-run with no restore;
+//! 5. **stall** — rank 0 freezes at `t = 0` with no resume.
+//!
+//! The campaign *checks* the bounded-degradation invariants, not just
+//! reports them: the brownout run must land strictly between healthy and
+//! permanently-degraded; halving the bounding resource class can at most
+//! double the makespan; and the kill/stall runs must fail with typed
+//! errors ([`Error::RankStalled`], [`Error::ZeroCapacityRoute`]) rather
+//! than hang or complete. Any violation fails the artifact run.
+
+use crate::context::{default_stack, Systems};
+use crate::fidelity::Fidelity;
+use crate::report::{Cell, Table};
+use corescope_affinity::Scheme;
+use corescope_kernels::cg::{CgClass, NasCg};
+use corescope_kernels::stream::{append_star, StreamParams};
+use corescope_machine::engine::RunReport;
+use corescope_machine::{Error, FaultPlan, LinkId, Machine, RankId, Result};
+use corescope_smpi::CommWorld;
+
+/// The resource class a campaign degrades — chosen per workload to match
+/// what actually bounds it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultTarget {
+    /// Every socket's memory controller (for bandwidth-bound kernels).
+    Controllers,
+    /// Every directed HyperTransport link (for communication-bound runs).
+    Links,
+}
+
+impl FaultTarget {
+    fn degrade(self, machine: &Machine, plan: FaultPlan, at: f64, factor: f64) -> FaultPlan {
+        match self {
+            FaultTarget::Controllers => {
+                machine.sockets().fold(plan, |p, s| p.controller_throttle(at, s, factor))
+            }
+            FaultTarget::Links => (0..machine.topology().num_links())
+                .fold(plan, |p, l| p.link_degrade(at, LinkId::new(l), factor)),
+        }
+    }
+
+    fn restore(self, machine: &Machine, plan: FaultPlan, at: f64) -> FaultPlan {
+        match self {
+            FaultTarget::Controllers => {
+                machine.sockets().fold(plan, |p, s| p.controller_restore(at, s))
+            }
+            FaultTarget::Links => (0..machine.topology().num_links())
+                .fold(plan, |p, l| p.link_restore(at, LinkId::new(l))),
+        }
+    }
+}
+
+/// One workload under test.
+struct Scenario {
+    name: &'static str,
+    machine: fn(&Systems) -> &Machine,
+    scheme: Scheme,
+    nranks: usize,
+    target: FaultTarget,
+    build: Box<dyn Fn(&mut CommWorld<'_>)>,
+}
+
+fn scenarios(fidelity: Fidelity) -> Vec<Scenario> {
+    let sweeps = fidelity.steps(10).max(2);
+    let reps = fidelity.steps(20).max(4);
+    // Class S transfers are setup-dominated and barely notice link
+    // bandwidth; class A is the smallest class whose exchanges are
+    // link-bound enough for the campaign to measure degradation.
+    let cg_class = match fidelity {
+        Fidelity::Full => CgClass::B,
+        Fidelity::Quick => CgClass::A,
+    };
+    vec![
+        Scenario {
+            name: "STREAM triad x4 (F2/F3), DMZ",
+            machine: |s| &s.dmz,
+            scheme: Scheme::TwoMpiLocalAlloc,
+            nranks: 4,
+            target: FaultTarget::Controllers,
+            build: Box::new(move |w| {
+                let params = StreamParams { sweeps, ..StreamParams::default() };
+                append_star(w, &params);
+            }),
+        },
+        Scenario {
+            name: "IMB PingPong 1 MiB (F14), DMZ cross-socket",
+            machine: |s| &s.dmz,
+            scheme: Scheme::OneMpiLocalAlloc,
+            nranks: 2,
+            target: FaultTarget::Links,
+            build: Box::new(move |w| {
+                for _ in 0..reps {
+                    w.p2p(0, 1, 1048576.0);
+                    w.p2p(1, 0, 1048576.0);
+                }
+            }),
+        },
+        Scenario {
+            // CG is memory-bandwidth-bound (the paper's headline result),
+            // so its campaign degrades the controllers, not the links.
+            name: "NAS CG (T2), Longs x8",
+            machine: |s| &s.longs,
+            scheme: Scheme::TwoMpiLocalAlloc,
+            nranks: 8,
+            target: FaultTarget::Controllers,
+            build: Box::new(move |w| NasCg { class: cg_class }.append_run(w)),
+        },
+    ]
+}
+
+/// Names the outcome of a faulted run for the campaign table; `Err(None)`
+/// from the caller's perspective means "not a typed fault outcome".
+fn fault_outcome(result: Result<RunReport>) -> (String, bool) {
+    match result {
+        Ok(_) => ("completed".to_string(), false),
+        Err(Error::RankStalled { rank, resource: Some(_), .. }) => {
+            (format!("RankStalled({rank}, starved)"), true)
+        }
+        Err(Error::RankStalled { rank, .. }) => (format!("RankStalled({rank})"), true),
+        Err(Error::ZeroCapacityRoute { .. }) => ("ZeroCapacityRoute".to_string(), true),
+        Err(Error::Deadlock { blocked, .. }) => {
+            (format!("Deadlock({} ranks)", blocked.len()), true)
+        }
+        Err(e) => (e.to_string(), false),
+    }
+}
+
+fn invariant_violation(scenario: &str, what: impl std::fmt::Display) -> Error {
+    Error::InvalidSpec(format!("resilience invariant violated for '{scenario}': {what}"))
+}
+
+struct CampaignRow {
+    healthy: f64,
+    transient: f64,
+    degraded: f64,
+    kill: String,
+    stall: String,
+}
+
+fn run_campaign(systems: &Systems, sc: &Scenario) -> Result<CampaignRow> {
+    let machine = (sc.machine)(systems);
+    let placements = sc.scheme.resolve(machine, sc.nranks)?;
+    let (profile, lock) = default_stack();
+    let mut world = CommWorld::new(machine, placements, profile, lock);
+    (sc.build)(&mut world);
+
+    let healthy = world.run()?.makespan;
+
+    // Half capacity during the middle quarter of the healthy run.
+    let brownout = sc.target.restore(
+        machine,
+        sc.target.degrade(machine, FaultPlan::new(), healthy * 0.25, 0.5),
+        healthy * 0.5,
+    );
+    let transient = world.run_with_faults(&brownout)?.makespan;
+
+    // Half capacity for the whole run.
+    let permanent = sc.target.degrade(machine, FaultPlan::new(), 0.0, 0.5);
+    let degraded = world.run_with_faults(&permanent)?.makespan;
+
+    if !(healthy < transient && transient < degraded) {
+        return Err(invariant_violation(
+            sc.name,
+            format!(
+                "brownout makespan must sit strictly between healthy and degraded \
+                 (healthy {healthy:.6}, transient {transient:.6}, degraded {degraded:.6})"
+            ),
+        ));
+    }
+    if degraded > 2.0 * healthy * 1.01 {
+        return Err(invariant_violation(
+            sc.name,
+            format!(
+                "halving the bounding resources more than doubled the makespan \
+                 ({degraded:.6} vs healthy {healthy:.6})"
+            ),
+        ));
+    }
+
+    // Capacity hits zero mid-run, never restored: a typed error, not a hang.
+    let kill_plan = sc.target.degrade(machine, FaultPlan::new(), healthy * 0.25, 0.0);
+    let (kill, kill_typed) = fault_outcome(world.run_with_faults(&kill_plan));
+    if !kill_typed {
+        return Err(invariant_violation(sc.name, format!("kill outcome was '{kill}'")));
+    }
+
+    // Rank 0 freezes at t=0, never resumed: likewise a typed error.
+    let stall_plan = FaultPlan::new().rank_stall(0.0, RankId::new(0));
+    let (stall, stall_typed) = fault_outcome(world.run_with_faults(&stall_plan));
+    if !stall_typed {
+        return Err(invariant_violation(sc.name, format!("stall outcome was '{stall}'")));
+    }
+
+    Ok(CampaignRow { healthy, transient, degraded, kill, stall })
+}
+
+/// Extra X3: the fault-injection campaign table.
+///
+/// # Errors
+///
+/// Propagates engine errors, and returns [`Error::InvalidSpec`] when a
+/// bounded-degradation invariant is violated (that is the point: the
+/// artifact doubles as a resilience check).
+pub fn extra3(fidelity: Fidelity) -> Result<Vec<Table>> {
+    let systems = Systems::new();
+    let mut table = Table::with_columns(
+        "Extra X3: fault-injection resilience campaign (seconds; half-capacity faults)",
+        &[
+            "Workload",
+            "Healthy",
+            "Brownout+restore",
+            "Degraded",
+            "Slowdown",
+            "Kill outcome",
+            "Stall outcome",
+        ],
+    );
+    for sc in scenarios(fidelity) {
+        let row = run_campaign(&systems, &sc)?;
+        table.push_row(
+            sc.name,
+            vec![
+                Cell::num_with(row.healthy, 4),
+                Cell::num_with(row.transient, 4),
+                Cell::num_with(row.degraded, 4),
+                Cell::num_with(row.degraded / row.healthy, 3),
+                Cell::text(row.kill),
+                Cell::text(row.stall),
+            ],
+        );
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_runs_and_checks_its_invariants() {
+        let tables = extra3(Fidelity::Quick).unwrap();
+        let t = &tables[0];
+        assert_eq!(t.num_rows(), 3);
+        for sc in ["STREAM triad x4 (F2/F3), DMZ", "IMB PingPong 1 MiB (F14), DMZ cross-socket"] {
+            let healthy = t.value(sc, "Healthy").unwrap();
+            let transient = t.value(sc, "Brownout+restore").unwrap();
+            let degraded = t.value(sc, "Degraded").unwrap();
+            assert!(healthy < transient && transient < degraded, "{sc}");
+            let slowdown = t.value(sc, "Slowdown").unwrap();
+            assert!(slowdown > 1.0 && slowdown <= 2.02, "{sc}: slowdown {slowdown}");
+        }
+    }
+
+    #[test]
+    fn stream_campaign_kill_is_a_starvation_stall() {
+        // The STREAM scenario kills the controllers with traffic in
+        // flight: the typed outcome names the starved rank.
+        let systems = Systems::new();
+        let sc = &scenarios(Fidelity::Quick)[0];
+        let row = run_campaign(&systems, sc).unwrap();
+        assert!(row.kill.starts_with("RankStalled"), "kill outcome: {}", row.kill);
+        assert!(row.stall.starts_with("RankStalled"), "stall outcome: {}", row.stall);
+    }
+}

@@ -50,12 +50,8 @@ impl RuntimeOption {
     /// The task/memory placement scheme this option implies.
     pub fn scheme(self) -> Scheme {
         match self {
-            RuntimeOption::Default | RuntimeOption::SysV | RuntimeOption::USysV => {
-                Scheme::Default
-            }
-            RuntimeOption::LocalAlloc | RuntimeOption::LocalAllocUSysV => {
-                Scheme::TwoMpiLocalAlloc
-            }
+            RuntimeOption::Default | RuntimeOption::SysV | RuntimeOption::USysV => Scheme::Default,
+            RuntimeOption::LocalAlloc | RuntimeOption::LocalAllocUSysV => Scheme::TwoMpiLocalAlloc,
             RuntimeOption::Interleave => Scheme::Interleave,
         }
     }

@@ -269,12 +269,8 @@ mod tests {
 
     fn dgemm_gflops(machine: &Machine, nranks: usize, variant: BlasVariant) -> f64 {
         let placements = Scheme::TwoMpiLocalAlloc.resolve(machine, nranks).unwrap();
-        let mut world = CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Lam.profile(),
-            LockLayer::USysV,
-        );
+        let mut world =
+            CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
         let params = DgemmParams { n: 1000, reps: 1, variant };
         append_dgemm_star(&mut world, &params);
         let report = world.run().unwrap();
@@ -305,12 +301,8 @@ mod tests {
 
     fn daxpy_time(machine: &Machine, nranks: usize, scheme: Scheme) -> f64 {
         let placements = scheme.resolve(machine, nranks).unwrap();
-        let mut world = CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Lam.profile(),
-            LockLayer::USysV,
-        );
+        let mut world =
+            CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
         let params = DaxpyParams { reps: 5, ..DaxpyParams::default() };
         append_daxpy_star(&mut world, &params);
         world.run().unwrap().makespan

@@ -238,10 +238,7 @@ impl NasCg {
             let spmv = ComputePhase::new(
                 "cg-spmv",
                 flops,
-                TrafficProfile::stream_over(
-                    matrix_bytes + vector_bytes,
-                    matrix_bytes.max(1.0),
-                ),
+                TrafficProfile::stream_over(matrix_bytes + vector_bytes, matrix_bytes.max(1.0)),
             )
             .with_efficiency(0.2);
             let gather = ComputePhase::new(
@@ -284,7 +281,7 @@ impl NasCg {
     /// `threads_per_process`.
     pub fn append_run_hybrid(&self, world: &mut CommWorld<'_>, threads_per_process: usize) {
         let p = world.size();
-        assert!(threads_per_process >= 1 && p % threads_per_process == 0);
+        assert!(threads_per_process >= 1 && p.is_multiple_of(threads_per_process));
         let masters: Vec<usize> = (0..p).step_by(threads_per_process).collect();
         let pm = masters.len();
 
@@ -429,12 +426,8 @@ mod tests {
         fn run_cg(machine: &Machine, nranks: usize, scheme: Scheme) -> f64 {
             // Class A for test speed; ratios carry over.
             let placements = scheme.resolve(machine, nranks).unwrap();
-            let mut w = CommWorld::new(
-                machine,
-                placements,
-                MpiImpl::Mpich2.profile(),
-                LockLayer::USysV,
-            );
+            let mut w =
+                CommWorld::new(machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
             NasCg { class: CgClass::A }.append_run(&mut w);
             w.run().unwrap().makespan
         }
@@ -455,10 +448,7 @@ mod tests {
             let best = run_cg(&m, 8, Scheme::OneMpiLocalAlloc);
             let membind = run_cg(&m, 8, Scheme::OneMpiMembind);
             let ratio = membind / best;
-            assert!(
-                ratio > 1.5,
-                "membind must be much worse than localalloc: ratio {ratio:.2}"
-            );
+            assert!(ratio > 1.5, "membind must be much worse than localalloc: ratio {ratio:.2}");
         }
     }
 }

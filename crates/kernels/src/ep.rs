@@ -101,8 +101,7 @@ impl Default for EpParams {
 /// pair, cache-resident) plus one final 10-bin reduction.
 pub fn append_run(world: &mut CommWorld<'_>, params: &EpParams) {
     let pairs = (1u64 << params.log2_pairs) as f64 / world.size() as f64;
-    let phase = ComputePhase::new("ep", pairs * 60.0, TrafficProfile::none())
-        .with_efficiency(0.25);
+    let phase = ComputePhase::new("ep", pairs * 60.0, TrafficProfile::none()).with_efficiency(0.25);
     world.compute_all(|_| Some(phase.clone()));
     if world.size() > 1 {
         world.allreduce(10.0 * 8.0);
@@ -129,10 +128,7 @@ mod tests {
         let result = run_ep(200_000, NpbRng::new());
         let ratio = result.pairs as f64 / 200_000.0;
         let expected = std::f64::consts::PI / 4.0;
-        assert!(
-            (ratio - expected).abs() < 0.01,
-            "acceptance {ratio:.4} vs pi/4 = {expected:.4}"
-        );
+        assert!((ratio - expected).abs() < 0.01, "acceptance {ratio:.4} vs pi/4 = {expected:.4}");
     }
 
     #[test]
@@ -171,12 +167,8 @@ mod tests {
             let m = Machine::new(systems::longs());
             let time = |n: usize, scheme: Scheme| {
                 let placements = scheme.resolve(&m, n).unwrap();
-                let mut w = CommWorld::new(
-                    &m,
-                    placements,
-                    MpiImpl::Mpich2.profile(),
-                    LockLayer::USysV,
-                );
+                let mut w =
+                    CommWorld::new(&m, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
                 append_run(&mut w, &EpParams { log2_pairs: 26 });
                 w.run().unwrap().makespan
             };

@@ -55,10 +55,7 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -226,18 +223,14 @@ mod tests {
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
-                "{x:?} vs {y:?}"
-            );
+            assert!((x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol, "{x:?} vs {y:?}");
         }
     }
 
     #[test]
     fn fft_matches_naive_dft() {
-        let input: Vec<Complex> = (0..32)
-            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
-            .collect();
+        let input: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
         let expected = dft_naive(&input);
         let mut data = input.clone();
         fft_inplace(&mut data, false);
@@ -246,9 +239,8 @@ mod tests {
 
     #[test]
     fn fft_round_trip_recovers_input() {
-        let input: Vec<Complex> = (0..256)
-            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
-            .collect();
+        let input: Vec<Complex> =
+            (0..256).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
         let mut data = input.clone();
         fft_inplace(&mut data, false);
         ifft_normalized(&mut data);
@@ -268,9 +260,8 @@ mod tests {
     #[test]
     fn fft_preserves_energy() {
         // Parseval: sum |x|^2 = (1/n) sum |X|^2.
-        let input: Vec<Complex> = (0..64)
-            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
-            .collect();
+        let input: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos())).collect();
         let e_time: f64 = input.iter().map(|v| v.abs().powi(2)).sum();
         let mut data = input;
         fft_inplace(&mut data, false);
@@ -315,12 +306,7 @@ mod tests {
             let m = Machine::new(systems::longs());
             let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, 8).unwrap();
             let run = |lock| {
-                let mut w = CommWorld::new(
-                    &m,
-                    placements.clone(),
-                    MpiImpl::Lam.profile(),
-                    lock,
-                );
+                let mut w = CommWorld::new(&m, placements.clone(), MpiImpl::Lam.profile(), lock);
                 append_parallel_fft(&mut w, (1u64 << 24) as f64);
                 w.run().unwrap().makespan
             };

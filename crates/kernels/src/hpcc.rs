@@ -26,9 +26,7 @@ pub fn ring_time(
     reps: usize,
 ) -> Result<f64> {
     if placements.len() < 2 {
-        return Err(corescope_machine::Error::InvalidSpec(
-            "ring needs at least two ranks".into(),
-        ));
+        return Err(corescope_machine::Error::InvalidSpec("ring needs at least two ranks".into()));
     }
     let mut world = CommWorld::new(machine, placements.to_vec(), profile.clone(), lock);
     for _ in 0..reps {
@@ -120,13 +118,9 @@ mod tests {
         let profile = MpiImpl::Lam.profile();
         let p_longs = Scheme::TwoMpiLocalAlloc.resolve(&longs, 16).unwrap();
         let p_dmz = Scheme::TwoMpiLocalAlloc.resolve(&dmz, 4).unwrap();
-        let bw_longs =
-            ring_bandwidth(&longs, &p_longs, &profile, LockLayer::USysV, 3).unwrap();
+        let bw_longs = ring_bandwidth(&longs, &p_longs, &profile, LockLayer::USysV, 3).unwrap();
         let bw_dmz = ring_bandwidth(&dmz, &p_dmz, &profile, LockLayer::USysV, 3).unwrap();
-        assert!(
-            bw_longs < bw_dmz,
-            "ladder ring bw {bw_longs:.3e} should trail dmz {bw_dmz:.3e}"
-        );
+        assert!(bw_longs < bw_dmz, "ladder ring bw {bw_longs:.3e} should trail dmz {bw_dmz:.3e}");
     }
 
     #[test]

@@ -239,10 +239,7 @@ mod tests {
         fn figure8_usysv_and_localalloc_beat_default() {
             let tuned = hpl_gflops(Scheme::TwoMpiLocalAlloc, LockLayer::USysV);
             let default = hpl_gflops(Scheme::Default, LockLayer::SysV);
-            assert!(
-                tuned > default,
-                "tuned {tuned:.1} should beat default {default:.1}"
-            );
+            assert!(tuned > default, "tuned {tuned:.1} should beat default {default:.1}");
         }
     }
 }

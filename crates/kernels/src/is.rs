@@ -163,10 +163,7 @@ mod tests {
         // Sum of four uniforms peaks near max_key/2.
         let keys = generate_keys(100_000, 1024, 1);
         let center = keys.iter().filter(|&&k| (256..768).contains(&k)).count();
-        assert!(
-            center > 80_000,
-            "Gaussian-ish keys should cluster centrally: {center}/100000"
-        );
+        assert!(center > 80_000, "Gaussian-ish keys should cluster centrally: {center}/100000");
     }
 
     mod sim {
@@ -180,12 +177,8 @@ mod tests {
             let m = Machine::new(systems::longs());
             let time = |n: usize| {
                 let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, n).unwrap();
-                let mut w = CommWorld::new(
-                    &m,
-                    placements,
-                    MpiImpl::Mpich2.profile(),
-                    LockLayer::USysV,
-                );
+                let mut w =
+                    CommWorld::new(&m, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
                 NasIs { class: IsClass::A }.append_run(&mut w);
                 w.run().unwrap().makespan
             };

@@ -67,12 +67,7 @@ pub fn append_chase(world: &mut CommWorld<'_>, rank: usize, working_set: f64, lo
 pub fn latency_table(machine: &Machine) -> Vec<Vec<f64>> {
     machine
         .cores()
-        .map(|core| {
-            machine
-                .nodes()
-                .map(|node| machine.memory_latency(core, node) * 1e9)
-                .collect()
-        })
+        .map(|core| machine.nodes().map(|node| machine.memory_latency(core, node) * 1e9).collect())
         .collect()
 }
 
@@ -120,8 +115,7 @@ mod tests {
         use corescope_smpi::{LockLayer, MpiImpl};
         let m = Machine::new(systems::dmz());
         let placements = Scheme::OneMpiLocalAlloc.resolve(&m, 1).unwrap();
-        let mut w =
-            CommWorld::new(&m, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
+        let mut w = CommWorld::new(&m, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
         let loads = 1_000_000u64;
         append_chase(&mut w, 0, 64e6, loads);
         let t = w.run().unwrap().makespan;

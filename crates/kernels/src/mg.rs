@@ -76,12 +76,7 @@ impl Grid3 {
     pub fn residual_norm(&self, f: &Grid3) -> f64 {
         let mut au = Grid3::zeros(self.n);
         self.apply_laplacian(&mut au);
-        au.data
-            .iter()
-            .zip(&f.data)
-            .map(|(a, b)| (b - a) * (b - a))
-            .sum::<f64>()
-            .sqrt()
+        au.data.iter().zip(&f.data).map(|(a, b)| (b - a) * (b - a)).sum::<f64>().sqrt()
     }
 
     /// One weighted-Jacobi smoothing sweep for `A u = f`.
@@ -248,16 +243,14 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    let v = ((i as f64 * 0.7).sin()
-                        + (j as f64 * 1.3).cos()
-                        + (k as f64 * 0.4).sin())
-                        * 0.5;
+                    let v =
+                        ((i as f64 * 0.7).sin() + (j as f64 * 1.3).cos() + (k as f64 * 0.4).sin())
+                            * 0.5;
                     u_true.set(i, j, k, v);
                 }
             }
         }
-        let mean: f64 =
-            u_true.data.iter().sum::<f64>() / u_true.data.len() as f64;
+        let mean: f64 = u_true.data.iter().sum::<f64>() / u_true.data.len() as f64;
         for v in &mut u_true.data {
             *v -= mean;
         }
@@ -300,10 +293,7 @@ mod tests {
         v_cycle(&mut u_mg, &f, 3, 3); // same number of fine sweeps
         let r_smooth = u_smooth.residual_norm(&f);
         let r_mg = u_mg.residual_norm(&f);
-        assert!(
-            r_mg < r_smooth,
-            "multigrid {r_mg:.3e} must beat smoothing {r_smooth:.3e}"
-        );
+        assert!(r_mg < r_smooth, "multigrid {r_mg:.3e} must beat smoothing {r_smooth:.3e}");
     }
 
     #[test]
@@ -341,12 +331,8 @@ mod tests {
             let m = Machine::new(systems::longs());
             let time = |n: usize| {
                 let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, n).unwrap();
-                let mut w = CommWorld::new(
-                    &m,
-                    placements,
-                    MpiImpl::Mpich2.profile(),
-                    LockLayer::USysV,
-                );
+                let mut w =
+                    CommWorld::new(&m, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
                 NasMg { class: MgClass::A }.append_run(&mut w);
                 w.run().unwrap().makespan
             };

@@ -92,7 +92,7 @@ impl NasFt {
     /// `threads_per_process`.
     pub fn append_run_hybrid(&self, world: &mut CommWorld<'_>, threads_per_process: usize) {
         let p = world.size();
-        assert!(threads_per_process >= 1 && p % threads_per_process == 0);
+        assert!(threads_per_process >= 1 && p.is_multiple_of(threads_per_process));
         let masters: Vec<usize> = (0..p).step_by(threads_per_process).collect();
         let pm = masters.len() as f64;
         let total = self.class.points();
@@ -182,12 +182,8 @@ mod tests {
 
     fn run_ft(machine: &Machine, class: FtClass, nranks: usize, scheme: Scheme) -> f64 {
         let placements = scheme.resolve(machine, nranks).unwrap();
-        let mut w = CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         NasFt { class }.append_run(&mut w);
         w.run().unwrap().makespan
     }
@@ -202,10 +198,7 @@ mod tests {
         // from 2 to 16 cores (the paper measures ~3.9x; transpose traffic
         // over the ladder is the limiter).
         let gain = t2 / t16;
-        assert!(
-            gain > 2.0 && gain < 7.2,
-            "2->16 core FT gain {gain:.1} must be clearly sublinear"
-        );
+        assert!(gain > 2.0 && gain < 7.2, "2->16 core FT gain {gain:.1} must be clearly sublinear");
     }
 
     #[test]

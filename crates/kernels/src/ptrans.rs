@@ -140,8 +140,7 @@ mod tests {
         fn ptrans_moves_the_whole_matrix() {
             let m = Machine::new(systems::longs());
             let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, 8).unwrap();
-            let mut w =
-                CommWorld::new(&m, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
+            let mut w = CommWorld::new(&m, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
             append_run(&mut w, &PtransParams { n: 2048, reps: 1, ..PtransParams::default() });
             let report = w.run().unwrap();
             let sent = report.metrics.total_bytes_sent();

@@ -72,11 +72,7 @@ impl RaParams {
     pub fn phase(&self) -> ComputePhase {
         let updates = self.updates_per_rank as f64;
         let ws = self.table_words_per_rank as f64 * F64;
-        ComputePhase::new(
-            "randomaccess",
-            0.0,
-            TrafficProfile::random(2.0 * updates * F64, ws),
-        )
+        ComputePhase::new("randomaccess", 0.0, TrafficProfile::random(2.0 * updates * F64, ws))
     }
 
     /// GUP/s implied by a runtime for `ranks` ranks.
@@ -113,11 +109,7 @@ pub fn append_mpi(world: &mut CommWorld<'_>, params: &RaParams) {
     let local_fraction = 1.0 / p as f64;
     let apply_ws = params.table_words_per_rank as f64 * F64;
     for _ in 0..chunks {
-        let gen = ComputePhase::new(
-            "ra-generate",
-            0.0,
-            TrafficProfile::stream(chunk as f64 * F64),
-        );
+        let gen = ComputePhase::new("ra-generate", 0.0, TrafficProfile::stream(chunk as f64 * F64));
         world.compute_all(|_| Some(gen.clone()));
         // Each peer receives its share of the chunk.
         let bytes = (chunk as f64 * F64 * (1.0 - local_fraction) / (p as f64 - 1.0)).max(F64);
@@ -176,12 +168,8 @@ mod tests {
         fn mpi_time(lock: LockLayer) -> f64 {
             let m = Machine::new(systems::longs());
             let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, 8).unwrap();
-            let mut w =
-                CommWorld::new(&m, placements, MpiImpl::Lam.profile(), lock);
-            let params = RaParams {
-                table_words_per_rank: 1 << 20,
-                updates_per_rank: 1 << 16,
-            };
+            let mut w = CommWorld::new(&m, placements, MpiImpl::Lam.profile(), lock);
+            let params = RaParams { table_words_per_rank: 1 << 20, updates_per_rank: 1 << 16 };
             append_mpi(&mut w, &params);
             w.run().unwrap().makespan
         }
@@ -202,24 +190,19 @@ mod tests {
         #[test]
         fn star_mode_is_latency_bound_not_bandwidth_bound() {
             let m = Machine::new(systems::dmz());
-            let params = RaParams {
-                table_words_per_rank: 1 << 22,
-                updates_per_rank: 1 << 20,
-            };
+            let params = RaParams { table_words_per_rank: 1 << 22, updates_per_rank: 1 << 20 };
             // Single vs star on one socket: random access is latency
             // bound, so the second core brings a net gain per socket
             // (ratio < 2:1) — the paper's RA observation.
             let t_single = {
                 let p = Scheme::TwoMpiLocalAlloc.resolve(&m, 1).unwrap();
-                let mut w =
-                    CommWorld::new(&m, p, MpiImpl::Lam.profile(), LockLayer::USysV);
+                let mut w = CommWorld::new(&m, p, MpiImpl::Lam.profile(), LockLayer::USysV);
                 append_single(&mut w, &params);
                 w.run().unwrap().makespan
             };
             let t_star = {
                 let p = Scheme::TwoMpiLocalAlloc.resolve(&m, 2).unwrap();
-                let mut w =
-                    CommWorld::new(&m, p, MpiImpl::Lam.profile(), LockLayer::USysV);
+                let mut w = CommWorld::new(&m, p, MpiImpl::Lam.profile(), LockLayer::USysV);
                 append_star(&mut w, &params);
                 w.run().unwrap().makespan
             };

@@ -103,9 +103,7 @@ impl StreamParams {
 
     /// Bytes one rank moves over the whole run.
     pub fn bytes_per_rank(&self) -> f64 {
-        self.sweeps as f64
-            * self.elements_per_rank as f64
-            * self.kernel.bytes_per_element()
+        self.sweeps as f64 * self.elements_per_rank as f64 * self.kernel.bytes_per_element()
     }
 }
 
@@ -162,12 +160,8 @@ mod tests {
 
     fn measured_bandwidth(machine: &Machine, nranks: usize, scheme: Scheme) -> f64 {
         let placements = scheme.resolve(machine, nranks).unwrap();
-        let mut world = CommWorld::new(
-            machine,
-            placements,
-            MpiImpl::Lam.profile(),
-            LockLayer::USysV,
-        );
+        let mut world =
+            CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
         let params = StreamParams { sweeps: 2, ..StreamParams::default() };
         append_star(&mut world, &params);
         let report = world.run().unwrap();

@@ -70,23 +70,19 @@ pub fn dram_demand(cache: &CacheSpec, profile: &TrafficProfile, latency: f64) ->
             // of the table that happens to be cache-resident.
             let hit = (cache.l2_bytes / profile.working_set).min(1.0);
             let amplification = line / 8.0;
-            DramDemand {
-                bytes: profile.bytes * amplification * (1.0 - hit),
-                self_cap: random_cap,
-            }
+            DramDemand { bytes: profile.bytes * amplification * (1.0 - hit), self_cap: random_cap }
         }
-        AccessPattern::Blocked => DramDemand {
-            bytes: profile.bytes / profile.reuse,
-            self_cap: stream_cap,
-        },
+        AccessPattern::Blocked => {
+            DramDemand { bytes: profile.bytes / profile.reuse, self_cap: stream_cap }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::systems::calib;
     use crate::spec::CacheSpec;
+    use crate::systems::calib;
 
     fn k8() -> CacheSpec {
         CacheSpec {

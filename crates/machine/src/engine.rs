@@ -9,6 +9,7 @@
 
 use crate::cache;
 use crate::error::{Error, Result};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::flow::{solve_maxmin, FlowSpec, ResourceIndex, ResourceTable};
 use crate::ids::{CoreId, LinkId, RankId, SocketId};
 use crate::memory::MemoryLayout;
@@ -65,6 +66,8 @@ pub struct Engine<'m> {
     /// multi-socket machines).
     probe_index: Option<ResourceIndex>,
     max_events: usize,
+    time_budget: Option<f64>,
+    zero_progress_limit: usize,
 }
 
 /// Bytes below which a flow is considered drained.
@@ -90,7 +93,16 @@ impl<'m> Engine<'m> {
             .collect();
         let probe_index = (machine.num_sockets() > 1)
             .then(|| resources.add("coherence-probe", spec.coherence.probe_capacity));
-        Self { machine, resources, mc_index, link_index, probe_index, max_events: 20_000_000 }
+        Self {
+            machine,
+            resources,
+            mc_index,
+            link_index,
+            probe_index,
+            max_events: 20_000_000,
+            time_budget: None,
+            zero_progress_limit: 50_000,
+        }
     }
 
     /// The machine this engine simulates.
@@ -99,8 +111,28 @@ impl<'m> Engine<'m> {
     }
 
     /// Caps the number of discrete events per run (runaway guard).
+    /// Exceeding it returns [`Error::EventBudgetExhausted`].
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// Caps simulated time: the run fails with
+    /// [`Error::TimeBudgetExhausted`] as soon as the next event would pass
+    /// `seconds`. This is the watchdog to reach for when a degraded run
+    /// must finish "soon or not at all" — unlike the event budget it is
+    /// independent of how finely the workload chops its traffic.
+    pub fn with_time_budget(mut self, seconds: f64) -> Self {
+        self.time_budget = Some(seconds);
+        self
+    }
+
+    /// Caps consecutive zero-time-advance iterations (livelock guard);
+    /// exceeding it returns [`Error::RankStalled`]. The default (50 000)
+    /// is far above anything a legitimate same-timestamp cascade (barrier
+    /// releases, eager send chains) produces.
+    pub fn with_zero_progress_limit(mut self, iterations: usize) -> Self {
+        self.zero_progress_limit = iterations;
         self
     }
 
@@ -119,14 +151,59 @@ impl<'m> Engine<'m> {
     ///
     /// # Errors
     ///
-    /// * [`Error::InvalidSpec`] — placement/program count mismatch or the
-    ///   event limit is exceeded.
+    /// * [`Error::InvalidSpec`] — placement/program count mismatch.
     /// * [`Error::CoreOutOfRange`] / [`Error::NodeOutOfRange`] /
     ///   [`Error::CoreOversubscribed`] — bad placements.
     /// * [`Error::Deadlock`] — blocked ranks with no pending events.
-    /// * [`Error::ZeroCapacityRoute`] — traffic routed through a resource
-    ///   degraded to zero capacity.
+    /// * [`Error::ZeroCapacityRoute`] — new traffic routed through a
+    ///   resource currently at zero capacity.
+    /// * [`Error::EventBudgetExhausted`] / [`Error::TimeBudgetExhausted`] /
+    ///   [`Error::RankStalled`] — watchdogs (see [`Engine::with_max_events`],
+    ///   [`Engine::with_time_budget`], [`Engine::with_zero_progress_limit`]).
     pub fn run(&self, placements: &[RankPlacement], programs: &[Program]) -> Result<RunReport> {
+        self.run_with_faults(placements, programs, &FaultPlan::new())
+    }
+
+    /// Runs one simulation under a schedule of mid-run faults.
+    ///
+    /// Faults fire as first-class discrete events: when one fires, active
+    /// flow rates are re-solved under the new capacities and pending
+    /// completion events are recomputed. A restore scheduled after a
+    /// total outage wakes the flows it starved. Configurations that can
+    /// never finish — a rank stalled with no resume, traffic starved by a
+    /// zero-capacity resource with no restore — return typed errors, never
+    /// hang.
+    ///
+    /// ```
+    /// use corescope_machine::{systems, Machine, Engine, Program, ComputePhase, TrafficProfile};
+    /// use corescope_machine::engine::RankPlacement;
+    /// use corescope_machine::{CoreId, FaultPlan, MemoryLayout, NumaNodeId, SocketId};
+    ///
+    /// # fn main() -> Result<(), corescope_machine::Error> {
+    /// let machine = Machine::new(systems::dmz());
+    /// let engine = Engine::new(&machine);
+    /// let mut program = Program::new();
+    /// program.compute(ComputePhase::new("triad", 0.0, TrafficProfile::stream(1e9)));
+    /// let placement = RankPlacement::new(CoreId::new(0), MemoryLayout::single(NumaNodeId::new(0)));
+    /// // Throttle the local memory controller to half speed from t=0.1s on.
+    /// let plan = FaultPlan::new().controller_throttle(0.1, SocketId::new(0), 0.5);
+    /// let healthy = engine.run(&[placement.clone()], std::slice::from_ref(&program))?;
+    /// let faulty = engine.run_with_faults(&[placement], &[program], &plan)?;
+    /// assert!(faulty.makespan > healthy.makespan);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::run`] can return, plus [`Error::InvalidSpec`]
+    /// when the plan fails [`FaultPlan::validate`].
+    pub fn run_with_faults(
+        &self,
+        placements: &[RankPlacement],
+        programs: &[Program],
+        plan: &FaultPlan,
+    ) -> Result<RunReport> {
         if placements.len() != programs.len() {
             return Err(Error::InvalidSpec(format!(
                 "{} placements for {} programs",
@@ -147,18 +224,71 @@ impl<'m> Engine<'m> {
             seen[p.core.index()] = true;
             p.layout.check_nodes(num_nodes)?;
         }
-        Sim::new(self, placements, programs).run()
+        plan.validate(self.machine, programs.len())?;
+        let faults = plan
+            .events()
+            .iter()
+            .map(|e| Ok((e.at, self.resolve_fault(e.kind)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Sim::new(self, placements, programs, faults).run()
     }
+
+    /// Lowers a [`FaultKind`] to a resource index and absolute capacity.
+    ///
+    /// Capacity factors are relative to *nominal* capacity: whatever this
+    /// engine was configured with before the run (including pre-run
+    /// [`Engine::set_link_capacity`] overrides), so restores and repeated
+    /// degrades never compound.
+    fn resolve_fault(&self, kind: FaultKind) -> Result<ResolvedFault> {
+        let scaled = |index: ResourceIndex, factor: f64| ResolvedFault::SetCapacity {
+            index,
+            capacity: self.resources.get(index).capacity * factor,
+        };
+        let probe = || {
+            self.probe_index.ok_or_else(|| {
+                Error::InvalidSpec("probe fault on a machine without a probe fabric".to_string())
+            })
+        };
+        Ok(match kind {
+            FaultKind::LinkDegrade { link, factor } => {
+                scaled(self.link_index[link.index()], factor)
+            }
+            FaultKind::LinkRestore { link } => scaled(self.link_index[link.index()], 1.0),
+            FaultKind::ControllerThrottle { socket, factor } => {
+                scaled(self.mc_index[socket.index()], factor)
+            }
+            FaultKind::ControllerRestore { socket } => scaled(self.mc_index[socket.index()], 1.0),
+            FaultKind::ProbeBrownout { factor } => scaled(probe()?, factor),
+            FaultKind::ProbeRestore => scaled(probe()?, 1.0),
+            FaultKind::RankStall { rank } => ResolvedFault::Stall(rank.index()),
+            FaultKind::RankResume { rank } => ResolvedFault::Resume(rank.index()),
+        })
+    }
+}
+
+/// A fault lowered to the engine's resource/rank index space.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedFault {
+    SetCapacity { index: ResourceIndex, capacity: f64 },
+    Stall(usize),
+    Resume(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Status {
     Ready,
-    Computing { cpu_end: f64, pending_flows: usize },
+    Computing {
+        cpu_end: f64,
+        pending_flows: usize,
+    },
     /// Eager sender busy until `until`, or a `Delay` op.
-    Waiting { until: f64 },
+    Waiting {
+        until: f64,
+    },
     /// Rendezvous sender blocked on a transfer.
-    SendBlocked { transfer: usize },
+    SendBlocked {
+        transfer: usize,
+    },
     RecvBlocked,
     BarrierBlocked,
     Done,
@@ -207,6 +337,15 @@ struct Sim<'a, 'm> {
     engine: &'a Engine<'m>,
     placements: &'a [RankPlacement],
     programs: &'a [Program],
+    /// The run's own capacity view: starts as a copy of the engine's
+    /// nominal table and is mutated in place as scheduled faults fire.
+    resources: ResourceTable,
+    /// Time-sorted fault schedule; `next_fault` is the cursor into it.
+    faults: Vec<(f64, ResolvedFault)>,
+    next_fault: usize,
+    /// Ranks frozen by an unresumed [`FaultKind::RankStall`]. A stalled
+    /// rank finishes its current operation but dispatches nothing.
+    stalled: Vec<bool>,
     now: f64,
     pc: Vec<usize>,
     status: Vec<Status>,
@@ -227,12 +366,21 @@ struct Sim<'a, 'm> {
 }
 
 impl<'a, 'm> Sim<'a, 'm> {
-    fn new(engine: &'a Engine<'m>, placements: &'a [RankPlacement], programs: &'a [Program]) -> Self {
+    fn new(
+        engine: &'a Engine<'m>,
+        placements: &'a [RankPlacement],
+        programs: &'a [Program],
+        faults: Vec<(f64, ResolvedFault)>,
+    ) -> Self {
         let n = programs.len();
         Self {
             engine,
             placements,
             programs,
+            resources: engine.resources.clone(),
+            faults,
+            next_fault: 0,
+            stalled: vec![false; n],
             now: 0.0,
             pc: vec![0; n],
             status: vec![Status::Ready; n],
@@ -251,44 +399,57 @@ impl<'a, 'm> Sim<'a, 'm> {
 
     fn run(mut self) -> Result<RunReport> {
         let n = self.programs.len();
+        self.apply_due_faults();
         self.dispatch_all()?;
         self.resolve_rates()?;
+        let mut zero_dt_iters = 0usize;
 
         while self.status.iter().any(|s| *s != Status::Done) {
             self.metrics.events += 1;
             if self.metrics.events > self.engine.max_events {
-                return Err(Error::InvalidSpec(format!(
-                    "event limit {} exceeded",
-                    self.engine.max_events
-                )));
+                return Err(Error::EventBudgetExhausted {
+                    budget: self.engine.max_events,
+                    at_time: self.now,
+                });
             }
 
-            if self.metrics.events.is_multiple_of(1000) && std::env::var_os("CORESCOPE_TRACE").is_some() {
+            if self.metrics.events.is_multiple_of(1000)
+                && std::env::var_os("CORESCOPE_TRACE").is_some()
+            {
                 eprintln!(
                     "[trace] event {} t={:.9} live_flows={} statuses={:?} flows={:?}",
                     self.metrics.events,
                     self.now,
                     self.live_flows,
                     &self.status,
-                    self.flows
-                        .iter()
-                        .flatten()
-                        .map(|f| (f.remaining, f.rate))
-                        .collect::<Vec<_>>()
+                    self.flows.iter().flatten().map(|f| (f.remaining, f.rate)).collect::<Vec<_>>()
                 );
             }
-            let next = self.next_event_time();
-            let Some(next) = next else {
-                let blocked: Vec<RankId> = (0..n)
-                    .filter(|&r| self.status[r] != Status::Done)
-                    .map(RankId::new)
-                    .collect();
-                return Err(Error::Deadlock { blocked, at_time: self.now });
+            let Some(next) = self.next_event_time() else {
+                return Err(self.no_progress_error());
             };
+            if let Some(budget) = self.engine.time_budget {
+                if next > budget + EPS_TIME {
+                    return Err(Error::TimeBudgetExhausted { budget, next_event: next });
+                }
+            }
             let dt = (next - self.now).max(0.0);
+            if dt > EPS_TIME {
+                zero_dt_iters = 0;
+            } else {
+                zero_dt_iters += 1;
+                if zero_dt_iters > self.engine.zero_progress_limit {
+                    let rank = (0..n)
+                        .find(|&r| self.status[r] != Status::Done)
+                        .map(RankId::new)
+                        .unwrap_or_else(|| RankId::new(0));
+                    return Err(Error::RankStalled { rank, at_time: self.now, resource: None });
+                }
+            }
             self.advance_flows(dt);
             self.now = next;
 
+            self.apply_due_faults();
             self.process_flow_completions()?;
             self.process_timers()?;
             self.dispatch_all()?;
@@ -301,10 +462,68 @@ impl<'a, 'm> Sim<'a, 'm> {
         Ok(RunReport { makespan, rank_finish: self.finish, metrics: self.metrics })
     }
 
-    /// Executes ops for every Ready rank until all are blocked or done.
+    /// Fires every scheduled fault due at (or before) `now`.
+    fn apply_due_faults(&mut self) {
+        while let Some(&(at, fault)) = self.faults.get(self.next_fault) {
+            if at > self.now + EPS_TIME {
+                break;
+            }
+            self.next_fault += 1;
+            self.metrics.faults_applied += 1;
+            match fault {
+                ResolvedFault::SetCapacity { index, capacity } => {
+                    self.resources.set_capacity(index, capacity);
+                    self.rates_dirty = true;
+                }
+                ResolvedFault::Stall(rank) => self.stalled[rank] = true,
+                ResolvedFault::Resume(rank) => self.stalled[rank] = false,
+            }
+        }
+    }
+
+    /// Diagnoses why the simulation has no next event, most specific
+    /// cause first: traffic starved by a dead resource, then a frozen
+    /// rank, then a plain message deadlock.
+    fn no_progress_error(&self) -> Error {
+        for f in self.flows.iter().flatten() {
+            if f.rate > 0.0 {
+                continue;
+            }
+            if let Some(&r) = f.spec.route.iter().find(|&&r| self.resources.get(r).capacity <= 0.0)
+            {
+                let rank = match f.owner {
+                    FlowOwner::Phase(rank) => rank,
+                    FlowOwner::Transfer(t) => self.transfers[t].src,
+                };
+                return Error::RankStalled {
+                    rank: RankId::new(rank),
+                    at_time: self.now,
+                    resource: Some(self.resources.get(r).name.clone()),
+                };
+            }
+        }
+        if let Some(rank) =
+            (0..self.status.len()).find(|&r| self.stalled[r] && self.status[r] != Status::Done)
+        {
+            return Error::RankStalled {
+                rank: RankId::new(rank),
+                at_time: self.now,
+                resource: None,
+            };
+        }
+        let blocked: Vec<RankId> = (0..self.status.len())
+            .filter(|&r| self.status[r] != Status::Done)
+            .map(RankId::new)
+            .collect();
+        Error::Deadlock { blocked, at_time: self.now }
+    }
+
+    /// Executes ops for every Ready, non-stalled rank until all are
+    /// blocked, stalled, or done.
     fn dispatch_all(&mut self) -> Result<()> {
         loop {
-            let Some(rank) = (0..self.programs.len()).find(|&r| self.status[r] == Status::Ready)
+            let Some(rank) = (0..self.programs.len())
+                .find(|&r| self.status[r] == Status::Ready && !self.stalled[r])
             else {
                 return Ok(());
             };
@@ -414,9 +633,7 @@ impl<'a, 'm> Sim<'a, 'm> {
     ) -> Result<()> {
         let dst = to.index();
         if dst >= self.programs.len() {
-            return Err(Error::InvalidSpec(format!(
-                "rank {rank} sends to nonexistent rank {dst}"
-            )));
+            return Err(Error::InvalidSpec(format!("rank {rank} sends to nonexistent rank {dst}")));
         }
         self.metrics.messages_sent[rank] += 1;
         self.metrics.bytes_sent[rank] += bytes;
@@ -433,11 +650,7 @@ impl<'a, 'm> Sim<'a, 'm> {
 
         // Match an already-posted receive, if any.
         let key = (rank, dst, tag);
-        let matched = self
-            .pending_recvs
-            .get_mut(&key)
-            .and_then(|q| q.pop_front())
-            .is_some();
+        let matched = self.pending_recvs.get_mut(&key).and_then(|q| q.pop_front()).is_some();
         if matched {
             let at = (self.now + cost.setup).max(self.now);
             self.transfers[idx].state = TransferState::Starting { at };
@@ -466,8 +679,8 @@ impl<'a, 'm> Sim<'a, 'm> {
         let send = self.pending_sends.get_mut(&key).and_then(|q| q.pop_front());
         match send {
             Some(t) => {
-                let begin = (self.transfers[t].send_post + self.transfers[t].cost.setup)
-                    .max(self.now);
+                let begin =
+                    (self.transfers[t].send_post + self.transfers[t].cost.setup).max(self.now);
                 self.transfers[t].state = TransferState::Starting { at: begin };
                 self.status[rank] = Status::RecvBlocked;
                 // Start immediately if the start time has already passed.
@@ -554,7 +767,7 @@ impl<'a, 'm> Sim<'a, 'm> {
 
     fn check_route(&self, route: &[ResourceIndex]) -> Result<()> {
         for &r in route {
-            let res = self.engine.resources.get(r);
+            let res = self.resources.get(r);
             if res.capacity <= 0.0 {
                 return Err(Error::ZeroCapacityRoute { resource: res.name.clone() });
             }
@@ -572,15 +785,24 @@ impl<'a, 'm> Sim<'a, 'm> {
                 specs.push(f.spec.clone());
             }
         }
-        let rates = solve_maxmin(&self.engine.resources, &specs)?;
+        let rates = solve_maxmin(&self.resources, &specs)?;
         for (slot, rate) in index.into_iter().zip(rates) {
-            self.flows[slot].as_mut().expect("live flow").rate = rate;
+            // `index` was collected from occupied slots above and nothing
+            // vacates `self.flows` in between, so every slot is still live.
+            let Some(f) = self.flows[slot].as_mut() else {
+                debug_assert!(false, "rate solved for a vacated flow slot");
+                continue;
+            };
+            f.rate = rate;
         }
         Ok(())
     }
 
     fn next_event_time(&self) -> Option<f64> {
         let mut next = f64::INFINITY;
+        if let Some(&(at, _)) = self.faults.get(self.next_fault) {
+            next = next.min(at.max(self.now));
+        }
         for f in self.flows.iter().flatten() {
             if f.rate > 0.0 {
                 next = next.min(self.now + f.remaining / f.rate);
@@ -619,9 +841,7 @@ impl<'a, 'm> Sim<'a, 'm> {
     /// clock (remaining/rate below the ulp of `now`) — otherwise large
     /// simulations stall on femtosecond residues.
     fn flow_done(&self, f: &ActiveFlow) -> bool {
-        let eps = EPS_BYTES
-            .max(f.initial * 1e-12)
-            .max(f.rate * self.now.abs() * 1e-14);
+        let eps = EPS_BYTES.max(f.initial * 1e-12).max(f.rate * self.now.abs() * 1e-14);
         f.remaining <= eps
     }
 
@@ -634,7 +854,7 @@ impl<'a, 'm> Sim<'a, 'm> {
             if !done {
                 continue;
             }
-            let flow = self.flows[slot].take().expect("checked above");
+            let Some(flow) = self.flows[slot].take() else { continue };
             self.live_flows -= 1;
             self.rates_dirty = true;
             for &r in &flow.spec.route {
@@ -715,9 +935,7 @@ mod tests {
     fn single_core_stream_matches_littles_law() {
         let m = Machine::new(systems::dmz());
         let engine = Engine::new(&m);
-        let report = engine
-            .run(&[local_placement(&m, 0)], &[stream_program(1e9)])
-            .unwrap();
+        let report = engine.run(&[local_placement(&m, 0)], &[stream_program(1e9)]).unwrap();
         let bw = 1e9 / report.makespan;
         // 140 ns latency, 8 lines of 64 B => ~3.66 GB/s.
         assert!(bw > 3.4e9 && bw < 3.9e9, "bw = {:.3} GB/s", bw / 1e9);
@@ -727,9 +945,7 @@ mod tests {
     fn two_cores_one_socket_share_the_controller() {
         let m = Machine::new(systems::dmz());
         let engine = Engine::new(&m);
-        let one = engine
-            .run(&[local_placement(&m, 0)], &[stream_program(1e9)])
-            .unwrap();
+        let one = engine.run(&[local_placement(&m, 0)], &[stream_program(1e9)]).unwrap();
         let both = engine
             .run(
                 &[local_placement(&m, 0), local_placement(&m, 1)],
@@ -747,9 +963,7 @@ mod tests {
     fn two_sockets_scale_nearly_linearly() {
         let m = Machine::new(systems::dmz());
         let engine = Engine::new(&m);
-        let one = engine
-            .run(&[local_placement(&m, 0)], &[stream_program(1e9)])
-            .unwrap();
+        let one = engine.run(&[local_placement(&m, 0)], &[stream_program(1e9)]).unwrap();
         // Cores 0 and 2 are on different sockets.
         let two = engine
             .run(
@@ -764,9 +978,7 @@ mod tests {
     fn remote_memory_is_slower_than_local() {
         let m = Machine::new(systems::dmz());
         let engine = Engine::new(&m);
-        let local = engine
-            .run(&[local_placement(&m, 0)], &[stream_program(1e9)])
-            .unwrap();
+        let local = engine.run(&[local_placement(&m, 0)], &[stream_program(1e9)]).unwrap();
         let remote = engine
             .run(
                 &[RankPlacement::new(CoreId::new(0), MemoryLayout::single(NumaNodeId::new(1)))],
@@ -781,9 +993,7 @@ mod tests {
         let m = Machine::new(systems::dmz());
         let engine = Engine::new(&m);
         let mut p = Program::new();
-        p.compute(
-            ComputePhase::new("dgemm", 4.4e9, TrafficProfile::none()).with_efficiency(0.5),
-        );
+        p.compute(ComputePhase::new("dgemm", 4.4e9, TrafficProfile::none()).with_efficiency(0.5));
         let report = engine.run(&[local_placement(&m, 0)], &[p]).unwrap();
         // 4.4 Gflop at 50% of 4.4 Gflop/s peak = 2 s.
         assert!((report.makespan - 2.0).abs() < 1e-9);
@@ -798,15 +1008,14 @@ mod tests {
         p0.send(RankId::new(1), 8.0, 0, cost).recv(RankId::new(1), 1);
         let mut p1 = Program::new();
         p1.recv(RankId::new(0), 0).send(RankId::new(0), 8.0, 1, cost);
-        let report = engine
-            .run(
-                &[local_placement(&m, 0), local_placement(&m, 1)],
-                &[p0, p1],
-            )
-            .unwrap();
+        let report =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap();
         // Two setups of 1 us each dominate: ~2 us round trip.
-        assert!(report.makespan > 1.9e-6 && report.makespan < 2.5e-6,
-            "rtt = {:.2} us", report.makespan * 1e6);
+        assert!(
+            report.makespan > 1.9e-6 && report.makespan < 2.5e-6,
+            "rtt = {:.2} us",
+            report.makespan * 1e6
+        );
     }
 
     #[test]
@@ -818,12 +1027,8 @@ mod tests {
         p0.send(RankId::new(1), 1e6, 0, cost);
         let mut p1 = Program::new();
         p1.delay(1e-3).recv(RankId::new(0), 0);
-        let report = engine
-            .run(
-                &[local_placement(&m, 0), local_placement(&m, 1)],
-                &[p0, p1],
-            )
-            .unwrap();
+        let report =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap();
         // Transfer cannot start before the recv at t=1ms; 1 MB at <=1 GB/s
         // adds >=1 ms.
         assert!(report.finish_of(RankId::new(0)) >= 2e-3 * 0.99);
@@ -838,12 +1043,8 @@ mod tests {
         p0.send(RankId::new(1), 1e6, 0, cost);
         let mut p1 = Program::new();
         p1.delay(1e-3).recv(RankId::new(0), 0);
-        let report = engine
-            .run(
-                &[local_placement(&m, 0), local_placement(&m, 1)],
-                &[p0, p1],
-            )
-            .unwrap();
+        let report =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap();
         assert!(report.finish_of(RankId::new(0)) < 1e-4);
         assert!(report.finish_of(RankId::new(1)) >= 2e-3 * 0.99);
     }
@@ -856,12 +1057,8 @@ mod tests {
         p0.delay(5e-3).barrier();
         let mut p1 = Program::new();
         p1.barrier();
-        let report = engine
-            .run(
-                &[local_placement(&m, 0), local_placement(&m, 1)],
-                &[p0, p1],
-            )
-            .unwrap();
+        let report =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap();
         assert!((report.finish_of(RankId::new(1)) - 5e-3).abs() < 1e-9);
     }
 
@@ -872,12 +1069,8 @@ mod tests {
         let mut p0 = Program::new();
         p0.recv(RankId::new(1), 0);
         let p1 = Program::new();
-        let err = engine
-            .run(
-                &[local_placement(&m, 0), local_placement(&m, 1)],
-                &[p0, p1],
-            )
-            .unwrap_err();
+        let err =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap_err();
         assert!(matches!(err, Error::Deadlock { .. }), "{err}");
     }
 
@@ -919,12 +1112,8 @@ mod tests {
         p0.send(RankId::new(1), 1024.0, 0, cost);
         let mut p1 = Program::new();
         p1.recv(RankId::new(0), 0);
-        let report = engine
-            .run(
-                &[local_placement(&m, 0), local_placement(&m, 1)],
-                &[p0, p1],
-            )
-            .unwrap();
+        let report =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap();
         assert_eq!(report.metrics.messages_sent, vec![1, 0]);
         assert_eq!(report.metrics.bytes_sent, vec![1024.0, 0.0]);
     }
@@ -933,9 +1122,7 @@ mod tests {
     fn empty_programs_finish_at_time_zero() {
         let m = Machine::new(systems::dmz());
         let engine = Engine::new(&m);
-        let report = engine
-            .run(&[local_placement(&m, 0)], &[Program::new()])
-            .unwrap();
+        let report = engine.run(&[local_placement(&m, 0)], &[Program::new()]).unwrap();
         assert_eq!(report.makespan, 0.0);
     }
 
@@ -945,14 +1132,202 @@ mod tests {
         let engine = Engine::new(&m);
         let layout = MemoryLayout::uniform(&[NumaNodeId::new(0), NumaNodeId::new(1)]).unwrap();
         let report = engine
-            .run(
-                &[RankPlacement::new(CoreId::new(0), layout)],
-                &[stream_program(1e9)],
-            )
+            .run(&[RankPlacement::new(CoreId::new(0), layout)], &[stream_program(1e9)])
             .unwrap();
         // Half the traffic crosses the link: the link resource saw ~0.5 GB
         // (links sit at indices 2..4; index 4 is the probe fabric).
         let link_bytes: f64 = report.metrics.resource_bytes[2..4].iter().sum();
         assert!((link_bytes - 0.5e9).abs() < 1e7, "link bytes = {link_bytes}");
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Core 0 streaming from the remote node: every byte crosses a link.
+    fn remote_stream(bytes: f64) -> (RankPlacement, Program) {
+        let placement =
+            RankPlacement::new(CoreId::new(0), MemoryLayout::single(NumaNodeId::new(1)));
+        (placement, stream_program(bytes))
+    }
+
+    /// Degrades both directed links of the dmz machine to `factor`.
+    fn degrade_links(plan: crate::FaultPlan, at: f64, factor: f64) -> crate::FaultPlan {
+        plan.link_degrade(at, LinkId::new(0), factor).link_degrade(at, LinkId::new(1), factor)
+    }
+
+    fn restore_links(plan: crate::FaultPlan, at: f64) -> crate::FaultPlan {
+        plan.link_restore(at, LinkId::new(0)).link_restore(at, LinkId::new(1))
+    }
+
+    #[test]
+    fn mid_run_brownout_and_restore_bounds_makespan() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let (placement, program) = remote_stream(1e9);
+        let placements = [placement];
+        let programs = [program];
+
+        let healthy = engine.run(&placements, &programs).unwrap().makespan;
+        // Links at quarter bandwidth during [50ms, 150ms), then restored.
+        let brownout = restore_links(degrade_links(crate::FaultPlan::new(), 0.05, 0.25), 0.15);
+        let transient = engine.run_with_faults(&placements, &programs, &brownout).unwrap();
+        // Links at quarter bandwidth from t=0, never restored.
+        let permanent = degrade_links(crate::FaultPlan::new(), 0.0, 0.25);
+        let degraded = engine.run_with_faults(&placements, &programs, &permanent).unwrap().makespan;
+
+        assert!(
+            healthy < transient.makespan && transient.makespan < degraded,
+            "expected healthy {healthy:.4} < transient {:.4} < degraded {degraded:.4}",
+            transient.makespan
+        );
+        assert_eq!(transient.metrics.faults_applied, 4);
+    }
+
+    #[test]
+    fn full_outage_with_restore_recovers() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let (placement, program) = remote_stream(1e9);
+        let placements = [placement];
+        let programs = [program];
+
+        let healthy = engine.run(&placements, &programs).unwrap().makespan;
+        // Total link outage during [50ms, 150ms): in-flight traffic pauses
+        // at rate zero, then the restore wakes it.
+        let plan = restore_links(degrade_links(crate::FaultPlan::new(), 0.05, 0.0), 0.15);
+        let report = engine.run_with_faults(&placements, &programs, &plan).unwrap();
+        assert!(
+            (report.makespan - (healthy + 0.1)).abs() < healthy * 0.01,
+            "outage of 0.1s should add ~0.1s: healthy {healthy:.4}, got {:.4}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn link_kill_without_restore_is_a_typed_stall() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let (placement, program) = remote_stream(1e9);
+        // Links die at 50ms with traffic in flight and never come back.
+        let plan = degrade_links(crate::FaultPlan::new(), 0.05, 0.0);
+        let err = engine.run_with_faults(&[placement], &[program], &plan).unwrap_err();
+        match err {
+            Error::RankStalled { rank, resource: Some(resource), .. } => {
+                assert_eq!(rank, RankId::new(0));
+                assert!(resource.contains("link"), "starved resource: {resource}");
+            }
+            other => panic!("expected capacity-induced RankStalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn traffic_demanded_during_outage_is_a_zero_capacity_route() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let placement =
+            RankPlacement::new(CoreId::new(0), MemoryLayout::single(NumaNodeId::new(1)));
+        let mut program = Program::new();
+        program.delay(0.1).compute(ComputePhase::new("late", 0.0, TrafficProfile::stream(1e6)));
+        // The links are already dead when the phase tries to start.
+        let plan = degrade_links(crate::FaultPlan::new(), 0.05, 0.0);
+        let err = engine.run_with_faults(&[placement], &[program], &plan).unwrap_err();
+        assert!(matches!(err, Error::ZeroCapacityRoute { .. }), "{err}");
+    }
+
+    #[test]
+    fn rank_stall_without_resume_is_a_typed_error() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let mut p0 = Program::new();
+        p0.delay(1e-3).barrier();
+        let mut p1 = Program::new();
+        p1.barrier();
+        // Rank 0 freezes mid-delay; rank 1 waits at the barrier forever.
+        let plan = crate::FaultPlan::new().rank_stall(1e-4, RankId::new(0));
+        let err = engine
+            .run_with_faults(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1], &plan)
+            .unwrap_err();
+        match err {
+            Error::RankStalled { rank, resource: None, .. } => assert_eq!(rank, RankId::new(0)),
+            other => panic!("expected RankStalled for rank 0, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stalled_rank_resumes_at_the_scheduled_time() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let mut p = Program::new();
+        p.delay(1e-3);
+        let plan = crate::FaultPlan::new()
+            .rank_stall(2e-4, RankId::new(0))
+            .rank_resume(5e-3, RankId::new(0));
+        let report = engine.run_with_faults(&[local_placement(&m, 0)], &[p], &plan).unwrap();
+        // The delay expires at 1ms but the frozen rank only retires the
+        // program when the resume fires at 5ms.
+        assert!((report.makespan - 5e-3).abs() < 1e-9, "makespan {}", report.makespan);
+    }
+
+    #[test]
+    fn event_budget_exhausted_is_a_typed_error() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m).with_max_events(1);
+        let cost = MessageCost { setup: 1e-6, cap: 1.4e9, sender_busy: 0.5e-6, rendezvous: false };
+        let mut p0 = Program::new();
+        p0.send(RankId::new(1), 8.0, 0, cost).recv(RankId::new(1), 1);
+        let mut p1 = Program::new();
+        p1.recv(RankId::new(0), 0).send(RankId::new(0), 8.0, 1, cost);
+        let err =
+            engine.run(&[local_placement(&m, 0), local_placement(&m, 1)], &[p0, p1]).unwrap_err();
+        assert!(matches!(err, Error::EventBudgetExhausted { budget: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn time_budget_exhausted_is_a_typed_error() {
+        let m = Machine::new(systems::dmz());
+        // A 1 GB local stream needs ~0.27s; allow only 0.1s.
+        let engine = Engine::new(&m).with_time_budget(0.1);
+        let err = engine.run(&[local_placement(&m, 0)], &[stream_program(1e9)]).unwrap_err();
+        match err {
+            Error::TimeBudgetExhausted { budget, next_event } => {
+                assert_eq!(budget, 0.1);
+                assert!(next_event > 0.1);
+            }
+            other => panic!("expected TimeBudgetExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn budgets_do_not_trip_on_healthy_runs() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m).with_time_budget(1.0).with_zero_progress_limit(1);
+        let report = engine.run(&[local_placement(&m, 0)], &[stream_program(1e9)]).unwrap();
+        assert!(report.makespan < 1.0);
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let plan = crate::FaultPlan::new().link_degrade(0.0, LinkId::new(99), 0.5);
+        let err = engine
+            .run_with_faults(&[local_placement(&m, 0)], &[Program::new()], &plan)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSpec(_)), "{err}");
+    }
+
+    #[test]
+    fn halving_the_controller_at_most_doubles_makespan() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let placements = [local_placement(&m, 0)];
+        let programs = [stream_program(1e9)];
+        let healthy = engine.run(&placements, &programs).unwrap().makespan;
+        let plan = crate::FaultPlan::new().controller_throttle(0.0, SocketId::new(0), 0.5);
+        let degraded = engine.run_with_faults(&placements, &programs, &plan).unwrap().makespan;
+        assert!(degraded > healthy, "throttle must cost something");
+        assert!(
+            degraded <= 2.0 * healthy * 1.001,
+            "halving one resource can at most double the makespan: {degraded:.4} vs {healthy:.4}"
+        );
     }
 }

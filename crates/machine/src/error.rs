@@ -53,6 +53,33 @@ pub enum Error {
         /// Human-readable description of the dead resource.
         resource: String,
     },
+    /// The run exceeded the engine's discrete-event budget (see
+    /// [`crate::Engine::with_max_events`]) — a runaway-simulation guard.
+    EventBudgetExhausted {
+        /// The configured budget.
+        budget: usize,
+        /// Simulated time when the budget was exhausted.
+        at_time: f64,
+    },
+    /// The next event would push simulated time past the engine's
+    /// simulated-time budget (see [`crate::Engine::with_time_budget`]).
+    TimeBudgetExhausted {
+        /// The configured budget in simulated seconds.
+        budget: f64,
+        /// The event time that would have exceeded it.
+        next_event: f64,
+    },
+    /// A rank can never finish: it is frozen by an unresumed
+    /// [`crate::faults::FaultKind::RankStall`], or its traffic is starved
+    /// by a resource degraded to zero capacity with no restore scheduled.
+    RankStalled {
+        /// The rank that cannot make progress.
+        rank: RankId,
+        /// Simulated time when the stall was detected.
+        at_time: f64,
+        /// The starved resource, when the stall is capacity-induced.
+        resource: Option<String>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -71,15 +98,26 @@ impl fmt::Display for Error {
             Error::CoreOversubscribed { core } => {
                 write!(f, "core {core} has more than one rank bound to it")
             }
-            Error::Deadlock { blocked, at_time } => write!(
-                f,
-                "deadlock at t={at_time:.6}s: {} rank(s) blocked forever",
-                blocked.len()
-            ),
+            Error::Deadlock { blocked, at_time } => {
+                write!(f, "deadlock at t={at_time:.6}s: {} rank(s) blocked forever", blocked.len())
+            }
             Error::InvalidLayout(msg) => write!(f, "invalid memory layout: {msg}"),
             Error::ZeroCapacityRoute { resource } => {
                 write!(f, "flow routed through zero-capacity resource {resource}")
             }
+            Error::EventBudgetExhausted { budget, at_time } => {
+                write!(f, "event budget {budget} exhausted at t={at_time:.6}s")
+            }
+            Error::TimeBudgetExhausted { budget, next_event } => write!(
+                f,
+                "simulated-time budget {budget:.6}s exhausted (next event at t={next_event:.6}s)"
+            ),
+            Error::RankStalled { rank, at_time, resource } => match resource {
+                Some(r) => {
+                    write!(f, "{rank} stalled forever at t={at_time:.6}s: traffic starved by {r}")
+                }
+                None => write!(f, "{rank} stalled forever at t={at_time:.6}s"),
+            },
         }
     }
 }
@@ -96,6 +134,23 @@ mod tests {
         assert_eq!(e.to_string(), "core 9 out of range (machine has 4 cores)");
         let e = Error::Deadlock { blocked: vec![RankId::new(0)], at_time: 1.5 };
         assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn watchdog_errors_name_the_budget_or_culprit() {
+        let e = Error::EventBudgetExhausted { budget: 100, at_time: 0.5 };
+        assert!(e.to_string().contains("100"));
+        let e = Error::TimeBudgetExhausted { budget: 2.0, next_event: 3.5 };
+        assert!(e.to_string().contains("2.0"));
+        let e = Error::RankStalled {
+            rank: RankId::new(3),
+            at_time: 1.0,
+            resource: Some("link:socket0->socket1".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank3") && s.contains("link:socket0->socket1"), "{s}");
+        let e = Error::RankStalled { rank: RankId::new(1), at_time: 1.0, resource: None };
+        assert!(e.to_string().contains("rank1"));
     }
 
     #[test]

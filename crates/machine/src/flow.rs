@@ -103,10 +103,7 @@ pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64
     let caps = table.capacities();
     for (i, f) in flows.iter().enumerate() {
         if !f.cap.is_finite() || f.cap < 0.0 {
-            return Err(Error::InvalidSpec(format!(
-                "flow {i} has invalid cap {}",
-                f.cap
-            )));
+            return Err(Error::InvalidSpec(format!("flow {i} has invalid cap {}", f.cap)));
         }
         for &r in &f.route {
             if r >= caps.len() {
@@ -124,12 +121,8 @@ pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64
         return Ok(rates);
     }
 
-    let scale = flows
-        .iter()
-        .map(|f| f.cap)
-        .chain(caps.iter().copied())
-        .fold(0.0_f64, f64::max)
-        .max(1.0);
+    let scale =
+        flows.iter().map(|f| f.cap).chain(caps.iter().copied()).fold(0.0_f64, f64::max).max(1.0);
     let eps = scale * 1e-12;
 
     let mut fixed = vec![false; n];
@@ -263,10 +256,7 @@ mod tests {
     fn multi_resource_bottleneck() {
         // Flow A uses r0+r1, flow B uses r1 only; r1 is the bottleneck.
         let t = table(&[100.0, 10.0]);
-        let flows = vec![
-            FlowSpec::new(vec![0, 1], 1000.0),
-            FlowSpec::new(vec![1], 1000.0),
-        ];
+        let flows = vec![FlowSpec::new(vec![0, 1], 1000.0), FlowSpec::new(vec![1], 1000.0)];
         let rates = solve_maxmin(&t, &flows).unwrap();
         assert!((rates[0] - 5.0).abs() < 1e-9);
         assert!((rates[1] - 5.0).abs() < 1e-9);
@@ -277,10 +267,7 @@ mod tests {
         // Classic max-min example: r0 cap 10 shared by A,B; r1 cap 100
         // used by B only; B should get more once A is frozen at 5.
         let t = table(&[10.0, 100.0]);
-        let flows = vec![
-            FlowSpec::new(vec![0], 5.0),
-            FlowSpec::new(vec![0, 1], 1000.0),
-        ];
+        let flows = vec![FlowSpec::new(vec![0], 5.0), FlowSpec::new(vec![0, 1], 1000.0)];
         let rates = solve_maxmin(&t, &flows).unwrap();
         assert!((rates[0] - 5.0).abs() < 1e-9);
         assert!((rates[1] - 5.0).abs() < 1e-9, "r0 still splits fairly: {rates:?}");

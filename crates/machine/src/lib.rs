@@ -35,6 +35,7 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod flow;
 pub mod ids;
 pub mod memory;
@@ -47,6 +48,7 @@ pub mod traffic;
 
 pub use engine::{Engine, RunReport};
 pub use error::{Error, Result};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{CoreId, LinkId, NumaNodeId, RankId, SocketId};
 pub use memory::MemoryLayout;
 pub use program::{ComputePhase, Op, Program};

@@ -96,11 +96,7 @@ impl MemoryLayout {
 
     /// The fraction of pages on `node` (0 when absent).
     pub fn fraction(&self, node: NumaNodeId) -> f64 {
-        self.shares
-            .iter()
-            .find(|(n, _)| *n == node)
-            .map(|(_, w)| *w)
-            .unwrap_or(0.0)
+        self.shares.iter().find(|(n, _)| *n == node).map(|(_, w)| *w).unwrap_or(0.0)
     }
 
     /// Iterates `(node, fraction)` pairs with positive fractions, in node

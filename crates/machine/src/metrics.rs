@@ -20,6 +20,8 @@ pub struct RunMetrics {
     pub resource_bytes: Vec<f64>,
     /// Number of discrete events processed.
     pub events: usize,
+    /// Number of scheduled fault events that fired during the run.
+    pub faults_applied: usize,
 }
 
 impl RunMetrics {
@@ -32,6 +34,7 @@ impl RunMetrics {
             bytes_sent: vec![0.0; ranks],
             resource_bytes: vec![0.0; resources],
             events: 0,
+            faults_applied: 0,
         }
     }
 
@@ -96,11 +99,7 @@ mod tests {
 
     #[test]
     fn report_bandwidth_handles_zero_makespan() {
-        let r = RunReport {
-            makespan: 0.0,
-            rank_finish: vec![0.0],
-            metrics: RunMetrics::new(1, 1),
-        };
+        let r = RunReport { makespan: 0.0, rank_finish: vec![0.0], metrics: RunMetrics::new(1, 1) };
         assert_eq!(r.mean_dram_bandwidth(), 0.0);
     }
 }

@@ -181,23 +181,20 @@ impl MachineSpec {
             || self.cache.l2_bytes < self.cache.l1_bytes
             || self.cache.l2_bytes.is_nan()
         {
-            return Err(Error::InvalidSpec(
-                "cache spec must be positive with l2 >= l1".into(),
-            ));
+            return Err(Error::InvalidSpec("cache spec must be positive with l2 >= l1".into()));
         }
         if !positive(self.coherence.probe_capacity) {
             return Err(Error::InvalidSpec("probe capacity must be positive".into()));
         }
         if self.sockets.len() > 1 {
-            if !positive(self.link.bandwidth) || self.link.hop_latency < 0.0
+            if !positive(self.link.bandwidth)
+                || self.link.hop_latency < 0.0
                 || self.link.hop_latency.is_nan()
             {
                 return Err(Error::InvalidSpec("link spec must be positive".into()));
             }
             if self.edges.is_empty() {
-                return Err(Error::InvalidSpec(
-                    "multi-socket machine has no links".into(),
-                ));
+                return Err(Error::InvalidSpec("multi-socket machine has no links".into()));
             }
         }
         for e in &self.edges {

@@ -74,17 +74,11 @@ fn k8_cache() -> CacheSpec {
 }
 
 fn k8_memory() -> MemorySpec {
-    MemorySpec {
-        controller_bw: calib::DDR400_SUSTAINED_BW,
-        idle_latency: calib::DRAM_LATENCY,
-    }
+    MemorySpec { controller_bw: calib::DDR400_SUSTAINED_BW, idle_latency: calib::DRAM_LATENCY }
 }
 
 fn k8_link() -> LinkSpec {
-    LinkSpec {
-        bandwidth: calib::HT_BANDWIDTH,
-        hop_latency: calib::HT_HOP_LATENCY,
-    }
+    LinkSpec { bandwidth: calib::HT_BANDWIDTH, hop_latency: calib::HT_HOP_LATENCY }
 }
 
 fn k8_coherence(probe_capacity: f64) -> CoherenceSpec {

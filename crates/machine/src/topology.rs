@@ -81,11 +81,7 @@ impl Topology {
                 next_hop[src][dst] = first[dst];
             }
         }
-        let diameter = hops
-            .iter()
-            .flat_map(|row| row.iter().copied())
-            .max()
-            .unwrap_or(0);
+        let diameter = hops.iter().flat_map(|row| row.iter().copied()).max().unwrap_or(0);
         Ok(Self { sockets: n, links, link_index, next_hop, hops, diameter })
     }
 
@@ -120,10 +116,9 @@ impl Topology {
         let mut route = Vec::with_capacity(self.hops(src, dst));
         let mut cur = src;
         while cur != dst {
-            let next = self.next_hop[cur.index()][dst.index()]
-                .expect("connected topology has next hop");
-            let link = self.link_index[cur.index()][next.index()]
-                .expect("next hop is adjacent");
+            let next =
+                self.next_hop[cur.index()][dst.index()].expect("connected topology has next hop");
+            let link = self.link_index[cur.index()][next.index()].expect("next hop is adjacent");
             route.push(link);
             cur = next;
         }
@@ -207,10 +202,7 @@ mod tests {
         let mut spec = systems::longs();
         // Remove every edge touching socket 7.
         spec.edges.retain(|e| e.a != 7 && e.b != 7);
-        assert_eq!(
-            Topology::from_spec(&spec),
-            Err(Error::DisconnectedTopology { unreachable: 7 })
-        );
+        assert_eq!(Topology::from_spec(&spec), Err(Error::DisconnectedTopology { unreachable: 7 }));
     }
 
     #[test]

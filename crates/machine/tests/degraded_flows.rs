@@ -1,0 +1,144 @@
+//! Property tests for the max-min solver under degraded capacities.
+//!
+//! These pin down what fault injection is allowed to do to flow rates:
+//! degrading a resource never lets the solution oversubscribe anything,
+//! never speeds up the flows that cross the degraded resource, kills
+//! exactly the crossing flows when capacity hits zero, and is fully
+//! undone by restoring the original capacity.
+
+use corescope_machine::flow::{solve_maxmin, FlowSpec, ResourceTable};
+use proptest::prelude::*;
+
+/// Builds a resource table plus flow specs from generated raw parts.
+/// Route entries are taken modulo the table size so every generated
+/// index is valid.
+fn build(caps: &[f64], flows: &[(Vec<usize>, f64)]) -> (ResourceTable, Vec<FlowSpec>) {
+    let mut table = ResourceTable::new();
+    for (i, &c) in caps.iter().enumerate() {
+        table.add(format!("r{i}"), c);
+    }
+    let specs = flows
+        .iter()
+        .map(|(route, cap)| {
+            let mut route: Vec<usize> = route.iter().map(|&r| r % caps.len()).collect();
+            route.sort_unstable();
+            route.dedup();
+            FlowSpec::new(route, *cap)
+        })
+        .collect();
+    (table, specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Degrading any one resource keeps the solution feasible: no
+    /// resource over its (new) capacity, no flow over its own cap.
+    #[test]
+    fn degraded_solutions_stay_feasible(
+        caps in proptest::collection::vec(1.0f64..1e3, 1..6),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 0.1f64..1e3),
+            1..10,
+        ),
+        target in 0usize..6,
+        factor in 0.0f64..1.0,
+    ) {
+        let (mut table, specs) = build(&caps, &flows);
+        let target = target % caps.len();
+        table.set_capacity(target, caps[target] * factor);
+        let rates = solve_maxmin(&table, &specs).unwrap();
+        let mut used = vec![0.0; caps.len()];
+        for (spec, &rate) in specs.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= spec.cap * (1.0 + 1e-9));
+            for &r in &spec.route {
+                used[r] += rate;
+            }
+        }
+        for (r, &u) in used.iter().enumerate() {
+            let cap = if r == target { caps[r] * factor } else { caps[r] };
+            prop_assert!(u <= cap * (1.0 + 1e-9) + 1e-12, "resource {r}: {u} > {cap}");
+        }
+    }
+
+    /// A flow routed *through* the degraded resource never gets faster.
+    ///
+    /// Deliberately scoped: global monotonicity is false for max-min
+    /// fairness — degrading a resource can freeze its flows earlier,
+    /// freeing share on *other* resources, so flows that avoid the
+    /// degraded resource may legitimately speed up.
+    #[test]
+    fn degrading_a_resource_never_speeds_up_the_flows_crossing_it(
+        caps in proptest::collection::vec(1.0f64..1e3, 1..6),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 0.1f64..1e3),
+            1..10,
+        ),
+        target in 0usize..6,
+        factor in 0.0f64..1.0,
+    ) {
+        let (mut table, specs) = build(&caps, &flows);
+        let target = target % caps.len();
+        let healthy = solve_maxmin(&table, &specs).unwrap();
+        table.set_capacity(target, caps[target] * factor);
+        let degraded = solve_maxmin(&table, &specs).unwrap();
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.route.contains(&target) {
+                prop_assert!(
+                    degraded[i] <= healthy[i] * (1.0 + 1e-9) + 1e-12,
+                    "flow {i} through degraded r{target} sped up: {} -> {}",
+                    healthy[i],
+                    degraded[i]
+                );
+            }
+        }
+    }
+
+    /// Killing a resource starves exactly the flows crossing it; every
+    /// other flow keeps a strictly positive rate.
+    #[test]
+    fn killed_resource_starves_exactly_its_flows(
+        caps in proptest::collection::vec(1.0f64..1e3, 1..6),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 0.1f64..1e3),
+            1..10,
+        ),
+        target in 0usize..6,
+    ) {
+        let (mut table, specs) = build(&caps, &flows);
+        let target = target % caps.len();
+        table.set_capacity(target, 0.0);
+        let rates = solve_maxmin(&table, &specs).unwrap();
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.route.contains(&target) {
+                prop_assert_eq!(rates[i], 0.0, "flow {} crosses the dead resource", i);
+            } else {
+                prop_assert!(rates[i] > 0.0, "flow {} avoids the dead resource", i);
+            }
+        }
+    }
+
+    /// Restoring the original capacity restores the original solution
+    /// exactly (the solver is deterministic, and restores use nominal
+    /// capacities, so nothing compounds).
+    #[test]
+    fn restore_recovers_the_healthy_solution(
+        caps in proptest::collection::vec(1.0f64..1e3, 1..6),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 0.1f64..1e3),
+            1..10,
+        ),
+        target in 0usize..6,
+        factor in 0.0f64..1.0,
+    ) {
+        let (mut table, specs) = build(&caps, &flows);
+        let target = target % caps.len();
+        let healthy = solve_maxmin(&table, &specs).unwrap();
+        table.set_capacity(target, caps[target] * factor);
+        let _degraded = solve_maxmin(&table, &specs).unwrap();
+        table.set_capacity(target, caps[target]);
+        let restored = solve_maxmin(&table, &specs).unwrap();
+        prop_assert_eq!(healthy, restored);
+    }
+}

@@ -11,7 +11,7 @@ use crate::profiles::{LockLayer, MpiProfile};
 use crate::transport::message_cost;
 use corescope_machine::engine::{Engine, RankPlacement, RunReport};
 use corescope_machine::program::{ComputePhase, Program};
-use corescope_machine::{Machine, RankId, Result};
+use corescope_machine::{FaultPlan, Machine, RankId, Result};
 
 /// An MPI communicator bound to placed ranks on a machine.
 #[derive(Debug, Clone)]
@@ -33,14 +33,7 @@ impl<'m> CommWorld<'m> {
         lock: LockLayer,
     ) -> Self {
         let n = placements.len();
-        Self {
-            machine,
-            placements,
-            profile,
-            lock,
-            programs: vec![Program::new(); n],
-            next_tag: 0,
-        }
+        Self { machine, placements, profile, lock, programs: vec![Program::new(); n], next_tag: 0 }
     }
 
     /// Creates a world using the profile's default lock sub-layer.
@@ -105,15 +98,8 @@ impl<'m> CommWorld<'m> {
 
     /// Appends a raw send (no matching recv — pair it yourself).
     pub fn send(&mut self, src: usize, dst: usize, bytes: f64, tag: u64) -> &mut Self {
-        let cost = message_cost(
-            self.machine,
-            &self.placements,
-            &self.profile,
-            self.lock,
-            src,
-            dst,
-            bytes,
-        );
+        let cost =
+            message_cost(self.machine, &self.placements, &self.profile, self.lock, src, dst, bytes);
         self.programs[src].send(RankId::new(dst), bytes, tag, cost);
         self
     }
@@ -175,6 +161,19 @@ impl<'m> CommWorld<'m> {
     /// Propagates engine errors.
     pub fn run_on(&self, engine: &Engine<'_>) -> Result<RunReport> {
         engine.run(&self.placements, &self.programs)
+    }
+
+    /// Runs the built programs under a schedule of mid-run faults (see
+    /// [`corescope_machine::faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors, including the typed fault outcomes
+    /// ([`corescope_machine::Error::RankStalled`],
+    /// [`corescope_machine::Error::ZeroCapacityRoute`], watchdog budgets)
+    /// and plan-validation failures.
+    pub fn run_with_faults(&self, plan: &FaultPlan) -> Result<RunReport> {
+        Engine::new(self.machine).run_with_faults(&self.placements, &self.programs, plan)
     }
 }
 

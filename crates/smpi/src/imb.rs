@@ -87,8 +87,7 @@ pub fn exchange_time(
     }
     // Build the world over only the active ranks, then pad with parked
     // placements so the machine sees the same occupancy.
-    let mut world =
-        CommWorld::new(machine, placements[..active].to_vec(), profile.clone(), lock);
+    let mut world = CommWorld::new(machine, placements[..active].to_vec(), profile.clone(), lock);
     for _ in 0..reps {
         world.exchange_step(bytes);
     }
@@ -151,8 +150,7 @@ mod tests {
         let m = dmz();
         let p = Scheme::OneMpiLocalAlloc.resolve(&m, 2).unwrap();
         let prof = MpiImpl::Mpich2.profile();
-        let bw =
-            pingpong_bandwidth(&m, &p, &prof, LockLayer::USysV, 4e6, 3).unwrap();
+        let bw = pingpong_bandwidth(&m, &p, &prof, LockLayer::USysV, 4e6, 3).unwrap();
         assert!(bw > 0.75 * prof.copy_bw && bw <= prof.copy_bw * 1.01, "bw = {bw:.3e}");
     }
 
@@ -163,10 +161,8 @@ mod tests {
         // Bound to one socket (cores 0, 1) vs. spread across sockets.
         let near = Scheme::TwoMpiLocalAlloc.resolve(&m, 2).unwrap();
         let far = Scheme::OneMpiLocalAlloc.resolve(&m, 2).unwrap();
-        let bw_near =
-            pingpong_bandwidth(&m, &near, &prof, LockLayer::USysV, 1e6, 3).unwrap();
-        let bw_far =
-            pingpong_bandwidth(&m, &far, &prof, LockLayer::USysV, 1e6, 3).unwrap();
+        let bw_near = pingpong_bandwidth(&m, &near, &prof, LockLayer::USysV, 1e6, 3).unwrap();
+        let bw_far = pingpong_bandwidth(&m, &far, &prof, LockLayer::USysV, 1e6, 3).unwrap();
         let gain = bw_near / bw_far;
         assert!(
             gain > 1.05 && gain < 1.2,

@@ -174,11 +174,8 @@ mod tests {
         // Effective PingPong bandwidth b(s) = s / (overhead + s/copy_bw).
         // MPICH2 must lose to the others at 1 KB and beat LAM at 1 MB.
         let bw = |p: &MpiProfile, s: f64| s / (p.overhead + s / p.copy_bw);
-        let (m, l, o) = (
-            MpiImpl::Mpich2.profile(),
-            MpiImpl::Lam.profile(),
-            MpiImpl::OpenMpi.profile(),
-        );
+        let (m, l, o) =
+            (MpiImpl::Mpich2.profile(), MpiImpl::Lam.profile(), MpiImpl::OpenMpi.profile());
         assert!(bw(&l, 1024.0) > bw(&o, 1024.0));
         assert!(bw(&l, 1024.0) > bw(&m, 1024.0));
         assert!(bw(&o, 64.0 * 1024.0) > bw(&l, 64.0 * 1024.0));

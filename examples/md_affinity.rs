@@ -26,24 +26,16 @@ fn main() -> Result<(), corescope::machine::Error> {
                 println!("  {:<24} —", scheme.name());
                 continue;
             };
-            let mut world = CommWorld::new(
-                &machine,
-                placements,
-                MpiImpl::Mpich2.profile(),
-                LockLayer::USysV,
-            );
+            let mut world =
+                CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
             jac.append_run(&mut world);
             let t = world.run()?.makespan;
             println!("  {:<24} {t:7.2} s", scheme.name());
             results.push((scheme.name(), t));
         }
-        if let Some((best, t_best)) =
-            results.iter().min_by(|a, b| a.1.total_cmp(&b.1))
-        {
-            let (worst, t_worst) = results
-                .iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("results nonempty");
+        if let Some((best, t_best)) = results.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+            let (worst, t_worst) =
+                results.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("results nonempty");
             println!(
                 "  -> best: {best} ({t_best:.2} s); worst: {worst} is {:.0}% slower\n",
                 (t_worst / t_best - 1.0) * 100.0

@@ -20,14 +20,7 @@ fn main() -> Result<(), corescope::machine::Error> {
         let mut row = format!("   {bytes:>10.0}");
         for imp in MpiImpl::all() {
             let profile = imp.profile();
-            let bw = pingpong_bandwidth(
-                &dmz,
-                &placements,
-                &profile,
-                LockLayer::USysV,
-                bytes,
-                20,
-            )?;
+            let bw = pingpong_bandwidth(&dmz, &placements, &profile, LockLayer::USysV, bytes, 20)?;
             row.push_str(&format!("  {:>7.1} MB/s", bw / 1e6).replace(" MB/s", ""));
         }
         println!("{row}   (MB/s)");

@@ -53,7 +53,9 @@ fn main() -> Result<(), corescope::machine::Error> {
             let tropic = run_phase(true)?;
             if nranks == 1 {
                 t1 = (clinic, tropic);
-                println!("  {nranks:2} cores: baroclinic {clinic:7.1} s, barotropic {tropic:6.2} s");
+                println!(
+                    "  {nranks:2} cores: baroclinic {clinic:7.1} s, barotropic {tropic:6.2} s"
+                );
             } else {
                 println!(
                     "  {nranks:2} cores: baroclinic {clinic:7.1} s ({:4.1}x), barotropic {tropic:6.2} s ({:4.1}x)",

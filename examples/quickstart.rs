@@ -16,8 +16,7 @@ fn triad_bandwidth(
     nranks: usize,
 ) -> Result<f64, corescope::machine::Error> {
     let placements = scheme.resolve(machine, nranks)?;
-    let mut world =
-        CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
+    let mut world = CommWorld::new(machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
     let params = StreamParams { sweeps: 3, ..StreamParams::default() };
     append_star(&mut world, &params);
     let report = world.run()?;

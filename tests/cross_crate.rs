@@ -5,7 +5,9 @@ use corescope::affinity::Scheme;
 use corescope::apps::md::LammpsBenchmark;
 use corescope::kernels::cg::{CgClass, NasCg};
 use corescope::machine::engine::RankPlacement;
-use corescope::machine::{systems, CoreId, Engine, Error, LinkId, Machine, MemoryLayout, NumaNodeId};
+use corescope::machine::{
+    systems, CoreId, Engine, Error, LinkId, Machine, MemoryLayout, NumaNodeId,
+};
 use corescope::smpi::{CommWorld, LockLayer, MpiImpl};
 
 fn longs() -> Machine {
@@ -23,12 +25,8 @@ fn degraded_rung_link_slows_cross_ladder_workloads() {
     };
 
     let healthy = {
-        let mut w = CommWorld::new(
-            &machine,
-            placements.clone(),
-            MpiImpl::Lam.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(&machine, placements.clone(), MpiImpl::Lam.profile(), LockLayer::USysV);
         build(&mut w);
         w.run().unwrap().makespan
     };
@@ -39,19 +37,11 @@ fn degraded_rung_link_slows_cross_ladder_workloads() {
         engine.set_link_capacity(LinkId::new(l), 0.2e9);
     }
     let degraded = {
-        let mut w = CommWorld::new(
-            &machine,
-            placements,
-            MpiImpl::Lam.profile(),
-            LockLayer::USysV,
-        );
+        let mut w = CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
         build(&mut w);
         w.run_on(&engine).unwrap().makespan
     };
-    assert!(
-        degraded > 2.0 * healthy,
-        "degraded links must hurt: {degraded:.4} vs {healthy:.4}"
-    );
+    assert!(degraded > 2.0 * healthy, "degraded links must hurt: {degraded:.4} vs {healthy:.4}");
 }
 
 #[test]
@@ -97,12 +87,8 @@ fn deterministic_simulations_are_bit_reproducible() {
     let machine = longs();
     let run = || {
         let placements = Scheme::Default.resolve(&machine, 8).unwrap();
-        let mut w = CommWorld::new(
-            &machine,
-            placements,
-            MpiImpl::Mpich2.profile(),
-            LockLayer::USysV,
-        );
+        let mut w =
+            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
         NasCg { class: CgClass::A }.append_run(&mut w);
         w.run().unwrap().makespan
     };
@@ -115,12 +101,7 @@ fn deterministic_simulations_are_bit_reproducible() {
 fn workloads_report_consistent_metrics() {
     let machine = longs();
     let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 4).unwrap();
-    let mut w = CommWorld::new(
-        &machine,
-        placements,
-        MpiImpl::OpenMpi.profile(),
-        LockLayer::USysV,
-    );
+    let mut w = CommWorld::new(&machine, placements, MpiImpl::OpenMpi.profile(), LockLayer::USysV);
     LammpsBenchmark::Lj.append_run(&mut w);
     let report = w.run().unwrap();
     // Per-rank finish times never exceed the makespan.
@@ -141,8 +122,7 @@ fn mpi_profiles_preserve_orderings_through_full_workloads() {
     let machine = Machine::new(systems::dmz());
     let placements = Scheme::OneMpiLocalAlloc.resolve(&machine, 2).unwrap();
     let run = |imp: MpiImpl, bytes: f64, count: usize| {
-        let mut w =
-            CommWorld::new(&machine, placements.clone(), imp.profile(), LockLayer::USysV);
+        let mut w = CommWorld::new(&machine, placements.clone(), imp.profile(), LockLayer::USysV);
         for _ in 0..count {
             w.sendrecv(0, 1, bytes);
         }

@@ -34,16 +34,9 @@ fn placement_is_worth_over_25_percent_on_key_kernels() {
 fn applications_see_double_digit_placement_effects() {
     let tables = Artifact::T13.run(Fidelity::Quick).expect("table 13 runs");
     let longs = &tables[0];
-    let best = longs
-        .value("8 baroclinic", "One MPI + Local Alloc")
-        .expect("localalloc cell");
-    let worst = longs
-        .value("8 baroclinic", "One MPI + Membind")
-        .expect("membind cell");
-    assert!(
-        worst > 1.10 * best,
-        "POP baroclinic: membind {worst:.1} vs localalloc {best:.1}"
-    );
+    let best = longs.value("8 baroclinic", "One MPI + Local Alloc").expect("localalloc cell");
+    let worst = longs.value("8 baroclinic", "One MPI + Membind").expect("membind cell");
+    assert!(worst > 1.10 * best, "POP baroclinic: membind {worst:.1} vs localalloc {best:.1}");
 }
 
 /// Summary: "dual core processors are generally worth the investment in
@@ -67,12 +60,9 @@ fn eight_socket_node_rewards_cache_locality() {
     let tables = Artifact::F9.run(Fidelity::Quick).expect("figure 9 runs");
     let t = &tables[0];
     // DGEMM: star == single (second core doubles per-socket throughput).
-    let dgemm_ratio = t.value("usysv", "Single DGEMM").unwrap()
-        / t.value("usysv", "Star DGEMM").unwrap();
-    assert!(
-        dgemm_ratio < 1.1,
-        "DGEMM single:star {dgemm_ratio:.2} should be ~1 (cache friendly)"
-    );
+    let dgemm_ratio =
+        t.value("usysv", "Single DGEMM").unwrap() / t.value("usysv", "Star DGEMM").unwrap();
+    assert!(dgemm_ratio < 1.1, "DGEMM single:star {dgemm_ratio:.2} should be ~1 (cache friendly)");
     // STREAM: single:star per-core ratio is > 2 (figure 10).
     let stream = &Artifact::F10.run(Fidelity::Quick).expect("figure 10 runs")[0];
     let stream_ratio = stream.value("default", "Single:Star").unwrap();

@@ -1,0 +1,91 @@
+//! Cross-crate resilience tests: broken communication schedules and
+//! mid-run faults must produce typed errors or bounded slowdowns — never
+//! hangs.
+
+use corescope::affinity::Scheme;
+use corescope::machine::{systems, Error, FaultPlan, LinkId, Machine, RankId};
+use corescope::smpi::{CommWorld, LockLayer, MpiImpl};
+
+fn world(machine: &Machine, n: usize) -> CommWorld<'_> {
+    let placements = Scheme::TwoMpiLocalAlloc.resolve(machine, n).unwrap();
+    CommWorld::new(machine, placements, MpiImpl::OpenMpi.profile(), LockLayer::USysV)
+}
+
+#[test]
+fn unmatched_recv_in_a_collective_schedule_reports_the_blocked_rank() {
+    let m = Machine::new(systems::dmz());
+    let mut w = world(&m, 4);
+    w.allreduce(1024.0);
+    // Rank 2 then waits for a message rank 3 never sends.
+    let tag = w.fresh_tag();
+    w.recv(2, 3, tag);
+    match w.run().unwrap_err() {
+        Error::Deadlock { blocked, .. } => assert_eq!(blocked, vec![RankId::new(2)]),
+        other => panic!("expected Deadlock naming rank 2, got {other}"),
+    }
+}
+
+#[test]
+fn unmatched_recv_before_a_barrier_blocks_every_rank() {
+    let m = Machine::new(systems::dmz());
+    let mut w = world(&m, 4);
+    w.allreduce(1024.0);
+    let tag = w.fresh_tag();
+    w.recv(1, 0, tag);
+    // The barrier drags everyone else into the deadlock.
+    w.barrier();
+    match w.run().unwrap_err() {
+        Error::Deadlock { blocked, .. } => {
+            assert_eq!(blocked.len(), 4, "all ranks should be blocked: {blocked:?}");
+        }
+        other => panic!("expected Deadlock over all 4 ranks, got {other}"),
+    }
+}
+
+#[test]
+fn link_brownout_and_restore_bounds_a_collective_workload() {
+    let m = Machine::new(systems::dmz());
+    let mut w = world(&m, 4);
+    // Cross-socket traffic: ranks 0/1 sit on socket 0, ranks 2/3 on
+    // socket 1 under the packed placement.
+    for _ in 0..50 {
+        w.sendrecv(0, 2, 1e6);
+    }
+    let healthy = w.run().unwrap().makespan;
+
+    let degrade_all = |plan: FaultPlan, at: f64, factor: f64| {
+        plan.link_degrade(at, LinkId::new(0), factor).link_degrade(at, LinkId::new(1), factor)
+    };
+    let restore_all = |plan: FaultPlan, at: f64| {
+        plan.link_restore(at, LinkId::new(0)).link_restore(at, LinkId::new(1))
+    };
+
+    // Quarter-bandwidth links during the middle of the healthy run.
+    let transient_plan =
+        restore_all(degrade_all(FaultPlan::new(), healthy * 0.25, 0.25), healthy * 0.5);
+    let transient = w.run_with_faults(&transient_plan).unwrap();
+    // Quarter-bandwidth links for the whole run.
+    let permanent_plan = degrade_all(FaultPlan::new(), 0.0, 0.25);
+    let permanent = w.run_with_faults(&permanent_plan).unwrap();
+
+    assert!(
+        healthy < transient.makespan && transient.makespan < permanent.makespan,
+        "expected healthy {healthy:.5} < transient {:.5} < permanent {:.5}",
+        transient.makespan,
+        permanent.makespan
+    );
+    assert!(transient.metrics.faults_applied > 0);
+}
+
+#[test]
+fn rank_stalled_during_a_collective_is_a_typed_error() {
+    let m = Machine::new(systems::dmz());
+    let mut w = world(&m, 4);
+    w.allreduce(1024.0);
+    // Rank 3 never starts; the collective can never complete.
+    let plan = FaultPlan::new().rank_stall(0.0, RankId::new(3));
+    match w.run_with_faults(&plan).unwrap_err() {
+        Error::RankStalled { rank, .. } => assert_eq!(rank, RankId::new(3)),
+        other => panic!("expected RankStalled for rank 3, got {other}"),
+    }
+}

@@ -1,0 +1,129 @@
+//! In-tree stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Offline builds cannot fetch the real crate, so this implements the
+//! small surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark runs `sample_size` timed iterations after a
+//! short warm-up and prints min/mean/max wall times — no statistics,
+//! plots, or baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 20 }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warm-up pass populates caches and lazy statics.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let times = &bencher.samples;
+        if times.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return self;
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!("{}/{id}: mean {mean:?} (min {min:?}, max {max:?}, n={})", self.name, times.len());
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure to time the hot section.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one call of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(std_black_box(out));
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        benches();
+    }
+}

@@ -1,0 +1,213 @@
+//! In-tree stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the *tiny* slice of the rand 0.8 API that corescope
+//! actually uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over half-open integer/float ranges. The generator
+//! is xoshiro256++ seeded via splitmix64 — the same construction the real
+//! `SmallRng` uses on 64-bit platforms — so sequences are deterministic,
+//! fast, and of more than adequate quality for simulation workloads.
+//!
+//! Not implemented: distributions, `thread_rng`, `from_entropy`, weighted
+//! sampling. Adding a call site that needs those should extend this crate
+//! rather than reintroduce the registry dependency.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching the real crate.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Core randomness source (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // negligible for the span sizes simulations use.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start..end + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                v.min(self.end as f64 - (self.end as f64 - self.start as f64) * 1e-17) as $t
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the real `SmallRng`'s 64-bit backend.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            if v < 0.0 {
+                lo_half += 1;
+            }
+        }
+        // Crude uniformity check: both halves are hit frequently.
+        assert!(lo_half > 4000 && lo_half < 6000, "lo_half = {lo_half}");
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn inclusive_range_reaches_endpoint() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut saw_end = false;
+        for _ in 0..1000 {
+            if rng.gen_range(0u32..=3) == 3 {
+                saw_end = true;
+            }
+        }
+        assert!(saw_end);
+    }
+}
