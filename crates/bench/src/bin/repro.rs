@@ -6,9 +6,18 @@
 //! repro --quick              # reduced step counts (fast sanity sweep)
 //! repro --jobs 8             # regenerate artifacts in parallel
 //! repro --csv out/           # also write one CSV per table
+//! repro --trace traces/      # also export engine traces + utilization
 //! repro --list               # list artifact ids
 //! ```
+//!
+//! `--trace <dir>` re-runs a representative configuration of each
+//! requested artifact with engine tracing on and writes
+//! `<id>.trace.json` (Chrome trace format — load in `chrome://tracing`
+//! or Perfetto) and `<id>.util.csv` (per-resource utilization timeline).
+//! Artifacts without a traced representative are skipped with a note.
 
+use corescope_bench::validate_chrome_trace;
+use corescope_harness::{chrome_trace_json, representative_trace, utilization_csv};
 use corescope_harness::{Artifact, Fidelity};
 use std::io::Write;
 use std::path::PathBuf;
@@ -18,6 +27,7 @@ struct Options {
     artifacts: Vec<Artifact>,
     fidelity: Fidelity,
     csv_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     jobs: usize,
 }
 
@@ -25,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
     let mut artifacts = Vec::new();
     let mut fidelity = Fidelity::Full;
     let mut csv_dir = None;
+    let mut trace_dir = None;
     let mut jobs = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +59,10 @@ fn parse_args() -> Result<Options, String> {
                 let dir = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--trace" => {
+                let dir = args.next().ok_or("--trace needs a directory")?;
+                trace_dir = Some(PathBuf::from(dir));
+            }
             "--list" | "-l" => {
                 // Ignore EPIPE so `repro --list | head` exits quietly.
                 let mut out = std::io::stdout().lock();
@@ -59,7 +74,10 @@ fn parse_args() -> Result<Options, String> {
                 std::process::exit(0);
             }
             "--help" | "-h" => {
-                println!("usage: repro [--artifact <id>]... [--quick] [--csv <dir>] [--list]");
+                println!(
+                    "usage: repro [--artifact <id>]... [--quick] [--csv <dir>] \
+                     [--trace <dir>] [--list]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -68,7 +86,7 @@ fn parse_args() -> Result<Options, String> {
     if artifacts.is_empty() {
         artifacts = Artifact::all();
     }
-    Ok(Options { artifacts, fidelity, csv_dir, jobs })
+    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, jobs })
 }
 
 type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error>;
@@ -111,7 +129,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Some(dir) = &options.csv_dir {
+    for dir in [&options.csv_dir, &options.trace_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("repro: cannot create {}: {e}", dir.display());
             std::process::exit(1);
@@ -140,6 +158,12 @@ fn main() {
                         }
                     }
                 }
+                if let Some(dir) = &options.trace_dir {
+                    if let Err(e) = export_trace(artifact, options.fidelity, dir) {
+                        eprintln!("repro: tracing {}: {e}", artifact.id());
+                        failures += 1;
+                    }
+                }
                 eprintln!("[{}] done in {elapsed:.1}s", artifact.id());
             }
             Err(e) => {
@@ -151,4 +175,38 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Re-runs `artifact`'s representative configuration traced and writes
+/// `<id>.trace.json` + `<id>.util.csv` into `dir`. The exported JSON is
+/// validated before it is written, so a broken exporter fails loudly.
+fn export_trace(
+    artifact: Artifact,
+    fidelity: Fidelity,
+    dir: &std::path::Path,
+) -> Result<(), String> {
+    let bundle = match representative_trace(artifact, fidelity) {
+        Ok(Some(bundle)) => bundle,
+        Ok(None) => {
+            eprintln!("[{}] no traced representative; skipping trace export", artifact.id());
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let json = chrome_trace_json(&bundle.label, &bundle.trace);
+    validate_chrome_trace(&json).map_err(|e| format!("exported trace is malformed: {e}"))?;
+    let json_path = dir.join(format!("{}.trace.json", artifact.id()));
+    std::fs::write(&json_path, &json)
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    let csv_path = dir.join(format!("{}.util.csv", artifact.id()));
+    std::fs::write(&csv_path, utilization_csv(&bundle.trace))
+        .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+    eprintln!(
+        "[{}] traced '{}': {} + {}",
+        artifact.id(),
+        bundle.label,
+        json_path.display(),
+        csv_path.display()
+    );
+    Ok(())
 }

@@ -3,5 +3,136 @@
 //! Criterion benches (one group per artifact family) and the `repro`
 //! binary that regenerates every table and figure of the paper. See
 //! `benches/` and `src/bin/repro.rs`.
+//!
+//! Also home to [`validate_chrome_trace`], a serde-free sanity check for
+//! the Chrome-trace JSON that `repro --trace` emits — CI runs it on the
+//! smoke-test output so a malformed exporter fails the build rather than
+//! failing silently in `chrome://tracing`.
 
 pub use corescope_harness::{Artifact, Fidelity};
+
+/// Structural sanity check for an exported Chrome trace, without a JSON
+/// dependency.
+///
+/// Verifies that the document is a single object with balanced braces and
+/// brackets (tracked outside string literals, honouring escapes), that no
+/// text trails the final brace, and that the Chrome-trace essentials —
+/// a `"traceEvents"` array and `"ph"` / `"ts"` / `"pid"` event fields —
+/// are present.
+///
+/// # Errors
+///
+/// Returns a one-line description of the first structural problem found.
+pub fn validate_chrome_trace(json: &str) -> Result<(), String> {
+    let trimmed = json.trim();
+    if !trimmed.starts_with('{') {
+        return Err("trace must be a JSON object (expected leading '{')".to_string());
+    }
+    let mut depth_braces: i64 = 0;
+    let mut depth_brackets: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut closed_at = None;
+    for (i, c) in trimmed.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else if c.is_control() {
+                return Err(format!("unescaped control character {c:?} inside a string"));
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_braces += 1,
+            '}' => {
+                depth_braces -= 1;
+                if depth_braces < 0 {
+                    return Err(format!("unbalanced '}}' at byte {i}"));
+                }
+                if depth_braces == 0 && closed_at.is_none() {
+                    closed_at = Some(i);
+                }
+            }
+            '[' => depth_brackets += 1,
+            ']' => {
+                depth_brackets -= 1;
+                if depth_brackets < 0 {
+                    return Err(format!("unbalanced ']' at byte {i}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string literal".to_string());
+    }
+    if depth_braces != 0 || depth_brackets != 0 {
+        return Err(format!(
+            "unbalanced document: {depth_braces} braces, {depth_brackets} brackets left open"
+        ));
+    }
+    match closed_at {
+        Some(i) if i + 1 < trimmed.len() => {
+            return Err("text after the closing brace of the root object".to_string())
+        }
+        None => return Err("root object never closes".to_string()),
+        _ => {}
+    }
+    for required in ["\"traceEvents\"", "\"ph\"", "\"ts\"", "\"pid\""] {
+        if !trimmed.contains(required) {
+            return Err(format!("missing required Chrome-trace field {required}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_harness::{chrome_trace_json, representative_trace};
+
+    #[test]
+    fn accepts_a_minimal_trace() {
+        let json = r#"{"traceEvents":[{"ph":"X","ts":0,"pid":0,"tid":0,"name":"a","dur":1}]}"#;
+        assert_eq!(validate_chrome_trace(json), Ok(()));
+    }
+
+    #[test]
+    fn accepts_a_real_exported_trace() {
+        let bundle = representative_trace(Artifact::F14, Fidelity::Quick).unwrap().unwrap();
+        let json = chrome_trace_json(&bundle.label, &bundle.trace);
+        validate_chrome_trace(&json).unwrap();
+    }
+
+    #[test]
+    fn rejects_structural_damage() {
+        assert!(validate_chrome_trace("[]").is_err(), "must be an object");
+        assert!(validate_chrome_trace(r#"{"traceEvents":["#).is_err(), "unbalanced");
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"ph":"X","ts":0,"pid":0}]}}"#).is_err(),
+            "extra brace"
+        );
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"ph":"X","ts":0,"pid":0}]} x"#).is_err(),
+            "trailing text"
+        );
+        assert!(
+            validate_chrome_trace(r#"{"events":[{"ph":"X","ts":0,"pid":0}]}"#).is_err(),
+            "missing traceEvents"
+        );
+        assert!(validate_chrome_trace(r#"{"traceEvents":"oops"#).is_err(), "open string");
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_count() {
+        let json = r#"{"traceEvents":[{"ph":"i","ts":0,"pid":0,"name":"Kill { target: 3 }"}]}"#;
+        assert_eq!(validate_chrome_trace(json), Ok(()));
+        let esc = r#"{"traceEvents":[{"ph":"X","ts":0,"pid":0,"name":"q\"}{\""}]}"#;
+        assert_eq!(validate_chrome_trace(esc), Ok(()));
+    }
+}

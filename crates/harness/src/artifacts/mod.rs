@@ -2,6 +2,7 @@
 
 pub mod amber;
 pub mod blas;
+pub mod bottleneck;
 pub mod hpcc;
 pub mod hybrid;
 pub mod imb;
@@ -58,6 +59,9 @@ pub enum Artifact {
     /// Extra: fault-injection resilience campaign (scheduled brownouts,
     /// kills, and rank stalls with bounded-degradation checks).
     X3,
+    /// Extra: time-resolved bottleneck attribution for STREAM, PingPong,
+    /// and NAS CG on all three systems.
+    X4,
 }
 
 impl Artifact {
@@ -66,7 +70,7 @@ impl Artifact {
         use Artifact::*;
         vec![
             T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
-            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4,
         ]
     }
 
@@ -107,6 +111,7 @@ impl Artifact {
             X1 => "x1",
             X2 => "x2",
             X3 => "x3",
+            X4 => "x4",
         }
     }
 
@@ -152,6 +157,7 @@ impl Artifact {
             X1 => "Extra X1: hybrid (OpenMP-in-socket) vs pure MPI",
             X2 => "Extra X2: memory-latency plateaus (lmbench-style)",
             X3 => "Extra X3: fault-injection resilience campaign",
+            X4 => "Extra X4: time-resolved bottleneck attribution",
         }
     }
 
@@ -196,6 +202,7 @@ impl Artifact {
             X1 => hybrid::extra1(fidelity),
             X2 => Ok(vec![statics::extra2()]),
             X3 => crate::resilience::extra3(fidelity),
+            X4 => bottleneck::extra4(fidelity),
         }
     }
 }
@@ -213,11 +220,11 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 33, "30 paper artifacts + the X1/X2/X3 extras");
+        assert_eq!(all.len(), 34, "30 paper artifacts + the X1/X2/X3/X4 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 33);
+        assert_eq!(ids.len(), 34);
     }
 
     #[test]

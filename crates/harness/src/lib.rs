@@ -20,11 +20,13 @@ pub mod ablation;
 pub mod artifacts;
 pub mod context;
 pub mod fidelity;
+pub mod observe;
 pub mod report;
 pub mod resilience;
 pub mod runtime;
 
 pub use artifacts::Artifact;
 pub use fidelity::Fidelity;
+pub use observe::{chrome_trace_json, representative_trace, utilization_csv, TraceBundle};
 pub use report::{Cell, Table};
 pub use runtime::RuntimeOption;

@@ -26,7 +26,7 @@ use corescope_affinity::Scheme;
 use corescope_kernels::cg::{CgClass, NasCg};
 use corescope_kernels::stream::{append_star, StreamParams};
 use corescope_machine::engine::RunReport;
-use corescope_machine::{Error, FaultPlan, LinkId, Machine, RankId, Result};
+use corescope_machine::{Error, FaultPlan, LinkId, Machine, RankId, Result, RunTrace, TraceConfig};
 use corescope_smpi::CommWorld;
 
 /// The resource class a campaign degrades — chosen per workload to match
@@ -146,6 +146,42 @@ struct CampaignRow {
     degraded: f64,
     kill: String,
     stall: String,
+    /// Fault events stamped into traces vs. events scheduled, across the
+    /// brownout, kill, and stall runs.
+    stamped: usize,
+    scheduled: usize,
+}
+
+/// Checks a traced run's fault stamps against the plan that drove it:
+/// every scheduled event must appear, in order, with its scheduled time,
+/// fired no earlier than scheduled. Returns the stamp count.
+fn check_stamps(scenario: &str, plan: &FaultPlan, trace: Option<&RunTrace>) -> Result<usize> {
+    let stamps = trace.map(|t| t.faults.as_slice()).unwrap_or(&[]);
+    let events = plan.events();
+    if stamps.len() != events.len() {
+        return Err(invariant_violation(
+            scenario,
+            format!("{} fault events scheduled but {} stamped", events.len(), stamps.len()),
+        ));
+    }
+    for (stamp, event) in stamps.iter().zip(events) {
+        if stamp.kind != event.kind {
+            return Err(invariant_violation(
+                scenario,
+                format!("stamped {:?} where {:?} was scheduled", stamp.kind, event.kind),
+            ));
+        }
+        if stamp.scheduled != event.at || stamp.fired < stamp.scheduled - 1e-12 {
+            return Err(invariant_violation(
+                scenario,
+                format!(
+                    "fault {:?} scheduled at {} stamped (scheduled {}, fired {})",
+                    event.kind, event.at, stamp.scheduled, stamp.fired
+                ),
+            ));
+        }
+    }
+    Ok(stamps.len())
 }
 
 fn run_campaign(systems: &Systems, sc: &Scenario) -> Result<CampaignRow> {
@@ -156,14 +192,32 @@ fn run_campaign(systems: &Systems, sc: &Scenario) -> Result<CampaignRow> {
     (sc.build)(&mut world);
 
     let healthy = world.run()?.makespan;
+    let mut stamped = 0;
+    let mut scheduled = 0;
 
-    // Half capacity during the middle quarter of the healthy run.
+    // Half capacity during the middle quarter of the healthy run. Traced,
+    // so the campaign can verify the *sequence* of faults that fired —
+    // not just the bare `faults_applied` count.
     let brownout = sc.target.restore(
         machine,
         sc.target.degrade(machine, FaultPlan::new(), healthy * 0.25, 0.5),
         healthy * 0.5,
     );
-    let transient = world.run_with_faults(&brownout)?.makespan;
+    let transient_obs = world.observe(&brownout, TraceConfig::on());
+    stamped += check_stamps(sc.name, &brownout, transient_obs.trace.as_ref())?;
+    scheduled += brownout.events().len();
+    let transient_report = transient_obs.result?;
+    if transient_report.metrics.faults_applied != brownout.events().len() {
+        return Err(invariant_violation(
+            sc.name,
+            format!(
+                "faults_applied {} disagrees with the {} stamped events",
+                transient_report.metrics.faults_applied,
+                brownout.events().len()
+            ),
+        ));
+    }
+    let transient = transient_report.makespan;
 
     // Half capacity for the whole run.
     let permanent = sc.target.degrade(machine, FaultPlan::new(), 0.0, 0.5);
@@ -188,21 +242,36 @@ fn run_campaign(systems: &Systems, sc: &Scenario) -> Result<CampaignRow> {
         ));
     }
 
-    // Capacity hits zero mid-run, never restored: a typed error, not a hang.
+    // Capacity hits zero mid-run, never restored: a typed error, not a
+    // hang — and the interrupted run must still stamp its faults and
+    // account the traffic it actually moved before dying.
     let kill_plan = sc.target.degrade(machine, FaultPlan::new(), healthy * 0.25, 0.0);
-    let (kill, kill_typed) = fault_outcome(world.run_with_faults(&kill_plan));
+    let kill_obs = world.observe(&kill_plan, TraceConfig::on());
+    stamped += check_stamps(sc.name, &kill_plan, kill_obs.trace.as_ref())?;
+    scheduled += kill_plan.events().len();
+    let partial: f64 = kill_obs.metrics.resource_bytes.iter().sum();
+    if partial <= 0.0 {
+        return Err(invariant_violation(
+            sc.name,
+            "a mid-run kill must report the partial resource traffic that moved",
+        ));
+    }
+    let (kill, kill_typed) = fault_outcome(kill_obs.result);
     if !kill_typed {
         return Err(invariant_violation(sc.name, format!("kill outcome was '{kill}'")));
     }
 
     // Rank 0 freezes at t=0, never resumed: likewise a typed error.
     let stall_plan = FaultPlan::new().rank_stall(0.0, RankId::new(0));
-    let (stall, stall_typed) = fault_outcome(world.run_with_faults(&stall_plan));
+    let stall_obs = world.observe(&stall_plan, TraceConfig::on());
+    stamped += check_stamps(sc.name, &stall_plan, stall_obs.trace.as_ref())?;
+    scheduled += stall_plan.events().len();
+    let (stall, stall_typed) = fault_outcome(stall_obs.result);
     if !stall_typed {
         return Err(invariant_violation(sc.name, format!("stall outcome was '{stall}'")));
     }
 
-    Ok(CampaignRow { healthy, transient, degraded, kill, stall })
+    Ok(CampaignRow { healthy, transient, degraded, kill, stall, stamped, scheduled })
 }
 
 /// Extra X3: the fault-injection campaign table.
@@ -224,6 +293,7 @@ pub fn extra3(fidelity: Fidelity) -> Result<Vec<Table>> {
             "Slowdown",
             "Kill outcome",
             "Stall outcome",
+            "Faults stamped",
         ],
     );
     for sc in scenarios(fidelity) {
@@ -237,6 +307,7 @@ pub fn extra3(fidelity: Fidelity) -> Result<Vec<Table>> {
                 Cell::num_with(row.degraded / row.healthy, 3),
                 Cell::text(row.kill),
                 Cell::text(row.stall),
+                Cell::text(format!("{}/{}", row.stamped, row.scheduled)),
             ],
         );
     }
@@ -271,5 +342,8 @@ mod tests {
         let row = run_campaign(&systems, sc).unwrap();
         assert!(row.kill.starts_with("RankStalled"), "kill outcome: {}", row.kill);
         assert!(row.stall.starts_with("RankStalled"), "stall outcome: {}", row.stall);
+        // Brownout (degrade+restore), kill, and stall all stamped fully.
+        assert_eq!(row.stamped, row.scheduled);
+        assert!(row.scheduled > 0);
     }
 }

@@ -10,10 +10,15 @@
 use crate::cache;
 use crate::error::{Error, Result};
 use crate::faults::{FaultKind, FaultPlan};
-use crate::flow::{solve_maxmin, FlowSpec, ResourceIndex, ResourceTable};
+use crate::flow::{
+    solve_maxmin, solve_maxmin_attributed, Bottleneck, FlowSpec, ResourceIndex, ResourceTable,
+};
 use crate::ids::{CoreId, LinkId, RankId, SocketId};
 use crate::memory::MemoryLayout;
 use crate::program::{ComputePhase, MessageCost, Op, Program};
+use crate::trace::{
+    FaultStamp, OpSpan, RankState, RunTrace, SolverInterval, SpanKind, TraceConfig,
+};
 use crate::Machine;
 
 pub use crate::metrics::{RunMetrics, RunReport};
@@ -204,6 +209,43 @@ impl<'m> Engine<'m> {
         programs: &[Program],
         plan: &FaultPlan,
     ) -> Result<RunReport> {
+        self.observe(placements, programs, plan, TraceConfig::off()).result
+    }
+
+    /// Runs one simulation and returns everything observed along the way,
+    /// even when the run ends in a typed error: partial metrics, the end
+    /// time, and (with [`TraceConfig::on`]) a full [`RunTrace`].
+    ///
+    /// With tracing off this is exactly [`Engine::run_with_faults`] plus
+    /// the partial-outcome fields; with tracing on, rates and the
+    /// resulting [`RunReport`] are still bit-identical — attribution is
+    /// recorded on the side, never fed back into the solver.
+    pub fn observe(
+        &self,
+        placements: &[RankPlacement],
+        programs: &[Program],
+        plan: &FaultPlan,
+        trace: TraceConfig,
+    ) -> Observed {
+        match self.prepare(placements, programs, plan) {
+            Ok(faults) => Sim::new(self, placements, programs, faults, trace).run(),
+            Err(e) => Observed {
+                result: Err(e),
+                metrics: RunMetrics::new(programs.len(), self.resources.len()),
+                end_time: 0.0,
+                trace: None,
+            },
+        }
+    }
+
+    /// Validates placements and the fault plan, lowering the plan to the
+    /// engine's index space.
+    fn prepare(
+        &self,
+        placements: &[RankPlacement],
+        programs: &[Program],
+        plan: &FaultPlan,
+    ) -> Result<Vec<ScheduledFault>> {
         if placements.len() != programs.len() {
             return Err(Error::InvalidSpec(format!(
                 "{} placements for {} programs",
@@ -225,12 +267,12 @@ impl<'m> Engine<'m> {
             p.layout.check_nodes(num_nodes)?;
         }
         plan.validate(self.machine, programs.len())?;
-        let faults = plan
-            .events()
+        plan.events()
             .iter()
-            .map(|e| Ok((e.at, self.resolve_fault(e.kind)?)))
-            .collect::<Result<Vec<_>>>()?;
-        Sim::new(self, placements, programs, faults).run()
+            .map(|e| {
+                Ok(ScheduledFault { at: e.at, kind: e.kind, fault: self.resolve_fault(e.kind)? })
+            })
+            .collect()
     }
 
     /// Lowers a [`FaultKind`] to a resource index and absolute capacity.
@@ -266,12 +308,73 @@ impl<'m> Engine<'m> {
     }
 }
 
+/// Everything one run produced, even when it ended in a typed error.
+///
+/// [`Engine::run`]'s `Result<RunReport>` throws the partial state of a
+/// failed run away; `Observed` keeps it. `metrics` and `end_time` are
+/// always populated (partially-drained flows are charged for the bytes
+/// they actually moved), and `trace` is present when the run was started
+/// with [`TraceConfig::on`].
+#[derive(Debug)]
+pub struct Observed {
+    /// The run outcome, exactly as [`Engine::run_with_faults`] returns it.
+    pub result: Result<RunReport>,
+    /// Metrics accumulated up to the point the run ended — identical to
+    /// `result`'s copy on success, partial on error.
+    pub metrics: RunMetrics,
+    /// Engine time when the run ended (successfully or not).
+    pub end_time: f64,
+    /// The time-resolved trace, when tracing was enabled.
+    pub trace: Option<RunTrace>,
+}
+
+/// A fault lowered to the engine's resource/rank index space, keeping its
+/// plan-level [`FaultKind`] so traced runs can stamp what fired.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFault {
+    at: f64,
+    kind: FaultKind,
+    fault: ResolvedFault,
+}
+
 /// A fault lowered to the engine's resource/rank index space.
 #[derive(Debug, Clone, Copy)]
 enum ResolvedFault {
     SetCapacity { index: ResourceIndex, capacity: f64 },
     Stall(usize),
     Resume(usize),
+}
+
+/// An op span still in progress on one rank (trace-only state).
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    kind: SpanKind,
+    label: &'static str,
+    t0: f64,
+    attributed: Vec<(Bottleneck, f64)>,
+}
+
+/// All per-run trace state, boxed behind an `Option` so an untraced run
+/// carries one `None` and allocates nothing.
+#[derive(Debug)]
+struct TraceState {
+    intervals: Vec<SolverInterval>,
+    spans: Vec<OpSpan>,
+    open: Vec<Option<OpenSpan>>,
+    /// Bottleneck attribution per flow slot, refreshed at every rate
+    /// solve (indexed like `Sim::flows`).
+    flow_bottleneck: Vec<Bottleneck>,
+    faults: Vec<FaultStamp>,
+}
+
+/// Accumulates `dt` seconds of bottleneck `b` onto `rank`'s open span.
+fn attribute(open: &mut [Option<OpenSpan>], rank: usize, b: Bottleneck, dt: f64) {
+    let Some(span) = open.get_mut(rank).and_then(Option::as_mut) else { return };
+    if let Some(slot) = span.attributed.iter_mut().find(|(have, _)| *have == b) {
+        slot.1 += dt;
+    } else {
+        span.attributed.push((b, dt));
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -341,7 +444,7 @@ struct Sim<'a, 'm> {
     /// nominal table and is mutated in place as scheduled faults fire.
     resources: ResourceTable,
     /// Time-sorted fault schedule; `next_fault` is the cursor into it.
-    faults: Vec<(f64, ResolvedFault)>,
+    faults: Vec<ScheduledFault>,
     next_fault: usize,
     /// Ranks frozen by an unresumed [`FaultKind::RankStall`]. A stalled
     /// rank finishes its current operation but dispatches nothing.
@@ -363,6 +466,9 @@ struct Sim<'a, 'm> {
     barrier_arrived: usize,
     metrics: RunMetrics,
     rates_dirty: bool,
+    /// `None` when tracing is off: the hot loop then skips every trace
+    /// hook without allocating.
+    trace: Option<Box<TraceState>>,
 }
 
 impl<'a, 'm> Sim<'a, 'm> {
@@ -370,7 +476,8 @@ impl<'a, 'm> Sim<'a, 'm> {
         engine: &'a Engine<'m>,
         placements: &'a [RankPlacement],
         programs: &'a [Program],
-        faults: Vec<(f64, ResolvedFault)>,
+        faults: Vec<ScheduledFault>,
+        trace: TraceConfig,
     ) -> Self {
         let n = programs.len();
         Self {
@@ -394,10 +501,53 @@ impl<'a, 'm> Sim<'a, 'm> {
             barrier_arrived: 0,
             metrics: RunMetrics::new(n, engine.resources.len()),
             rates_dirty: false,
+            trace: trace.is_on().then(|| {
+                Box::new(TraceState {
+                    intervals: Vec::new(),
+                    spans: Vec::new(),
+                    open: vec![None; n],
+                    flow_bottleneck: Vec::new(),
+                    faults: Vec::new(),
+                })
+            }),
         }
     }
 
-    fn run(mut self) -> Result<RunReport> {
+    fn run(mut self) -> Observed {
+        let outcome = self.run_loop();
+        // Charge flows still in flight for the bytes they actually moved
+        // — a run that ends in a typed error (fault kill, stall, budget)
+        // must still account its partial traffic.
+        for f in self.flows.iter().flatten() {
+            let moved = (f.initial - f.remaining.max(0.0)).max(0.0);
+            for &r in &f.spec.route {
+                self.metrics.resource_bytes[r] += moved;
+            }
+        }
+        for rank in 0..self.programs.len() {
+            self.trace_close_span(rank);
+        }
+        let trace = self.trace.take().map(|t| {
+            let table = &self.engine.resources;
+            RunTrace {
+                resource_names: (0..table.len()).map(|r| table.get(r).name.clone()).collect(),
+                num_ranks: self.programs.len(),
+                intervals: t.intervals,
+                spans: t.spans,
+                faults: t.faults,
+                end_time: self.now,
+            }
+        });
+        let metrics = self.metrics.clone();
+        let result = outcome.map(|makespan| RunReport {
+            makespan,
+            rank_finish: self.finish,
+            metrics: self.metrics,
+        });
+        Observed { result, metrics, end_time: self.now, trace }
+    }
+
+    fn run_loop(&mut self) -> Result<f64> {
         let n = self.programs.len();
         self.apply_due_faults();
         self.dispatch_all()?;
@@ -446,6 +596,9 @@ impl<'a, 'm> Sim<'a, 'm> {
                     return Err(Error::RankStalled { rank, at_time: self.now, resource: None });
                 }
             }
+            if dt > 0.0 {
+                self.trace_interval(next);
+            }
             self.advance_flows(dt);
             self.now = next;
 
@@ -459,17 +612,123 @@ impl<'a, 'm> Sim<'a, 'm> {
         }
 
         let makespan = self.finish.iter().copied().fold(0.0, f64::max);
-        Ok(RunReport { makespan, rank_finish: self.finish, metrics: self.metrics })
+        Ok(makespan)
+    }
+
+    /// Records the solver interval `[now, t1)` — constant rates — plus
+    /// per-flow bottleneck attribution onto the owning ranks' open spans.
+    /// No-op when tracing is off.
+    fn trace_interval(&mut self, t1: f64) {
+        let now = self.now;
+        let Some(trace) = self.trace.as_deref_mut() else { return };
+        let dt = t1 - now;
+        let n = self.resources.len();
+        let mut load = vec![0.0; n];
+        let mut routed = vec![false; n];
+        for f in self.flows.iter().flatten() {
+            for &r in &f.spec.route {
+                load[r] += f.rate;
+                routed[r] = true;
+            }
+        }
+        let utilization = (0..n)
+            .map(|r| {
+                let cap = self.resources.get(r).capacity;
+                if cap > 0.0 {
+                    (load[r] / cap).min(1.0)
+                } else if routed[r] {
+                    // A dead resource with traffic routed through it is
+                    // the binding constraint: report it pinned.
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let rank_state = self
+            .status
+            .iter()
+            .map(|s| match *s {
+                Status::Ready => RankState::Ready,
+                Status::Computing { .. } => RankState::Computing,
+                Status::Waiting { .. } => RankState::Waiting,
+                Status::SendBlocked { .. } => RankState::SendBlocked,
+                Status::RecvBlocked => RankState::RecvBlocked,
+                Status::BarrierBlocked => RankState::BarrierBlocked,
+                Status::Done => RankState::Done,
+            })
+            .collect();
+        trace.intervals.push(SolverInterval { t0: now, t1, utilization, rank_state });
+
+        // Attribute the interval to the open spans of the ranks each live
+        // flow serves: a phase flow charges its rank; a transfer charges
+        // the receiver, plus a rendezvous sender still blocked on it.
+        for (slot, f) in self.flows.iter().enumerate() {
+            let Some(f) = f else { continue };
+            let b = trace.flow_bottleneck.get(slot).copied().unwrap_or(Bottleneck::FlowCap);
+            match f.owner {
+                FlowOwner::Phase(rank) => attribute(&mut trace.open, rank, b, dt),
+                FlowOwner::Transfer(t) => {
+                    let tr = &self.transfers[t];
+                    attribute(&mut trace.open, tr.dst, b, dt);
+                    if matches!(self.status[tr.src], Status::SendBlocked { transfer } if transfer == t)
+                    {
+                        attribute(&mut trace.open, tr.src, b, dt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes `rank`'s open span at the current time, dropping
+    /// zero-length spans with nothing attributed. No-op when tracing is
+    /// off.
+    fn trace_close_span(&mut self, rank: usize) {
+        let now = self.now;
+        let Some(trace) = self.trace.as_deref_mut() else { return };
+        let Some(open) = trace.open.get_mut(rank).and_then(Option::take) else { return };
+        if now - open.t0 > 0.0 || !open.attributed.is_empty() {
+            trace.spans.push(OpSpan {
+                rank,
+                kind: open.kind,
+                label: open.label,
+                t0: open.t0,
+                t1: now,
+                attributed: open.attributed,
+            });
+        }
+    }
+
+    /// Opens a span for a freshly dispatched op (closing the previous op's
+    /// span — ops on one rank are sequential). No-op when tracing is off.
+    fn trace_open_span(&mut self, rank: usize, op: &Op) {
+        if self.trace.is_none() {
+            return;
+        }
+        self.trace_close_span(rank);
+        let now = self.now;
+        let Some(trace) = self.trace.as_deref_mut() else { return };
+        let (kind, label) = match op {
+            Op::Compute(phase) => (SpanKind::Compute, phase.label),
+            Op::Delay(_) => (SpanKind::Delay, "delay"),
+            Op::Send { .. } => (SpanKind::Send, "send"),
+            Op::Recv { .. } => (SpanKind::Recv, "recv"),
+            Op::Barrier => (SpanKind::Barrier, "barrier"),
+        };
+        trace.open[rank] = Some(OpenSpan { kind, label, t0: now, attributed: Vec::new() });
     }
 
     /// Fires every scheduled fault due at (or before) `now`.
     fn apply_due_faults(&mut self) {
-        while let Some(&(at, fault)) = self.faults.get(self.next_fault) {
+        while let Some(&ScheduledFault { at, kind, fault }) = self.faults.get(self.next_fault) {
             if at > self.now + EPS_TIME {
                 break;
             }
             self.next_fault += 1;
             self.metrics.faults_applied += 1;
+            if let Some(trace) = self.trace.as_deref_mut() {
+                trace.faults.push(FaultStamp { scheduled: at, fired: self.now, kind });
+            }
             match fault {
                 ResolvedFault::SetCapacity { index, capacity } => {
                     self.resources.set_capacity(index, capacity);
@@ -534,12 +793,14 @@ impl<'a, 'm> Sim<'a, 'm> {
     fn dispatch(&mut self, rank: usize) -> Result<()> {
         let ops = self.programs[rank].ops();
         if self.pc[rank] >= ops.len() {
+            self.trace_close_span(rank);
             self.status[rank] = Status::Done;
             self.finish[rank] = self.now;
             return Ok(());
         }
         let op = ops[self.pc[rank]].clone();
         self.pc[rank] += 1;
+        self.trace_open_span(rank, &op);
         match op {
             Op::Compute(phase) => self.start_phase(rank, &phase)?,
             Op::Delay(seconds) => {
@@ -785,7 +1046,20 @@ impl<'a, 'm> Sim<'a, 'm> {
                 specs.push(f.spec.clone());
             }
         }
-        let rates = solve_maxmin(&self.resources, &specs)?;
+        // The traced path uses the attributed solver; both go through the
+        // same progressive-filling arithmetic, so the rates are
+        // bit-identical and tracing cannot perturb the simulation.
+        let rates = if let Some(trace) = self.trace.as_deref_mut() {
+            let (rates, attribution) = solve_maxmin_attributed(&self.resources, &specs)?;
+            trace.flow_bottleneck.clear();
+            trace.flow_bottleneck.resize(self.flows.len(), Bottleneck::FlowCap);
+            for (&slot, &b) in index.iter().zip(attribution.iter()) {
+                trace.flow_bottleneck[slot] = b;
+            }
+            rates
+        } else {
+            solve_maxmin(&self.resources, &specs)?
+        };
         for (slot, rate) in index.into_iter().zip(rates) {
             // `index` was collected from occupied slots above and nothing
             // vacates `self.flows` in between, so every slot is still live.
@@ -800,8 +1074,8 @@ impl<'a, 'm> Sim<'a, 'm> {
 
     fn next_event_time(&self) -> Option<f64> {
         let mut next = f64::INFINITY;
-        if let Some(&(at, _)) = self.faults.get(self.next_fault) {
-            next = next.min(at.max(self.now));
+        if let Some(f) = self.faults.get(self.next_fault) {
+            next = next.min(f.at.max(self.now));
         }
         for f in self.flows.iter().flatten() {
             if f.rate > 0.0 {
@@ -857,8 +1131,13 @@ impl<'a, 'm> Sim<'a, 'm> {
             let Some(flow) = self.flows[slot].take() else { continue };
             self.live_flows -= 1;
             self.rates_dirty = true;
+            // Charge what the flow actually moved, not its nominal size —
+            // `remaining` holds a sub-epsilon residue at completion, and
+            // the same expression charges interrupted flows correctly on
+            // error exits (see `Sim::run`).
+            let moved = (flow.initial - flow.remaining.max(0.0)).max(0.0);
             for &r in &flow.spec.route {
-                self.metrics.resource_bytes[r] += flow.initial;
+                self.metrics.resource_bytes[r] += moved;
             }
             match flow.owner {
                 FlowOwner::Phase(rank) => {
@@ -1313,6 +1592,132 @@ mod tests {
             .run_with_faults(&[local_placement(&m, 0)], &[Program::new()], &plan)
             .unwrap_err();
         assert!(matches!(err, Error::InvalidSpec(_)), "{err}");
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    #[test]
+    fn tracing_changes_nothing_about_the_run() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let cost = MessageCost { setup: 1e-6, cap: 1.4e9, sender_busy: 0.5e-6, rendezvous: false };
+        let mut p0 = Program::new();
+        p0.compute(ComputePhase::new("stream", 0.0, TrafficProfile::stream(1e8)))
+            .send(RankId::new(1), 1e6, 0, cost)
+            .barrier();
+        let mut p1 = Program::new();
+        p1.recv(RankId::new(0), 0).barrier();
+        let placements = [local_placement(&m, 0), local_placement(&m, 1)];
+        let programs = [p0, p1];
+
+        let plain = engine.run(&placements, &programs).unwrap();
+        let off =
+            engine.observe(&placements, &programs, &crate::FaultPlan::new(), TraceConfig::off());
+        let on =
+            engine.observe(&placements, &programs, &crate::FaultPlan::new(), TraceConfig::on());
+        // Exact equality, not approximate: the traced run must be
+        // bit-identical (attribution is observed, never fed back).
+        assert_eq!(plain, off.result.unwrap());
+        assert_eq!(plain, on.result.unwrap());
+        assert!(off.trace.is_none());
+        assert!(on.trace.is_some());
+    }
+
+    #[test]
+    fn interrupted_run_reports_partial_resource_bytes() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let (placement, program) = remote_stream(1e9);
+        let placements = [placement];
+        let programs = [program];
+        let healthy = engine.run(&placements, &programs).unwrap().makespan;
+
+        // Kill the links a quarter of the way through: the flow starves,
+        // the run ends in a typed stall, and the metrics must still show
+        // the ~0.25 GB that actually moved (initial - remaining).
+        let plan = degrade_links(crate::FaultPlan::new(), healthy * 0.25, 0.0);
+        let observed = engine.observe(&placements, &programs, &plan, TraceConfig::off());
+        assert!(matches!(observed.result, Err(Error::RankStalled { .. })));
+        // Remote node 1: every byte crosses mc:1 (resource index 1).
+        let moved = observed.metrics.resource_bytes[1];
+        assert!(
+            (moved - 0.25e9).abs() < 0.25e9 * 0.02,
+            "expected ~0.25 GB through mc:1, got {moved:e}"
+        );
+        assert!(observed.end_time >= healthy * 0.25);
+    }
+
+    #[test]
+    fn fault_stamps_record_the_fired_sequence() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let (placement, program) = remote_stream(1e9);
+        let brownout = restore_links(degrade_links(crate::FaultPlan::new(), 0.05, 0.25), 0.15);
+        let observed = engine.observe(&[placement], &[program], &brownout, TraceConfig::on());
+        let trace = observed.trace.unwrap();
+        let report = observed.result.unwrap();
+        assert_eq!(trace.faults.len(), brownout.events().len());
+        assert_eq!(report.metrics.faults_applied, trace.faults.len());
+        for (stamp, event) in trace.faults.iter().zip(brownout.events()) {
+            assert_eq!(stamp.kind, event.kind);
+            assert_eq!(stamp.scheduled, event.at);
+            assert!(stamp.fired >= stamp.scheduled - EPS_TIME);
+        }
+    }
+
+    #[test]
+    fn traced_stream_yields_intervals_and_attributed_spans() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let observed = engine.observe(
+            &[local_placement(&m, 0)],
+            &[stream_program(1e9)],
+            &crate::FaultPlan::new(),
+            TraceConfig::on(),
+        );
+        let report = observed.result.unwrap();
+        let trace = observed.trace.unwrap();
+
+        // Intervals tile the run.
+        let covered: f64 = trace.intervals.iter().map(|iv| iv.t1 - iv.t0).sum();
+        assert!((covered - trace.end_time).abs() < 1e-12 * trace.end_time.max(1.0));
+        assert!((trace.end_time - report.makespan).abs() < 1e-12);
+
+        // One compute span, attributed to its own cap: a single dmz core
+        // streams at ~3.66 GB/s under a 4.2 GB/s controller.
+        assert_eq!(trace.spans.len(), 1);
+        let span = &trace.spans[0];
+        assert_eq!(span.kind, SpanKind::Compute);
+        assert_eq!(span.label, "stream");
+        assert_eq!(span.dominant_bottleneck(), Some(Bottleneck::FlowCap));
+
+        // Socket 0's controller runs at ~3.66/4.2 = 0.87 utilization.
+        let timelines = trace.resource_timelines();
+        assert_eq!(timelines[0].name, "mc:socket0");
+        assert!(
+            timelines[0].mean_utilization > 0.8 && timelines[0].mean_utilization < 0.95,
+            "mc:socket0 utilization = {}",
+            timelines[0].mean_utilization
+        );
+        let ranking = trace.bottleneck_ranking();
+        assert_eq!(ranking[0].label, "flow-cap");
+    }
+
+    #[test]
+    fn contended_traced_stream_blames_the_controller() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        // Both cores of socket 0: demand 7.3 GB/s through 4.2 GB/s.
+        let observed = engine.observe(
+            &[local_placement(&m, 0), local_placement(&m, 1)],
+            &[stream_program(1e9), stream_program(1e9)],
+            &crate::FaultPlan::new(),
+            TraceConfig::on(),
+        );
+        let trace = observed.trace.unwrap();
+        let ranking = trace.bottleneck_ranking();
+        assert_eq!(ranking[0].label, "mc:socket0", "ranking: {ranking:?}");
+        assert!(trace.resource_timelines()[0].saturation_fraction() > 0.9);
     }
 
     #[test]

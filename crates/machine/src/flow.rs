@@ -90,16 +90,65 @@ impl FlowSpec {
     }
 }
 
+/// What froze a flow during progressive filling.
+///
+/// Attribution is the solver-level half of the engine's bottleneck
+/// accounting: every flow's rate stopped ramping either because the flow
+/// hit its own cap (a core's Little's-law limit, a transport's copy
+/// bandwidth) or because a shared resource on its route saturated (a
+/// memory controller, a HyperTransport link, the coherence-probe fabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// The flow reached its own rate cap (or had a zero cap to begin
+    /// with).
+    FlowCap,
+    /// The flow froze because this route resource saturated.
+    Resource(ResourceIndex),
+}
+
+/// Relative slack used to decide that a flow is at its cap or a resource
+/// is saturated. Relative (not absolute) so that legitimately tiny caps
+/// next to fast resources are never zero-rated, while accumulated f64
+/// error over many filling rounds is still absorbed.
+const REL_EPS: f64 = 1e-9;
+
 /// Solves max-min fair rates for `flows` over `table`.
 ///
-/// Returns one rate per flow, in input order. Flows with zero cap or a
-/// zero-capacity resource on their route receive rate 0.
+/// Returns one rate per flow, in input order. Flows with a zero cap or a
+/// zero-capacity resource on their route receive rate 0; any positive
+/// cap, however small, is a legitimate rate limit and is honoured.
 ///
 /// # Errors
 ///
 /// Returns [`Error::InvalidSpec`] if a flow references a resource outside
 /// the table or has a non-finite cap.
 pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64>> {
+    solve_inner(table, flows, None)
+}
+
+/// Like [`solve_maxmin`], also reporting which limit froze each flow.
+///
+/// The rates are bit-identical to [`solve_maxmin`]'s — attribution is
+/// recorded on the side, never fed back into the arithmetic — so tracing
+/// a run cannot perturb it.
+///
+/// # Errors
+///
+/// Same as [`solve_maxmin`].
+pub fn solve_maxmin_attributed(
+    table: &ResourceTable,
+    flows: &[FlowSpec],
+) -> Result<(Vec<f64>, Vec<Bottleneck>)> {
+    let mut attribution = vec![Bottleneck::FlowCap; flows.len()];
+    let rates = solve_inner(table, flows, Some(&mut attribution))?;
+    Ok((rates, attribution))
+}
+
+fn solve_inner(
+    table: &ResourceTable,
+    flows: &[FlowSpec],
+    mut attribution: Option<&mut Vec<Bottleneck>>,
+) -> Result<Vec<f64>> {
     let caps = table.capacities();
     for (i, f) in flows.iter().enumerate() {
         if !f.cap.is_finite() || f.cap < 0.0 {
@@ -121,10 +170,6 @@ pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64
         return Ok(rates);
     }
 
-    let scale =
-        flows.iter().map(|f| f.cap).chain(caps.iter().copied()).fold(0.0_f64, f64::max).max(1.0);
-    let eps = scale * 1e-12;
-
     let mut fixed = vec![false; n];
     let mut remaining = caps.clone();
     // Count of unfixed flows using each resource. A flow listing the same
@@ -138,9 +183,12 @@ pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64
     }
 
     let mut unfixed = n;
-    // Immediately freeze zero-cap flows.
+    // Immediately freeze exactly-zero-cap flows. Tiny-but-positive caps
+    // are real rate limits and must survive to the filling loop — an
+    // absolute epsilon here silently zero-rated a 1 B/s flow whenever a
+    // GB/s resource shared the table.
     for (i, f) in flows.iter().enumerate() {
-        if f.cap <= eps {
+        if f.cap <= 0.0 {
             fixed[i] = true;
             unfixed -= 1;
             for &r in &f.route {
@@ -176,20 +224,40 @@ pub fn solve_maxmin(table: &ResourceTable, flows: &[FlowSpec]) -> Result<Vec<f64
             }
         }
 
-        // Freeze flows at their cap or on a saturated resource.
+        // Freeze flows at their cap or on a saturated resource. Slack is
+        // relative to the cap being compared against (zero-capacity
+        // resources still satisfy `0 <= 0`).
         let mut froze_any = false;
         for (i, f) in flows.iter().enumerate() {
             if fixed[i] {
                 continue;
             }
-            let at_cap = f.cap - rates[i] <= eps;
-            let saturated = f.route.iter().any(|&r| remaining[r] <= eps);
-            if at_cap || saturated {
+            let at_cap = f.cap - rates[i] <= f.cap * REL_EPS;
+            // When both limits bind in the same round, attribute the
+            // freeze to a saturated shared resource — contention is the
+            // informative cause — and among saturated route resources
+            // pick the most contended one (highest unfixed-flow count).
+            let mut saturated: Option<ResourceIndex> = None;
+            for &r in &f.route {
+                if remaining[r] <= caps[r] * REL_EPS {
+                    let more_contended = saturated.is_none_or(|s| usage[r] > usage[s]);
+                    if more_contended {
+                        saturated = Some(r);
+                    }
+                }
+            }
+            if at_cap || saturated.is_some() {
                 fixed[i] = true;
                 unfixed -= 1;
                 froze_any = true;
                 for &r in &f.route {
                     usage[r] -= 1;
+                }
+                if let Some(attr) = attribution.as_deref_mut() {
+                    attr[i] = match saturated {
+                        Some(r) => Bottleneck::Resource(r),
+                        None => Bottleneck::FlowCap,
+                    };
                 }
             }
         }
@@ -329,5 +397,77 @@ mod tests {
         let t = table(&[10.0]);
         let rates = solve_maxmin(&t, &[FlowSpec::new(vec![0, 0], 100.0)]).unwrap();
         assert!((rates[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_cap_flow_survives_next_to_a_fast_controller() {
+        // Regression: the old absolute epsilon (max cap * 1e-12) silently
+        // zero-rated any flow slower than ~10 mB/s on a 10 GB/s table.
+        let t = table(&[10.0e9]);
+        let flows = vec![FlowSpec::new(vec![0], 1.0), FlowSpec::new(vec![0], 20.0e9)];
+        let rates = solve_maxmin(&t, &flows).unwrap();
+        assert!((rates[0] - 1.0).abs() < 1e-6, "1 B/s flow zero-rated: {rates:?}");
+        assert!((rates[1] - (10.0e9 - 1.0)).abs() < 1.0, "fast flow takes the rest: {rates:?}");
+    }
+
+    #[test]
+    fn attribution_names_the_saturated_resource() {
+        // Two uncapped-ish flows pinned by the shared controller.
+        let t = table(&[6.4e9]);
+        let flows = vec![FlowSpec::new(vec![0], 3.7e9), FlowSpec::new(vec![0], 3.7e9)];
+        let (rates, attr) = solve_maxmin_attributed(&t, &flows).unwrap();
+        assert!((rates[0] - 3.2e9).abs() < 1.0);
+        assert_eq!(attr, vec![Bottleneck::Resource(0), Bottleneck::Resource(0)]);
+    }
+
+    #[test]
+    fn attribution_reports_flow_cap_when_uncontended() {
+        let t = table(&[10.0e9]);
+        let flows = vec![FlowSpec::new(vec![0], 3.7e9)];
+        let (rates, attr) = solve_maxmin_attributed(&t, &flows).unwrap();
+        assert!((rates[0] - 3.7e9).abs() < 1.0);
+        assert_eq!(attr, vec![Bottleneck::FlowCap]);
+    }
+
+    #[test]
+    fn attribution_prefers_the_most_contended_resource() {
+        // Four flows each cross a private controller (r0..r3, cap 10)
+        // and all share r4 (cap 4): every flow freezes at 1.0 because of
+        // r4, the resource with the highest unfixed-flow count.
+        let t = table(&[10.0, 10.0, 10.0, 10.0, 4.0]);
+        let flows: Vec<FlowSpec> = (0..4).map(|r| FlowSpec::new(vec![r, 4], 100.0)).collect();
+        let (rates, attr) = solve_maxmin_attributed(&t, &flows).unwrap();
+        for (&rate, &b) in rates.iter().zip(&attr) {
+            assert!((rate - 1.0).abs() < 1e-9, "{rates:?}");
+            assert_eq!(b, Bottleneck::Resource(4), "{attr:?}");
+        }
+    }
+
+    #[test]
+    fn attribution_covers_zero_cap_flows() {
+        let t = table(&[10.0]);
+        let flows = vec![FlowSpec::new(vec![0], 0.0), FlowSpec::new(vec![0], 100.0)];
+        let (rates, attr) = solve_maxmin_attributed(&t, &flows).unwrap();
+        assert_eq!(rates[0], 0.0);
+        assert_eq!(attr[0], Bottleneck::FlowCap);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+        assert_eq!(attr[1], Bottleneck::Resource(0));
+    }
+
+    #[test]
+    fn attributed_rates_match_plain_rates_exactly() {
+        let t = table(&[7.0, 3.0, 11.0]);
+        let flows = vec![
+            FlowSpec::new(vec![0, 1], 10.0),
+            FlowSpec::new(vec![1, 2], 10.0),
+            FlowSpec::new(vec![0, 2], 10.0),
+            FlowSpec::new(vec![2], 2.0),
+            FlowSpec::new(vec![0, 0], 100.0),
+        ];
+        let plain = solve_maxmin(&t, &flows).unwrap();
+        let (attributed, _) = solve_maxmin_attributed(&t, &flows).unwrap();
+        // Bit-identical, not approximately equal: both paths run the same
+        // arithmetic, so tracing can never perturb a simulation.
+        assert_eq!(plain, attributed);
     }
 }

@@ -44,16 +44,20 @@ pub mod program;
 pub mod spec;
 pub mod systems;
 pub mod topology;
+pub mod trace;
 pub mod traffic;
 
-pub use engine::{Engine, RunReport};
+pub use engine::{Engine, Observed, RunReport};
 pub use error::{Error, Result};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use flow::Bottleneck;
 pub use ids::{CoreId, LinkId, NumaNodeId, RankId, SocketId};
 pub use memory::MemoryLayout;
+pub use metrics::{RankSpans, ResourceTimeline, RunMetrics};
 pub use program::{ComputePhase, Op, Program};
 pub use spec::{CacheSpec, CoherenceSpec, CoreSpec, LinkSpec, MachineSpec, MemorySpec};
 pub use topology::Topology;
+pub use trace::{RunTrace, TraceConfig};
 pub use traffic::{AccessPattern, TrafficProfile};
 
 use std::fmt;

@@ -82,6 +82,80 @@ impl RunReport {
     }
 }
 
+/// Busy/saturation summary of one shared resource over a traced run
+/// (built by [`crate::trace::RunTrace::resource_timelines`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceTimeline {
+    /// Resource name from the engine's table (`mc:0`, `link:0->1`,
+    /// `coherence-probe`).
+    pub name: String,
+    /// Total traced run time in seconds.
+    pub total_time: f64,
+    /// Seconds with any flow drawing on the resource.
+    pub busy_time: f64,
+    /// Seconds at or above [`crate::trace::SATURATION_THRESHOLD`]
+    /// utilization.
+    pub saturated_time: f64,
+    /// Time-weighted mean utilization in `[0, 1]`.
+    pub mean_utilization: f64,
+}
+
+impl ResourceTimeline {
+    /// Fraction of the run with the resource busy.
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.busy_time / self.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the run with the resource saturated.
+    #[must_use]
+    pub fn saturation_fraction(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.saturated_time / self.total_time
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-rank time-in-op summary over a traced run (built by
+/// [`crate::trace::RunTrace::rank_spans`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSpans {
+    /// The rank.
+    pub rank: usize,
+    /// Seconds inside compute spans.
+    pub compute: f64,
+    /// Seconds inside send spans (including rendezvous blocking).
+    pub send: f64,
+    /// Seconds inside recv spans (including waiting for the sender).
+    pub recv: f64,
+    /// Seconds inside barrier spans.
+    pub barrier: f64,
+    /// Seconds inside fixed delays (MPI software overhead, lock costs).
+    pub delay: f64,
+    /// Number of spans recorded for this rank.
+    pub spans: usize,
+}
+
+impl RankSpans {
+    /// Zeroed summary for `rank`.
+    #[must_use]
+    pub fn new(rank: usize) -> Self {
+        Self { rank, compute: 0.0, send: 0.0, recv: 0.0, barrier: 0.0, delay: 0.0, spans: 0 }
+    }
+
+    /// Total seconds across all span kinds.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.compute + self.send + self.recv + self.barrier + self.delay
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +169,20 @@ mod tests {
         assert_eq!(m.total_dram_bytes(), 6.0);
         assert_eq!(m.total_messages(), 5);
         assert_eq!(m.total_bytes_sent(), 15.0);
+    }
+
+    #[test]
+    fn timeline_fractions_handle_zero_total_time() {
+        let tl = ResourceTimeline {
+            name: "mc:0".into(),
+            total_time: 0.0,
+            busy_time: 0.0,
+            saturated_time: 0.0,
+            mean_utilization: 0.0,
+        };
+        assert_eq!(tl.busy_fraction(), 0.0);
+        assert_eq!(tl.saturation_fraction(), 0.0);
+        assert_eq!(RankSpans::new(2).total(), 0.0);
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use crate::profiles::{LockLayer, MpiProfile};
 use crate::transport::message_cost;
-use corescope_machine::engine::{Engine, RankPlacement, RunReport};
+use corescope_machine::engine::{Engine, Observed, RankPlacement, RunReport};
 use corescope_machine::program::{ComputePhase, Program};
-use corescope_machine::{FaultPlan, Machine, RankId, Result};
+use corescope_machine::{FaultPlan, Machine, RankId, Result, TraceConfig};
 
 /// An MPI communicator bound to placed ranks on a machine.
 #[derive(Debug, Clone)]
@@ -174,6 +174,14 @@ impl<'m> CommWorld<'m> {
     /// and plan-validation failures.
     pub fn run_with_faults(&self, plan: &FaultPlan) -> Result<RunReport> {
         Engine::new(self.machine).run_with_faults(&self.placements, &self.programs, plan)
+    }
+
+    /// Runs the built programs and keeps everything observed along the
+    /// way — partial metrics on error exits and, with
+    /// [`TraceConfig::on`], a full time-resolved
+    /// [`corescope_machine::RunTrace`].
+    pub fn observe(&self, plan: &FaultPlan, trace: TraceConfig) -> Observed {
+        Engine::new(self.machine).observe(&self.placements, &self.programs, plan, trace)
     }
 }
 

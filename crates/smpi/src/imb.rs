@@ -171,6 +171,24 @@ mod tests {
     }
 
     #[test]
+    fn pingpong_time_is_independent_of_reps() {
+        // The 2×reps p2p ops are strictly dependent — no pipelining may
+        // shorten later round trips. Guard the per-half-round-trip time
+        // against engine dependency-handling changes.
+        let m = dmz();
+        let p = Scheme::OneMpiLocalAlloc.resolve(&m, 2).unwrap();
+        let prof = MpiImpl::Mpich2.profile();
+        let reference = pingpong_time(&m, &p, &prof, LockLayer::USysV, 1024.0, 1).unwrap();
+        for reps in [2, 7, 40] {
+            let t = pingpong_time(&m, &p, &prof, LockLayer::USysV, 1024.0, reps).unwrap();
+            assert!(
+                (t - reference).abs() <= reference * 1e-6,
+                "reps={reps}: {t:e} vs reference {reference:e}"
+            );
+        }
+    }
+
+    #[test]
     fn exchange_time_scales_with_message_size() {
         let m = dmz();
         let p = Scheme::Default.resolve(&m, 2).unwrap();
