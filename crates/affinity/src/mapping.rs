@@ -21,8 +21,7 @@ pub fn central_socket_order(machine: &Machine) -> Vec<SocketId> {
         machine
             .topology()
             .mean_hops_from(a)
-            .partial_cmp(&machine.topology().mean_hops_from(b))
-            .expect("hop counts are finite")
+            .total_cmp(&machine.topology().mean_hops_from(b))
             .then(a.cmp(&b))
     });
     order
@@ -47,14 +46,20 @@ fn check_capacity(machine: &Machine, nranks: usize, limit: usize) -> Result<()> 
 /// # Errors
 ///
 /// Returns [`Error::InvalidSpec`] for zero ranks or more ranks than
-/// sockets.
+/// sockets, and [`Error::InvalidPlacement`] for a machine whose sockets
+/// hold no cores.
 pub fn one_per_socket(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
     check_capacity(machine, nranks, machine.num_sockets())?;
     let order = central_socket_order(machine);
-    Ok(order[..nranks]
+    order[..nranks]
         .iter()
-        .map(|&s| machine.cores_of(s).next().expect("socket has cores"))
-        .collect())
+        .map(|&s| {
+            machine
+                .cores_of(s)
+                .next()
+                .ok_or_else(|| Error::InvalidPlacement(format!("socket {s} has no cores")))
+        })
+        .collect()
 }
 
 /// Two MPI tasks per socket (packed): both cores of each central socket
@@ -83,14 +88,18 @@ pub fn packed(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidSpec`] for zero ranks or more ranks than cores.
+/// Returns [`Error::InvalidSpec`] for zero ranks or more ranks than
+/// cores, and [`Error::InvalidPlacement`] if a socket is missing a core
+/// the pass expects.
 pub fn os_scatter(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
     check_capacity(machine, nranks, machine.num_cores())?;
     let mut cores = Vec::with_capacity(nranks);
     let cps = machine.spec().cores_per_socket;
     'outer: for pass in 0..cps {
         for s in machine.sockets() {
-            let core = machine.cores_of(s).nth(pass).expect("pass below cores_per_socket");
+            let core = machine.cores_of(s).nth(pass).ok_or_else(|| {
+                Error::InvalidPlacement(format!("socket {s} has no core for pass {pass}"))
+            })?;
             cores.push(core);
             if cores.len() == nranks {
                 break 'outer;

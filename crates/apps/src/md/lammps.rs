@@ -88,6 +88,14 @@ impl LammpsBenchmark {
         }
     }
 
+    /// Bytes of live simulation state one rank must write to checkpoint
+    /// its local domain: the per-atom working set (positions, velocities,
+    /// forces, neighbour lists, tables) over the local atom share. Sizes
+    /// `CheckpointPolicy::bytes_per_rank` in recovery experiments.
+    pub fn state_bytes_per_rank(self, nranks: usize) -> f64 {
+        self.atoms() as f64 / nranks as f64 * self.state_bytes_per_atom()
+    }
+
     /// Appends the full benchmark run.
     pub fn append_run(&self, world: &mut CommWorld<'_>) {
         let p = world.size() as f64;
@@ -190,6 +198,30 @@ mod tests {
                 assert!(t > 0.0, "{} on {}", bench.name(), m.spec().name);
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_state_scales_down_with_ranks() {
+        let b = LammpsBenchmark::Eam;
+        assert_eq!(b.state_bytes_per_rank(1), 32_000.0 * 560.0);
+        assert!(b.state_bytes_per_rank(2) > b.state_bytes_per_rank(16));
+    }
+
+    #[test]
+    fn a_killed_rank_recovers_from_checkpoints() {
+        use corescope_machine::{CheckpointPolicy, FaultPlan, RankId};
+        let m = Machine::new(systems::dmz());
+        let bench = LammpsBenchmark::Lj;
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&m, 2).unwrap();
+        let mut w = CommWorld::new(&m, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV)
+            .with_recovery(CheckpointPolicy::new(0.5, bench.state_bytes_per_rank(2)));
+        bench.append_run(&mut w);
+        let fault_free = w.run().unwrap().makespan;
+        let plan = FaultPlan::new().rank_kill(fault_free * 0.4, RankId::new(1));
+        let report = w.run_with_faults(&plan).unwrap();
+        assert_eq!(report.metrics.recoveries, 1);
+        assert!(report.metrics.checkpoints_taken >= 1);
+        assert!(report.makespan > fault_free, "rollback must cost time");
     }
 
     #[test]

@@ -42,6 +42,14 @@ impl PopModel {
         self.horizontal_points() * self.nz as f64
     }
 
+    /// Bytes of live model state one rank must write to checkpoint its
+    /// sub-domain: ~40 prognostic and diagnostic 3-D arrays plus the 2-D
+    /// barotropic fields, evenly decomposed over `nranks`. Sizes
+    /// `CheckpointPolicy::bytes_per_rank` in recovery experiments.
+    pub fn state_bytes_per_rank(&self, nranks: usize) -> f64 {
+        (self.points() * 40.0 + self.horizontal_points() * 8.0) * F64 / nranks as f64
+    }
+
     /// Appends only the baroclinic phases (for Table 13's timings).
     pub fn append_baroclinic(&self, world: &mut CommWorld<'_>, steps: usize) {
         let p = world.size() as f64;
@@ -160,6 +168,32 @@ mod tests {
         let t16 = time(16);
         let gain = t2 / t16;
         assert!(gain > 5.0 && gain <= 8.5, "POP 2->16 gain {gain:.1}");
+    }
+
+    #[test]
+    fn checkpoint_state_matches_decomposition() {
+        let m = PopModel::x1();
+        let total = (m.points() * 40.0 + m.horizontal_points() * 8.0) * F64;
+        let per_rank = m.state_bytes_per_rank(4);
+        assert!((per_rank * 4.0 - total).abs() < 1e-3, "4 ranks must partition the state");
+    }
+
+    #[test]
+    fn a_killed_rank_recovers_mid_run() {
+        use corescope_machine::{CheckpointPolicy, FaultPlan, RankId};
+        let machine = Machine::new(systems::dmz());
+        let model = PopModel { steps: 2, ..PopModel::x1() };
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 2).unwrap();
+        let mut w =
+            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV)
+                .with_recovery(CheckpointPolicy::new(1.0, model.state_bytes_per_rank(2)));
+        model.append_run(&mut w);
+        let fault_free = w.run().unwrap().makespan;
+        let plan = FaultPlan::new().rank_kill(fault_free * 0.5, RankId::new(0));
+        let report = w.run_with_faults(&plan).unwrap();
+        assert_eq!(report.metrics.recoveries, 1);
+        assert!(report.metrics.checkpoints_taken >= 1);
+        assert!(report.makespan > fault_free, "rollback must cost time");
     }
 
     #[test]

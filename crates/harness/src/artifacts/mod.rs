@@ -9,6 +9,7 @@ pub mod imb;
 pub mod lammps;
 pub mod nas;
 pub mod pop;
+pub mod recovery;
 pub mod statics;
 pub mod stream;
 
@@ -62,6 +63,10 @@ pub enum Artifact {
     /// Extra: time-resolved bottleneck attribution for STREAM, PingPong,
     /// and NAS CG on all three systems.
     X4,
+    /// Extra: recovery campaign — checkpoint/restart under rank-kill
+    /// faults, swept around the Young/Daly optimum with bounded-recovery
+    /// and attribution-shift checks.
+    X5,
 }
 
 impl Artifact {
@@ -70,7 +75,7 @@ impl Artifact {
         use Artifact::*;
         vec![
             T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
-            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5,
         ]
     }
 
@@ -112,6 +117,7 @@ impl Artifact {
             X2 => "x2",
             X3 => "x3",
             X4 => "x4",
+            X5 => "x5",
         }
     }
 
@@ -158,6 +164,7 @@ impl Artifact {
             X2 => "Extra X2: memory-latency plateaus (lmbench-style)",
             X3 => "Extra X3: fault-injection resilience campaign",
             X4 => "Extra X4: time-resolved bottleneck attribution",
+            X5 => "Extra X5: recovery campaign (checkpoint/restart under rank kills)",
         }
     }
 
@@ -203,6 +210,7 @@ impl Artifact {
             X2 => Ok(vec![statics::extra2()]),
             X3 => crate::resilience::extra3(fidelity),
             X4 => bottleneck::extra4(fidelity),
+            X5 => recovery::extra5(fidelity),
         }
     }
 }
@@ -220,11 +228,11 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 34, "30 paper artifacts + the X1/X2/X3/X4 extras");
+        assert_eq!(all.len(), 35, "30 paper artifacts + the X1-X5 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 34);
+        assert_eq!(ids.len(), 35);
     }
 
     #[test]

@@ -17,7 +17,9 @@ use corescope_affinity::{os_scatter, policy, Scheme};
 use corescope_kernels::cg::{CgClass, NasCg};
 use corescope_kernels::stream::{append_star, StreamParams};
 use corescope_machine::engine::{Observed, RankPlacement};
-use corescope_machine::{Error, FaultPlan, Machine, Result, RunTrace, TraceConfig};
+use corescope_machine::{
+    CheckpointPolicy, Error, FaultPlan, Machine, RankId, Result, RunTrace, TraceConfig,
+};
 use corescope_smpi::{CommWorld, LockLayer};
 use std::fmt::Write as _;
 
@@ -62,6 +64,9 @@ pub fn representative_trace(artifact: Artifact, fidelity: Fidelity) -> Result<Op
         // The resilience campaign: a brownout run whose fault stamps
         // land in the trace as instant events.
         X3 => Some(traced_faulted_stream(&systems.dmz, "dmz", fidelity)?),
+        // The recovery campaign: a checkpointed run surviving a rank
+        // kill, rollback and downtime stamped into the trace.
+        X5 => Some(traced_recovered_stream(&systems.dmz, "dmz", fidelity)?),
         _ => None,
     };
     Ok(bundle)
@@ -133,6 +138,28 @@ fn traced_faulted_stream(
     let plan = machine.sockets().fold(plan, |p, s| p.controller_restore(healthy * 0.5, s));
     let observed = world.observe(&plan, TraceConfig::on());
     finish(format!("STREAM triad x4 + controller brownout, {system}"), observed)
+}
+
+fn traced_recovered_stream(
+    machine: &Machine,
+    system: &str,
+    fidelity: Fidelity,
+) -> Result<TraceBundle> {
+    let params = StreamParams { sweeps: fidelity.steps(10).max(2), ..StreamParams::default() };
+    let placements = Scheme::TwoMpiLocalAlloc.resolve(machine, 4)?;
+    let (profile, lock) = default_stack();
+    let mut world = CommWorld::new(machine, placements, profile, lock);
+    append_star(&mut world, &params);
+    let healthy = world.run()?.makespan;
+    // Checkpoint a few times over the run, kill rank 1 past the halfway
+    // mark, and let the rollback (plus visible restart downtime) land in
+    // the trace as a recovery stamp and a zero-utilization gap.
+    let world = world.with_recovery(
+        CheckpointPolicy::new(healthy / 4.0, 1e7).with_restart_delay(healthy / 50.0),
+    );
+    let plan = FaultPlan::new().rank_kill(healthy * 0.6, RankId::new(1));
+    let observed = world.observe(&plan, TraceConfig::on());
+    finish(format!("STREAM triad x4 + rank kill & rollback, {system}"), observed)
 }
 
 /// Escapes a string for a JSON string literal.
@@ -281,6 +308,16 @@ mod tests {
         assert_eq!(bundle.trace.faults.len(), 4);
         let json = chrome_trace_json(&bundle.label, &bundle.trace);
         assert_eq!(json.matches("\"ph\":\"i\"").count(), 4);
+    }
+
+    #[test]
+    fn x5_trace_carries_a_recovery_stamp() {
+        let bundle = representative_trace(Artifact::X5, Fidelity::Quick).unwrap().unwrap();
+        assert_eq!(bundle.trace.faults.len(), 1, "one kill stamped");
+        assert_eq!(bundle.trace.recoveries.len(), 1, "one rollback stamped");
+        let stamp = &bundle.trace.recoveries[0];
+        assert!(stamp.restored_to <= stamp.killed_at && stamp.killed_at < stamp.resumed_at);
+        assert!(stamp.resumed_at <= bundle.trace.end_time);
     }
 
     #[test]

@@ -16,9 +16,11 @@ use crate::flow::{
 use crate::ids::{CoreId, LinkId, RankId, SocketId};
 use crate::memory::MemoryLayout;
 use crate::program::{ComputePhase, MessageCost, Op, Program};
+use crate::recovery::{CheckpointPolicy, CheckpointTarget, RetryPolicy};
 use crate::trace::{
-    FaultStamp, OpSpan, RankState, RunTrace, SolverInterval, SpanKind, TraceConfig,
+    FaultStamp, OpSpan, RankState, RecoveryStamp, RunTrace, SolverInterval, SpanKind, TraceConfig,
 };
+use crate::traffic::TrafficProfile;
 use crate::Machine;
 
 pub use crate::metrics::{RunMetrics, RunReport};
@@ -73,6 +75,11 @@ pub struct Engine<'m> {
     max_events: usize,
     time_budget: Option<f64>,
     zero_progress_limit: usize,
+    /// Coordinated checkpoint/restart policy (see [`Engine::with_recovery`]).
+    checkpoint: Option<CheckpointPolicy>,
+    /// Transfer timeout/retry policy for failed links (see
+    /// [`Engine::with_retry`]).
+    retry: Option<RetryPolicy>,
 }
 
 /// Bytes below which a flow is considered drained.
@@ -107,6 +114,8 @@ impl<'m> Engine<'m> {
             max_events: 20_000_000,
             time_budget: None,
             zero_progress_limit: 50_000,
+            checkpoint: None,
+            retry: None,
         }
     }
 
@@ -138,6 +147,27 @@ impl<'m> Engine<'m> {
     /// releases, eager send chains) produces.
     pub fn with_zero_progress_limit(mut self, iterations: usize) -> Self {
         self.zero_progress_limit = iterations;
+        self
+    }
+
+    /// Enables coordinated checkpoint/restart: every `policy.interval`
+    /// seconds each live rank streams `policy.bytes_per_rank` through the
+    /// memory system (real contending flows), and a
+    /// [`FaultKind::RankKill`] rolls the whole job back to the last
+    /// completed checkpoint instead of failing the run. Without a policy a
+    /// kill returns [`Error::RankKilled`].
+    pub fn with_recovery(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Enables transport timeout/retry: transfers in flight across a link
+    /// severed by [`FaultKind::LinkFail`] are declared lost after
+    /// `policy.detection_timeout` and retransmitted with exponential
+    /// backoff instead of starving the run into [`Error::RankStalled`].
+    /// Exceeding `policy.max_retries` returns [`Error::RetriesExhausted`].
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 
@@ -266,6 +296,12 @@ impl<'m> Engine<'m> {
             seen[p.core.index()] = true;
             p.layout.check_nodes(num_nodes)?;
         }
+        if let Some(policy) = &self.checkpoint {
+            policy.validate(self.machine)?;
+        }
+        if let Some(policy) = &self.retry {
+            policy.validate()?;
+        }
         plan.validate(self.machine, programs.len())?;
         plan.events()
             .iter()
@@ -304,6 +340,10 @@ impl<'m> Engine<'m> {
             FaultKind::ProbeRestore => scaled(probe()?, 1.0),
             FaultKind::RankStall { rank } => ResolvedFault::Stall(rank.index()),
             FaultKind::RankResume { rank } => ResolvedFault::Resume(rank.index()),
+            FaultKind::RankKill { rank } => ResolvedFault::Kill(rank.index()),
+            FaultKind::LinkFail { link } => {
+                ResolvedFault::FailLink { index: self.link_index[link.index()] }
+            }
         })
     }
 }
@@ -340,9 +380,20 @@ struct ScheduledFault {
 /// A fault lowered to the engine's resource/rank index space.
 #[derive(Debug, Clone, Copy)]
 enum ResolvedFault {
-    SetCapacity { index: ResourceIndex, capacity: f64 },
+    SetCapacity {
+        index: ResourceIndex,
+        capacity: f64,
+    },
     Stall(usize),
     Resume(usize),
+    /// Terminal loss of a rank: recover from the last checkpoint, or fail
+    /// the run with [`Error::RankKilled`] when no policy is active.
+    Kill(usize),
+    /// Permanent (until restored) link severance: capacity drops to zero
+    /// *and* in-flight transfers on the link are lost, not just slowed.
+    FailLink {
+        index: ResourceIndex,
+    },
 }
 
 /// An op span still in progress on one rank (trace-only state).
@@ -365,6 +416,23 @@ struct TraceState {
     /// solve (indexed like `Sim::flows`).
     flow_bottleneck: Vec<Bottleneck>,
     faults: Vec<FaultStamp>,
+    recoveries: Vec<RecoveryStamp>,
+}
+
+/// Maps engine statuses to their trace-level rank states.
+fn rank_states(status: &[Status]) -> Vec<RankState> {
+    status
+        .iter()
+        .map(|s| match *s {
+            Status::Ready => RankState::Ready,
+            Status::Computing { .. } => RankState::Computing,
+            Status::Waiting { .. } => RankState::Waiting,
+            Status::SendBlocked { .. } => RankState::SendBlocked,
+            Status::RecvBlocked => RankState::RecvBlocked,
+            Status::BarrierBlocked => RankState::BarrierBlocked,
+            Status::Done => RankState::Done,
+        })
+        .collect()
 }
 
 /// Accumulates `dt` seconds of bottleneck `b` onto `rank`'s open span.
@@ -417,6 +485,9 @@ struct Transfer {
     cost: MessageCost,
     send_post: f64,
     state: TransferState,
+    /// Retransmissions already spent on this transfer (see
+    /// [`RetryPolicy`]).
+    attempts: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -425,6 +496,8 @@ enum FlowOwner {
     Phase(usize),
     /// Transfer `.0`'s payload.
     Transfer(usize),
+    /// Rank `.0`'s share of a coordinated checkpoint write.
+    Checkpoint(usize),
 }
 
 #[derive(Debug, Clone)]
@@ -434,6 +507,28 @@ struct ActiveFlow {
     initial: f64,
     remaining: f64,
     rate: f64,
+}
+
+/// A consistent global cut of application and channel state, captured at
+/// every checkpoint completion (plus an implicit one at `t = 0`). Rolling
+/// back to it restores everything a replay needs; environment state —
+/// resource capacities, the fault cursor, accumulated metrics and trace —
+/// deliberately stays live, because the environment does not roll back
+/// when an application restarts.
+#[derive(Debug, Clone)]
+struct SimSnapshot {
+    /// Simulated time the cut was taken at.
+    at: f64,
+    pc: Vec<usize>,
+    status: Vec<Status>,
+    finish: Vec<f64>,
+    flows: Vec<Option<ActiveFlow>>,
+    live_flows: usize,
+    transfers: Vec<Transfer>,
+    starting_transfers: Vec<usize>,
+    pending_sends: HashMap<(usize, usize, u64), VecDeque<usize>>,
+    pending_recvs: HashMap<(usize, usize, u64), VecDeque<usize>>,
+    barrier_arrived: usize,
 }
 
 struct Sim<'a, 'm> {
@@ -469,6 +564,16 @@ struct Sim<'a, 'm> {
     /// `None` when tracing is off: the hot loop then skips every trace
     /// hook without allocating.
     trace: Option<Box<TraceState>>,
+    /// Resources severed by [`FaultKind::LinkFail`] (as opposed to merely
+    /// degraded to zero): transfers routed over these are lost and
+    /// eligible for retry. Cleared by a restore.
+    failed_resources: Vec<bool>,
+    /// Last completed checkpoint (present iff a policy is active).
+    snapshot: Option<Box<SimSnapshot>>,
+    /// When the next coordinated checkpoint starts.
+    next_ckpt_at: Option<f64>,
+    /// Checkpoint flows still draining for the in-progress checkpoint.
+    ckpt_flows_pending: usize,
 }
 
 impl<'a, 'm> Sim<'a, 'm> {
@@ -508,8 +613,13 @@ impl<'a, 'm> Sim<'a, 'm> {
                     open: vec![None; n],
                     flow_bottleneck: Vec::new(),
                     faults: Vec::new(),
+                    recoveries: Vec::new(),
                 })
             }),
+            failed_resources: vec![false; engine.resources.len()],
+            snapshot: None,
+            next_ckpt_at: None,
+            ckpt_flows_pending: 0,
         }
     }
 
@@ -535,6 +645,7 @@ impl<'a, 'm> Sim<'a, 'm> {
                 intervals: t.intervals,
                 spans: t.spans,
                 faults: t.faults,
+                recoveries: t.recoveries,
                 end_time: self.now,
             }
         });
@@ -549,7 +660,13 @@ impl<'a, 'm> Sim<'a, 'm> {
 
     fn run_loop(&mut self) -> Result<f64> {
         let n = self.programs.len();
-        self.apply_due_faults();
+        if let Some(policy) = &self.engine.checkpoint {
+            // The t=0 state is the implicit first checkpoint: a kill before
+            // the first completed checkpoint restarts the job from scratch.
+            self.next_ckpt_at = Some(policy.interval);
+            self.take_snapshot();
+        }
+        self.apply_due_faults()?;
         self.dispatch_all()?;
         self.resolve_rates()?;
         let mut zero_dt_iters = 0usize;
@@ -575,8 +692,15 @@ impl<'a, 'm> Sim<'a, 'm> {
                     self.flows.iter().flatten().map(|f| (f.remaining, f.rate)).collect::<Vec<_>>()
                 );
             }
-            let Some(next) = self.next_event_time() else {
+            let Some(app_next) = self.next_event_time() else {
+                // Deliberately checked before merging the checkpoint
+                // timer: checkpointing a deadlocked application forever is
+                // not progress, so deadlock detection stays app-only.
                 return Err(self.no_progress_error());
+            };
+            let next = match self.next_ckpt_at {
+                Some(ckpt) if ckpt < app_next => ckpt.max(self.now),
+                _ => app_next,
             };
             if let Some(budget) = self.engine.time_budget {
                 if next > budget + EPS_TIME {
@@ -602,7 +726,8 @@ impl<'a, 'm> Sim<'a, 'm> {
             self.advance_flows(dt);
             self.now = next;
 
-            self.apply_due_faults();
+            self.apply_due_faults()?;
+            self.maybe_start_checkpoint()?;
             self.process_flow_completions()?;
             self.process_timers()?;
             self.dispatch_all()?;
@@ -645,19 +770,7 @@ impl<'a, 'm> Sim<'a, 'm> {
                 }
             })
             .collect();
-        let rank_state = self
-            .status
-            .iter()
-            .map(|s| match *s {
-                Status::Ready => RankState::Ready,
-                Status::Computing { .. } => RankState::Computing,
-                Status::Waiting { .. } => RankState::Waiting,
-                Status::SendBlocked { .. } => RankState::SendBlocked,
-                Status::RecvBlocked => RankState::RecvBlocked,
-                Status::BarrierBlocked => RankState::BarrierBlocked,
-                Status::Done => RankState::Done,
-            })
-            .collect();
+        let rank_state = rank_states(&self.status);
         trace.intervals.push(SolverInterval { t0: now, t1, utilization, rank_state });
 
         // Attribute the interval to the open spans of the ranks each live
@@ -676,6 +789,9 @@ impl<'a, 'm> Sim<'a, 'm> {
                         attribute(&mut trace.open, tr.src, b, dt);
                     }
                 }
+                // Checkpoint traffic charges whatever op the owning rank
+                // is inside — the checkpoint runs concurrently with it.
+                FlowOwner::Checkpoint(rank) => attribute(&mut trace.open, rank, b, dt),
             }
         }
     }
@@ -719,7 +835,13 @@ impl<'a, 'm> Sim<'a, 'm> {
     }
 
     /// Fires every scheduled fault due at (or before) `now`.
-    fn apply_due_faults(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RankKilled`] for a kill with no active checkpoint policy;
+    /// [`Error::RetriesExhausted`] when a link failure wastes the last
+    /// retry of an in-flight transfer.
+    fn apply_due_faults(&mut self) -> Result<()> {
         while let Some(&ScheduledFault { at, kind, fault }) = self.faults.get(self.next_fault) {
             if at > self.now + EPS_TIME {
                 break;
@@ -732,12 +854,39 @@ impl<'a, 'm> Sim<'a, 'm> {
             match fault {
                 ResolvedFault::SetCapacity { index, capacity } => {
                     self.resources.set_capacity(index, capacity);
+                    if capacity > 0.0 {
+                        // A restore heals a severed link: new transfers
+                        // route over it again.
+                        self.failed_resources[index] = false;
+                    }
                     self.rates_dirty = true;
                 }
                 ResolvedFault::Stall(rank) => self.stalled[rank] = true,
                 ResolvedFault::Resume(rank) => self.stalled[rank] = false,
+                ResolvedFault::Kill(rank) => {
+                    if self.status[rank] == Status::Done {
+                        // Killing a rank that already finished loses
+                        // nothing: its results are out.
+                        continue;
+                    }
+                    if self.engine.checkpoint.is_some() {
+                        self.recover_from_kill(rank);
+                    } else {
+                        return Err(Error::RankKilled {
+                            rank: RankId::new(rank),
+                            at_time: self.now,
+                        });
+                    }
+                }
+                ResolvedFault::FailLink { index } => {
+                    self.resources.set_capacity(index, 0.0);
+                    self.failed_resources[index] = true;
+                    self.rates_dirty = true;
+                    self.detect_lost_transfers(index)?;
+                }
             }
         }
+        Ok(())
     }
 
     /// Diagnoses why the simulation has no next event, most specific
@@ -753,6 +902,7 @@ impl<'a, 'm> Sim<'a, 'm> {
                 let rank = match f.owner {
                     FlowOwner::Phase(rank) => rank,
                     FlowOwner::Transfer(t) => self.transfers[t].src,
+                    FlowOwner::Checkpoint(rank) => rank,
                 };
                 return Error::RankStalled {
                     rank: RankId::new(rank),
@@ -857,7 +1007,7 @@ impl<'a, 'm> Sim<'a, 'm> {
                 }
                 let mut route = vec![self.engine.mc_index[node.index()]];
                 let dst_socket = machine.socket_of_node(node);
-                for link in machine.topology().route(src_socket, dst_socket) {
+                for link in machine.topology().route(src_socket, dst_socket)? {
                     route.push(self.engine.link_index[link.index()]);
                 }
                 if let Some(probe) = self.engine.probe_index {
@@ -907,6 +1057,7 @@ impl<'a, 'm> Sim<'a, 'm> {
             cost,
             send_post: self.now,
             state: TransferState::WaitingRecv,
+            attempts: 0,
         });
 
         // Match an already-posted receive, if any.
@@ -974,7 +1125,7 @@ impl<'a, 'm> Sim<'a, 'm> {
         let s_src = machine.socket_of(self.placements[src].core);
         let s_dst = machine.socket_of(self.placements[dst].core);
         let mut route = vec![self.engine.mc_index[s_src.index()]];
-        for link in machine.topology().route(s_src, s_dst) {
+        for link in machine.topology().route(s_src, s_dst)? {
             route.push(self.engine.link_index[link.index()]);
         }
         route.push(self.engine.mc_index[s_dst.index()]);
@@ -983,7 +1134,19 @@ impl<'a, 'm> Sim<'a, 'm> {
             // fabric like any other memory access.
             route.push(probe);
         }
-        self.check_route(&route)?;
+        // A transfer asked to start over a severed link goes back to the
+        // retry queue instead of erroring — the sender cannot know the
+        // path is down until its failure detector fires.
+        if let Some(&dead) = route.iter().find(|&&r| self.resources.get(r).capacity <= 0.0) {
+            if self.failed_resources[dead] {
+                if let Some(retry) = self.engine.retry.clone() {
+                    return self.schedule_retry(t, &retry);
+                }
+            }
+            return Err(Error::ZeroCapacityRoute {
+                resource: self.resources.get(dead).name.clone(),
+            });
+        }
         let flow = self.add_flow(ActiveFlow {
             owner: FlowOwner::Transfer(t),
             spec: FlowSpec::new(route, cap.min(1e12)),
@@ -1154,6 +1317,14 @@ impl<'a, 'm> Sim<'a, 'm> {
                 FlowOwner::Transfer(t) => {
                     self.complete_transfer(t)?;
                 }
+                FlowOwner::Checkpoint(_) => {
+                    self.ckpt_flows_pending -= 1;
+                    if self.ckpt_flows_pending == 0 {
+                        let interval =
+                            self.engine.checkpoint.as_ref().map(|p| p.interval).unwrap_or_default();
+                        self.complete_checkpoint(interval);
+                    }
+                }
             }
         }
         Ok(())
@@ -1188,6 +1359,259 @@ impl<'a, 'm> Sim<'a, 'm> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Starts the coordinated checkpoint when its timer is due.
+    fn maybe_start_checkpoint(&mut self) -> Result<()> {
+        let due = matches!(self.next_ckpt_at, Some(at) if at <= self.now + EPS_TIME);
+        if !due {
+            return Ok(());
+        }
+        let Some(policy) = self.engine.checkpoint.clone() else { return Ok(()) };
+        self.start_checkpoint(&policy)
+    }
+
+    /// Builds one checkpoint write flow per (live rank, target node) and
+    /// registers them; they contend with application traffic under max-min
+    /// fairness like any other flows. If any write would route over a dead
+    /// resource the whole coordinated checkpoint is postponed one interval
+    /// — it commits for everyone or for no one.
+    fn start_checkpoint(&mut self, policy: &CheckpointPolicy) -> Result<()> {
+        self.next_ckpt_at = None;
+        let machine = self.engine.machine;
+        let spec = machine.spec();
+        let mut new_flows = Vec::new();
+        let mut dram = vec![0.0; self.programs.len()];
+        for (rank, dram_bytes) in dram.iter_mut().enumerate() {
+            if self.status[rank] == Status::Done {
+                continue;
+            }
+            let placement = &self.placements[rank];
+            let core = placement.core;
+            let src_socket = machine.socket_of(core);
+            let layout = match policy.target {
+                CheckpointTarget::OwnLayout => placement.layout.clone(),
+                CheckpointTarget::Node(node) => MemoryLayout::single(node),
+            };
+            let mut avg_latency = 0.0;
+            for (node, frac) in layout.shares() {
+                avg_latency += frac * machine.memory_latency(core, node);
+            }
+            // Checkpoint state streams out like a STREAM copy: mostly
+            // cache misses, so nearly all of it hits DRAM.
+            let traffic = TrafficProfile::stream(policy.bytes_per_rank);
+            let demand = cache::dram_demand(&spec.cache, &traffic, avg_latency);
+            *dram_bytes = demand.bytes;
+            for (node, frac) in layout.shares() {
+                let bytes = demand.bytes * frac;
+                if bytes <= EPS_BYTES {
+                    continue;
+                }
+                let mut route = vec![self.engine.mc_index[node.index()]];
+                let dst_socket = machine.socket_of_node(node);
+                for link in machine.topology().route(src_socket, dst_socket)? {
+                    route.push(self.engine.link_index[link.index()]);
+                }
+                if let Some(probe) = self.engine.probe_index {
+                    route.push(probe);
+                }
+                if route.iter().any(|&r| self.resources.get(r).capacity <= 0.0) {
+                    self.next_ckpt_at = Some(self.now + policy.interval);
+                    return Ok(());
+                }
+                new_flows.push(ActiveFlow {
+                    owner: FlowOwner::Checkpoint(rank),
+                    spec: FlowSpec::new(route, demand.self_cap * frac),
+                    initial: bytes,
+                    remaining: bytes,
+                    rate: 0.0,
+                });
+            }
+        }
+        if new_flows.is_empty() {
+            // Nothing to write (negligible demand): commit immediately.
+            self.complete_checkpoint(policy.interval);
+            return Ok(());
+        }
+        for (rank, bytes) in dram.iter().enumerate() {
+            self.metrics.dram_bytes[rank] += *bytes;
+        }
+        self.ckpt_flows_pending = new_flows.len();
+        for f in new_flows {
+            self.add_flow(f);
+        }
+        Ok(())
+    }
+
+    /// Commits the in-progress checkpoint: settles live-flow byte
+    /// accounting up to now (so a later rollback can neither double-charge
+    /// nor lose traffic that physically happened), snapshots application
+    /// and channel state, and rearms the timer.
+    fn complete_checkpoint(&mut self, interval: f64) {
+        self.settle_flow_bytes();
+        self.metrics.checkpoints_taken += 1;
+        self.next_ckpt_at = Some(self.now + interval);
+        self.take_snapshot();
+    }
+
+    /// Charges every live flow for the bytes it moved so far and rebases
+    /// it, so the same bytes are never charged twice.
+    fn settle_flow_bytes(&mut self) {
+        for f in self.flows.iter_mut().flatten() {
+            let moved = (f.initial - f.remaining.max(0.0)).max(0.0);
+            if moved > 0.0 {
+                for &r in &f.spec.route {
+                    self.metrics.resource_bytes[r] += moved;
+                }
+            }
+            f.initial = f.remaining.max(0.0);
+            f.remaining = f.initial;
+        }
+    }
+
+    /// Captures the consistent global cut a future rollback restores.
+    fn take_snapshot(&mut self) {
+        self.snapshot = Some(Box::new(SimSnapshot {
+            at: self.now,
+            pc: self.pc.clone(),
+            status: self.status.clone(),
+            finish: self.finish.clone(),
+            flows: self.flows.clone(),
+            live_flows: self.live_flows,
+            transfers: self.transfers.clone(),
+            starting_transfers: self.starting_transfers.clone(),
+            pending_sends: self.pending_sends.clone(),
+            pending_recvs: self.pending_recvs.clone(),
+            barrier_arrived: self.barrier_arrived,
+        }));
+    }
+
+    /// Rolls the whole job back to the last completed checkpoint after
+    /// `rank` was killed and replays from there. Environment state —
+    /// capacities, the fault cursor, metrics, the trace so far — stays
+    /// live; the restored application state has its absolute-time fields
+    /// shifted into the post-restart timeline.
+    fn recover_from_kill(&mut self, rank: usize) {
+        let policy = self.engine.checkpoint.as_ref().expect("kill recovery requires a policy");
+        let killed_at = self.now;
+        let resumed_at = killed_at + policy.restart_delay;
+        let interval = policy.interval;
+        // In-flight traffic died with the job, but the bytes it moved were
+        // physically moved: settle them before discarding the flows.
+        for f in self.flows.iter().flatten() {
+            let moved = (f.initial - f.remaining.max(0.0)).max(0.0);
+            for &r in &f.spec.route {
+                self.metrics.resource_bytes[r] += moved;
+            }
+        }
+        // The ops in flight at the kill are lost work: close their spans.
+        for r in 0..self.programs.len() {
+            self.trace_close_span(r);
+        }
+        let snap: SimSnapshot =
+            (**self.snapshot.as_ref().expect("a checkpoint policy always has a snapshot")).clone();
+        let restored_to = snap.at;
+        let delta = resumed_at - restored_to;
+        self.pc = snap.pc;
+        self.status = snap.status;
+        self.finish = snap.finish;
+        self.flows = snap.flows;
+        self.live_flows = snap.live_flows;
+        self.transfers = snap.transfers;
+        self.starting_transfers = snap.starting_transfers;
+        self.pending_sends = snap.pending_sends;
+        self.pending_recvs = snap.pending_recvs;
+        self.barrier_arrived = snap.barrier_arrived;
+        // Shift every absolute-time field into the replay timeline; the
+        // uniform shift preserves every relative deadline, including ones
+        // already in the past at the snapshot.
+        for s in &mut self.status {
+            match s {
+                Status::Computing { cpu_end, .. } => *cpu_end += delta,
+                Status::Waiting { until } => *until += delta,
+                _ => {}
+            }
+        }
+        for tr in &mut self.transfers {
+            tr.send_post += delta;
+            if let TransferState::Starting { at } = &mut tr.state {
+                *at += delta;
+            }
+        }
+        self.ckpt_flows_pending = 0;
+        self.next_ckpt_at = Some(resumed_at + interval);
+        self.now = resumed_at;
+        self.rates_dirty = true;
+        self.metrics.recoveries += 1;
+        let num_resources = self.resources.len();
+        let rank_state = self.trace.is_some().then(|| rank_states(&self.status));
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.recoveries.push(RecoveryStamp {
+                rank: RankId::new(rank),
+                killed_at,
+                restored_to,
+                resumed_at,
+            });
+            // Keep the interval timeline gap-free across restart downtime.
+            if resumed_at > killed_at {
+                trace.intervals.push(SolverInterval {
+                    t0: killed_at,
+                    t1: resumed_at,
+                    utilization: vec![0.0; num_resources],
+                    rank_state: rank_state.unwrap_or_default(),
+                });
+            }
+        }
+    }
+
+    /// Declares every in-flight transfer crossing a severed resource lost
+    /// and queues retransmits (retry policy permitting). Without a retry
+    /// policy a severed link behaves like a zero-capacity degrade: flows
+    /// starve and the no-progress diagnosis names the stalled rank.
+    fn detect_lost_transfers(&mut self, index: ResourceIndex) -> Result<()> {
+        let Some(retry) = self.engine.retry.clone() else { return Ok(()) };
+        for slot in 0..self.flows.len() {
+            let is_lost = match &self.flows[slot] {
+                Some(f) => {
+                    matches!(f.owner, FlowOwner::Transfer(_)) && f.spec.route.contains(&index)
+                }
+                None => false,
+            };
+            if !is_lost {
+                continue;
+            }
+            let Some(flow) = self.flows[slot].take() else { continue };
+            self.live_flows -= 1;
+            self.rates_dirty = true;
+            // Bytes that crossed before the cut really moved; the
+            // retransmit resends the full payload on top of them.
+            let moved = (flow.initial - flow.remaining.max(0.0)).max(0.0);
+            for &r in &flow.spec.route {
+                self.metrics.resource_bytes[r] += moved;
+            }
+            let FlowOwner::Transfer(t) = flow.owner else { continue };
+            self.schedule_retry(t, &retry)?;
+        }
+        Ok(())
+    }
+
+    /// Queues transfer `t` for retransmission after the failure-detection
+    /// timeout plus exponential backoff.
+    fn schedule_retry(&mut self, t: usize, retry: &RetryPolicy) -> Result<()> {
+        let attempts = self.transfers[t].attempts;
+        if attempts >= retry.max_retries {
+            return Err(Error::RetriesExhausted {
+                rank: RankId::new(self.transfers[t].src),
+                attempts,
+                at_time: self.now,
+            });
+        }
+        self.transfers[t].attempts = attempts + 1;
+        self.metrics.retries += 1;
+        let at = self.now + retry.detection_timeout + retry.backoff_for(attempts);
+        self.transfers[t].state = TransferState::Starting { at };
+        self.starting_transfers.push(t);
         Ok(())
     }
 }
@@ -1718,6 +2142,188 @@ mod tests {
         let ranking = trace.bottleneck_ranking();
         assert_eq!(ranking[0].label, "mc:socket0", "ranking: {ranking:?}");
         assert!(trace.resource_timelines()[0].saturation_fraction() > 0.9);
+    }
+
+    // ---- recovery --------------------------------------------------------
+
+    #[test]
+    fn checkpoints_cost_time_and_are_counted() {
+        let m = Machine::new(systems::dmz());
+        let plain = Engine::new(&m);
+        let placements = [local_placement(&m, 0)];
+        let programs = [stream_program(1e9)];
+        let healthy = plain.run(&placements, &programs).unwrap();
+        let ckpt = Engine::new(&m).with_recovery(CheckpointPolicy::new(0.05, 5e7));
+        let report = ckpt.run(&placements, &programs).unwrap();
+        assert!(report.metrics.checkpoints_taken >= 2, "{:?}", report.metrics.checkpoints_taken);
+        assert!(
+            report.makespan > healthy.makespan * 1.02,
+            "checkpoint traffic must cost time: {} vs {}",
+            report.makespan,
+            healthy.makespan
+        );
+        assert_eq!(report.metrics.recoveries, 0);
+    }
+
+    #[test]
+    fn kill_without_policy_is_a_typed_error() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let plan = crate::FaultPlan::new().rank_kill(0.1, RankId::new(0));
+        let err = engine
+            .run_with_faults(&[local_placement(&m, 0)], &[stream_program(1e9)], &plan)
+            .unwrap_err();
+        assert!(matches!(err, Error::RankKilled { rank, .. } if rank == RankId::new(0)), "{err}");
+    }
+
+    #[test]
+    fn kill_of_a_finished_rank_is_a_noop() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let mut p1 = Program::new();
+        p1.delay(1e-3);
+        // Rank 0 finishes at t=0; the kill at 0.5 ms hits a rank whose
+        // results are already out.
+        let plan = crate::FaultPlan::new().rank_kill(5e-4, RankId::new(0));
+        let report = engine
+            .run_with_faults(
+                &[local_placement(&m, 0), local_placement(&m, 1)],
+                &[Program::new(), p1],
+                &plan,
+            )
+            .unwrap();
+        assert!((report.makespan - 1e-3).abs() < 1e-9);
+        assert_eq!(report.metrics.faults_applied, 1);
+    }
+
+    #[test]
+    fn kill_with_policy_rolls_back_and_completes() {
+        let m = Machine::new(systems::dmz());
+        let policy = CheckpointPolicy::new(0.05, 5e7).with_restart_delay(0.01);
+        let engine = Engine::new(&m).with_recovery(policy);
+        let placements = [local_placement(&m, 0)];
+        let programs = [stream_program(1e9)];
+        let fault_free = engine.run(&placements, &programs).unwrap();
+        let plan = crate::FaultPlan::new().rank_kill(0.15, RankId::new(0));
+        let report = engine.run_with_faults(&placements, &programs, &plan).unwrap();
+        assert_eq!(report.metrics.recoveries, 1);
+        // Lost work since the last checkpoint plus the restart delay must
+        // show up in the makespan.
+        assert!(
+            report.makespan > fault_free.makespan + 0.01,
+            "kill must cost at least the downtime: {} vs {}",
+            report.makespan,
+            fault_free.makespan
+        );
+    }
+
+    #[test]
+    fn kill_before_any_checkpoint_restarts_from_scratch() {
+        let m = Machine::new(systems::dmz());
+        // Interval longer than the run: only the implicit t=0 snapshot.
+        let engine = Engine::new(&m).with_recovery(CheckpointPolicy::new(10.0, 1e6));
+        let placements = [local_placement(&m, 0)];
+        let programs = [stream_program(1e9)];
+        let fault_free = engine.run(&placements, &programs).unwrap();
+        let plan = crate::FaultPlan::new().rank_kill(0.1, RankId::new(0));
+        let report = engine.run_with_faults(&placements, &programs, &plan).unwrap();
+        assert_eq!(report.metrics.recoveries, 1);
+        assert!(
+            (report.makespan - (fault_free.makespan + 0.1)).abs() < fault_free.makespan * 0.02,
+            "restart from t=0 replays everything: {} vs {}",
+            report.makespan,
+            fault_free.makespan
+        );
+    }
+
+    #[test]
+    fn traced_recovery_is_bit_identical_and_stamped() {
+        let m = Machine::new(systems::dmz());
+        let policy = CheckpointPolicy::new(0.05, 5e7).with_restart_delay(0.02);
+        let engine = Engine::new(&m).with_recovery(policy);
+        let cost = MessageCost { setup: 1e-6, cap: 1.4e9, sender_busy: 0.5e-6, rendezvous: false };
+        let mut p0 = Program::new();
+        p0.compute(ComputePhase::new("stream", 0.0, TrafficProfile::stream(5e8)))
+            .send(RankId::new(1), 1e6, 0, cost)
+            .barrier();
+        let mut p1 = Program::new();
+        p1.compute(ComputePhase::new("stream", 0.0, TrafficProfile::stream(5e8)))
+            .recv(RankId::new(0), 0)
+            .barrier();
+        let placements = [local_placement(&m, 0), local_placement(&m, 2)];
+        let programs = [p0, p1];
+        let plan = crate::FaultPlan::new().rank_kill(0.08, RankId::new(1));
+
+        let off = engine.observe(&placements, &programs, &plan, TraceConfig::off());
+        let on = engine.observe(&placements, &programs, &plan, TraceConfig::on());
+        assert_eq!(off.result.unwrap(), on.result.unwrap());
+        let trace = on.trace.unwrap();
+        assert_eq!(trace.recoveries.len(), 1);
+        let stamp = &trace.recoveries[0];
+        assert_eq!(stamp.rank, RankId::new(1));
+        assert!((stamp.killed_at - 0.08).abs() < 1e-9);
+        assert!(stamp.restored_to <= stamp.killed_at);
+        assert!((stamp.resumed_at - (stamp.killed_at + 0.02)).abs() < 1e-9);
+        // The interval timeline stays gap-free across the downtime.
+        let covered: f64 = trace.intervals.iter().map(|iv| iv.t1 - iv.t0).sum();
+        assert!((covered - trace.end_time).abs() < 1e-9 * trace.end_time.max(1.0));
+    }
+
+    #[test]
+    fn transfer_retries_over_a_failed_link_until_restore() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m).with_retry(RetryPolicy::new(5e-3).with_backoff(5e-3));
+        let cost = MessageCost { setup: 0.0, cap: 1e9, sender_busy: 0.0, rendezvous: true };
+        let mut p0 = Program::new();
+        p0.send(RankId::new(1), 1e8, 0, cost);
+        let mut p1 = Program::new();
+        p1.recv(RankId::new(0), 0);
+        let placements = [local_placement(&m, 0), local_placement(&m, 2)];
+        let programs = [p0, p1];
+        // Sever link 0->1 mid-transfer, restore at 80 ms.
+        let plan = crate::FaultPlan::new()
+            .link_fail(0.05, LinkId::new(0))
+            .link_restore(0.08, LinkId::new(0));
+        let report = engine.run_with_faults(&placements, &programs, &plan).unwrap();
+        assert!(report.metrics.retries >= 2, "retries = {}", report.metrics.retries);
+        // The retransmit resends the full payload after the restore.
+        assert!(report.makespan > 0.15, "makespan = {}", report.makespan);
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_typed_error() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m).with_retry(RetryPolicy::new(1e-3).with_max_retries(2));
+        let cost = MessageCost { setup: 0.0, cap: 1e9, sender_busy: 0.0, rendezvous: true };
+        let mut p0 = Program::new();
+        p0.send(RankId::new(1), 1e8, 0, cost);
+        let mut p1 = Program::new();
+        p1.recv(RankId::new(0), 0);
+        let placements = [local_placement(&m, 0), local_placement(&m, 2)];
+        let programs = [p0, p1];
+        // Severed and never restored: the retry budget runs out.
+        let plan = crate::FaultPlan::new().link_fail(0.05, LinkId::new(0));
+        let err = engine.run_with_faults(&placements, &programs, &plan).unwrap_err();
+        assert!(
+            matches!(err, Error::RetriesExhausted { attempts: 2, .. }),
+            "expected RetriesExhausted, got {err}"
+        );
+    }
+
+    #[test]
+    fn link_fail_without_retry_policy_starves_like_a_degrade() {
+        let m = Machine::new(systems::dmz());
+        let engine = Engine::new(&m);
+        let cost = MessageCost { setup: 0.0, cap: 1e9, sender_busy: 0.0, rendezvous: true };
+        let mut p0 = Program::new();
+        p0.send(RankId::new(1), 1e8, 0, cost);
+        let mut p1 = Program::new();
+        p1.recv(RankId::new(0), 0);
+        let placements = [local_placement(&m, 0), local_placement(&m, 2)];
+        let programs = [p0, p1];
+        let plan = crate::FaultPlan::new().link_fail(0.05, LinkId::new(0));
+        let err = engine.run_with_faults(&placements, &programs, &plan).unwrap_err();
+        assert!(matches!(err, Error::RankStalled { resource: Some(_), .. }), "{err}");
     }
 
     #[test]

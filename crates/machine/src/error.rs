@@ -80,6 +80,36 @@ pub enum Error {
         /// The starved resource, when the stall is capacity-induced.
         resource: Option<String>,
     },
+    /// A [`crate::faults::FaultKind::RankKill`] fired with no
+    /// [`crate::recovery::CheckpointPolicy`] configured, so the run cannot
+    /// recover.
+    RankKilled {
+        /// The killed rank.
+        rank: RankId,
+        /// Simulated time when the kill fired.
+        at_time: f64,
+    },
+    /// A route lookup between two sockets found no next hop — the
+    /// topology's routing table does not connect them.
+    Disconnected {
+        /// The source socket index.
+        src: usize,
+        /// The unreachable destination socket index.
+        dst: usize,
+    },
+    /// A placement request cannot be satisfied on this machine (e.g. a
+    /// socket with no cores, or more ranks than a mapping mode can host).
+    InvalidPlacement(String),
+    /// A transfer crossing a failed link exhausted its retry budget (see
+    /// [`crate::recovery::RetryPolicy`]) without the link being restored.
+    RetriesExhausted {
+        /// The rank whose transfer gave up.
+        rank: RankId,
+        /// Retries attempted before giving up.
+        attempts: usize,
+        /// Simulated time when the transfer gave up.
+        at_time: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -118,6 +148,18 @@ impl fmt::Display for Error {
                 }
                 None => write!(f, "{rank} stalled forever at t={at_time:.6}s"),
             },
+            Error::RankKilled { rank, at_time } => {
+                write!(f, "{rank} killed at t={at_time:.6}s with no checkpoint policy to recover")
+            }
+            Error::Disconnected { src, dst } => {
+                write!(f, "no route from socket {src} to socket {dst}")
+            }
+            Error::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+            Error::RetriesExhausted { rank, attempts, at_time } => write!(
+                f,
+                "{rank} exhausted {attempts} transfer retries at t={at_time:.6}s \
+                 (failed link never restored)"
+            ),
         }
     }
 }
@@ -151,6 +193,19 @@ mod tests {
         assert!(s.contains("rank3") && s.contains("link:socket0->socket1"), "{s}");
         let e = Error::RankStalled { rank: RankId::new(1), at_time: 1.0, resource: None };
         assert!(e.to_string().contains("rank1"));
+    }
+
+    #[test]
+    fn recovery_errors_name_the_rank_and_cause() {
+        let e = Error::RankKilled { rank: RankId::new(2), at_time: 0.25 };
+        let s = e.to_string();
+        assert!(s.contains("rank2") && s.contains("checkpoint"), "{s}");
+        let e = Error::Disconnected { src: 0, dst: 3 };
+        assert!(e.to_string().contains("socket 0") && e.to_string().contains("socket 3"));
+        let e = Error::InvalidPlacement("socket 1 has no cores".into());
+        assert!(e.to_string().contains("socket 1 has no cores"));
+        let e = Error::RetriesExhausted { rank: RankId::new(0), attempts: 4, at_time: 1.0 };
+        assert!(e.to_string().contains("4"), "{e}");
     }
 
     #[test]

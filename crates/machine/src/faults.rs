@@ -82,6 +82,25 @@ pub enum FaultKind {
         /// The resumed rank.
         rank: RankId,
     },
+    /// Kills a rank outright: its in-flight work is lost. Without a
+    /// [`crate::recovery::CheckpointPolicy`] the run fails with the typed
+    /// [`crate::Error::RankKilled`]; with one, the engine rolls the run
+    /// back to the last completed checkpoint and replays.
+    RankKill {
+        /// The killed rank.
+        rank: RankId,
+    },
+    /// Severs a directed link outright (capacity to zero). Unlike
+    /// [`FaultKind::LinkDegrade`] with `factor == 0.0`, a failed link
+    /// marks in-flight transfers crossing it as lost: with a
+    /// [`crate::recovery::RetryPolicy`] configured they are retransmitted
+    /// from scratch after a detection timeout plus backoff, instead of
+    /// starving into [`crate::Error::RankStalled`]. A later
+    /// [`FaultKind::LinkRestore`] heals the path.
+    LinkFail {
+        /// The failed link.
+        link: LinkId,
+    },
 }
 
 /// One fault at a simulated time.
@@ -166,6 +185,18 @@ impl FaultPlan {
         self
     }
 
+    /// Chainable [`FaultKind::RankKill`].
+    pub fn rank_kill(mut self, at: f64, rank: RankId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::RankKill { rank } });
+        self
+    }
+
+    /// Chainable [`FaultKind::LinkFail`].
+    pub fn link_fail(mut self, at: f64, link: LinkId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::LinkFail { link } });
+        self
+    }
+
     /// The schedule, sorted by firing time.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -183,10 +214,23 @@ impl FaultPlan {
     /// Returns [`Error::InvalidSpec`] for non-finite or negative times,
     /// invalid factors (negative, NaN, or infinite), out-of-range link /
     /// socket / rank targets, or probe faults on a single-socket machine
-    /// (which has no probe fabric).
+    /// (which has no probe fabric). The check is also *stateful* over the
+    /// time-ordered schedule: restore/resume events with no matching prior
+    /// degrade/stall, a second concurrent degrade of an already-degraded
+    /// resource, and killing or stalling the same rank twice are all
+    /// rejected — such plans are almost always sweep-generator bugs, and
+    /// their semantics (which nominal does the restore return to?) would
+    /// be ambiguous.
     pub fn validate(&self, machine: &Machine, num_ranks: usize) -> Result<()> {
         let num_links = machine.topology().num_links();
         let num_sockets = machine.num_sockets();
+        // Degraded/failed state per resource and per rank, tracked in
+        // schedule order.
+        let mut link_down = vec![false; num_links];
+        let mut controller_down = vec![false; num_sockets];
+        let mut probe_down = false;
+        let mut stalled = vec![false; num_ranks];
+        let mut killed = vec![false; num_ranks];
         for (i, e) in self.events.iter().enumerate() {
             if !e.at.is_finite() || e.at < 0.0 {
                 return Err(Error::InvalidSpec(format!(
@@ -239,23 +283,88 @@ impl FaultPlan {
                     Ok(())
                 }
             };
+            let stateful =
+                |what: &str| Error::InvalidSpec(format!("fault event {i} ({:?}) {what}", e.kind));
             match e.kind {
                 FaultKind::LinkDegrade { link, factor } => {
                     check_link(link)?;
                     check_factor(factor)?;
+                    if link_down[link.index()] {
+                        return Err(stateful("degrades an already-degraded link"));
+                    }
+                    link_down[link.index()] = true;
                 }
-                FaultKind::LinkRestore { link } => check_link(link)?,
+                FaultKind::LinkFail { link } => {
+                    check_link(link)?;
+                    if link_down[link.index()] {
+                        return Err(stateful("fails an already-degraded link"));
+                    }
+                    link_down[link.index()] = true;
+                }
+                FaultKind::LinkRestore { link } => {
+                    check_link(link)?;
+                    if !link_down[link.index()] {
+                        return Err(stateful("restores a link with no prior degrade or fail"));
+                    }
+                    link_down[link.index()] = false;
+                }
                 FaultKind::ControllerThrottle { socket, factor } => {
                     check_socket(socket)?;
                     check_factor(factor)?;
+                    if controller_down[socket.index()] {
+                        return Err(stateful("throttles an already-throttled controller"));
+                    }
+                    controller_down[socket.index()] = true;
                 }
-                FaultKind::ControllerRestore { socket } => check_socket(socket)?,
+                FaultKind::ControllerRestore { socket } => {
+                    check_socket(socket)?;
+                    if !controller_down[socket.index()] {
+                        return Err(stateful("restores a controller with no prior throttle"));
+                    }
+                    controller_down[socket.index()] = false;
+                }
                 FaultKind::ProbeBrownout { factor } => {
                     check_probe()?;
                     check_factor(factor)?;
+                    if probe_down {
+                        return Err(stateful("browns out an already-degraded probe fabric"));
+                    }
+                    probe_down = true;
                 }
-                FaultKind::ProbeRestore => check_probe()?,
-                FaultKind::RankStall { rank } | FaultKind::RankResume { rank } => check_rank(rank)?,
+                FaultKind::ProbeRestore => {
+                    check_probe()?;
+                    if !probe_down {
+                        return Err(stateful("restores the probe fabric with no prior brownout"));
+                    }
+                    probe_down = false;
+                }
+                FaultKind::RankStall { rank } => {
+                    check_rank(rank)?;
+                    if stalled[rank.index()] {
+                        return Err(stateful("stalls an already-stalled rank"));
+                    }
+                    if killed[rank.index()] {
+                        return Err(stateful("stalls a killed rank"));
+                    }
+                    stalled[rank.index()] = true;
+                }
+                FaultKind::RankResume { rank } => {
+                    check_rank(rank)?;
+                    if killed[rank.index()] {
+                        return Err(stateful("resumes a killed rank"));
+                    }
+                    if !stalled[rank.index()] {
+                        return Err(stateful("resumes a rank with no prior stall"));
+                    }
+                    stalled[rank.index()] = false;
+                }
+                FaultKind::RankKill { rank } => {
+                    check_rank(rank)?;
+                    if killed[rank.index()] {
+                        return Err(stateful("kills an already-killed rank"));
+                    }
+                    killed[rank.index()] = true;
+                }
             }
         }
         Ok(())
@@ -321,6 +430,91 @@ mod tests {
                 "{plan:?} should fail validation"
             );
         }
+    }
+
+    #[test]
+    fn validate_rejects_restores_with_no_prior_degrade() {
+        let m = Machine::new(systems::dmz());
+        for plan in [
+            FaultPlan::new().link_restore(1.0, LinkId::new(0)),
+            FaultPlan::new().controller_restore(1.0, SocketId::new(0)),
+            FaultPlan::new().probe_restore(1.0),
+            FaultPlan::new().rank_resume(1.0, RankId::new(0)),
+            // A restore *before* the degrade is just as unmatched.
+            FaultPlan::new()
+                .link_degrade(2.0, LinkId::new(0), 0.5)
+                .link_restore(1.0, LinkId::new(0)),
+        ] {
+            assert!(
+                matches!(plan.validate(&m, 2), Err(Error::InvalidSpec(_))),
+                "{plan:?} should fail validation"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_concurrent_degrades() {
+        let m = Machine::new(systems::dmz());
+        for plan in [
+            FaultPlan::new().link_degrade(0.0, LinkId::new(0), 0.5).link_degrade(
+                1.0,
+                LinkId::new(0),
+                0.25,
+            ),
+            FaultPlan::new().link_degrade(0.0, LinkId::new(0), 0.5).link_fail(1.0, LinkId::new(0)),
+            FaultPlan::new().controller_throttle(0.0, SocketId::new(0), 0.5).controller_throttle(
+                1.0,
+                SocketId::new(0),
+                0.25,
+            ),
+            FaultPlan::new().probe_brownout(0.0, 0.5).probe_brownout(1.0, 0.25),
+        ] {
+            assert!(
+                matches!(plan.validate(&m, 2), Err(Error::InvalidSpec(_))),
+                "{plan:?} should fail validation"
+            );
+        }
+        // Degrade → restore → degrade again is a well-formed brownout pair.
+        let ok = FaultPlan::new()
+            .link_degrade(0.0, LinkId::new(0), 0.5)
+            .link_restore(1.0, LinkId::new(0))
+            .link_degrade(2.0, LinkId::new(0), 0.25);
+        assert!(ok.validate(&m, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_repeat_rank_kills_and_stalls() {
+        let m = Machine::new(systems::dmz());
+        for plan in [
+            FaultPlan::new().rank_kill(0.0, RankId::new(1)).rank_kill(1.0, RankId::new(1)),
+            FaultPlan::new().rank_stall(0.0, RankId::new(1)).rank_stall(1.0, RankId::new(1)),
+            FaultPlan::new().rank_kill(0.0, RankId::new(1)).rank_stall(1.0, RankId::new(1)),
+            FaultPlan::new().rank_kill(0.0, RankId::new(1)).rank_resume(1.0, RankId::new(1)),
+        ] {
+            assert!(
+                matches!(plan.validate(&m, 2), Err(Error::InvalidSpec(_))),
+                "{plan:?} should fail validation"
+            );
+        }
+        // Distinct ranks, and stall→resume→stall, are fine.
+        let ok = FaultPlan::new()
+            .rank_kill(0.0, RankId::new(0))
+            .rank_stall(1.0, RankId::new(1))
+            .rank_resume(2.0, RankId::new(1))
+            .rank_stall(3.0, RankId::new(1));
+        assert!(ok.validate(&m, 2).is_ok());
+        let two_kills =
+            FaultPlan::new().rank_kill(0.0, RankId::new(0)).rank_kill(1.0, RankId::new(1));
+        assert!(two_kills.validate(&m, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_link_fail_then_restore() {
+        let m = Machine::new(systems::dmz());
+        let plan =
+            FaultPlan::new().link_fail(1.0, LinkId::new(0)).link_restore(2.0, LinkId::new(0));
+        assert!(plan.validate(&m, 2).is_ok());
+        assert!(matches!(plan.events()[0].kind, FaultKind::LinkFail { .. }));
     }
 
     #[test]

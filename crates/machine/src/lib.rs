@@ -41,6 +41,7 @@ pub mod ids;
 pub mod memory;
 pub mod metrics;
 pub mod program;
+pub mod recovery;
 pub mod spec;
 pub mod systems;
 pub mod topology;
@@ -55,9 +56,10 @@ pub use ids::{CoreId, LinkId, NumaNodeId, RankId, SocketId};
 pub use memory::MemoryLayout;
 pub use metrics::{RankSpans, ResourceTimeline, RunMetrics};
 pub use program::{ComputePhase, Op, Program};
+pub use recovery::{young_daly_interval, CheckpointPolicy, CheckpointTarget, RetryPolicy};
 pub use spec::{CacheSpec, CoherenceSpec, CoreSpec, LinkSpec, MachineSpec, MemorySpec};
 pub use topology::Topology;
-pub use trace::{RunTrace, TraceConfig};
+pub use trace::{RecoveryStamp, RunTrace, TraceConfig};
 pub use traffic::{AccessPattern, TrafficProfile};
 
 use std::fmt;

@@ -22,6 +22,15 @@ pub struct RunMetrics {
     pub events: usize,
     /// Number of scheduled fault events that fired during the run.
     pub faults_applied: usize,
+    /// Coordinated checkpoints completed (see
+    /// [`crate::recovery::CheckpointPolicy`]).
+    pub checkpoints_taken: usize,
+    /// Rollback-and-replay recoveries performed after
+    /// [`crate::faults::FaultKind::RankKill`] events.
+    pub recoveries: usize,
+    /// Transfer retransmissions triggered by failed links (see
+    /// [`crate::recovery::RetryPolicy`]).
+    pub retries: usize,
 }
 
 impl RunMetrics {
@@ -35,6 +44,9 @@ impl RunMetrics {
             resource_bytes: vec![0.0; resources],
             events: 0,
             faults_applied: 0,
+            checkpoints_taken: 0,
+            recoveries: 0,
+            retries: 0,
         }
     }
 

@@ -1,0 +1,238 @@
+//! Checkpoint/restart and transport-retry policies.
+//!
+//! The recovery model is deliberately simple and physical:
+//!
+//! * A [`CheckpointPolicy`] makes the engine take a **coordinated
+//!   checkpoint** every `interval` simulated seconds: every live rank
+//!   streams `bytes_per_rank` of state through the memory system (its own
+//!   NUMA layout, or a designated node). Checkpoint traffic is real flow
+//!   traffic — it contends with application DRAM and HyperTransport
+//!   traffic under max-min fairness, so its cost depends on placement and
+//!   shows up in trace attribution exactly like any other load.
+//! * When a [`crate::faults::FaultKind::RankKill`] fires under an active
+//!   policy, the whole job rolls back to the last *completed* checkpoint
+//!   and replays from there after `restart_delay` seconds of downtime.
+//!   Because the engine snapshots application *and* channel state at
+//!   checkpoint completion, the rollback is a consistent global cut in
+//!   the Chandy–Lamport sense.
+//! * A [`RetryPolicy`] governs transfers crossing a link severed by
+//!   [`crate::faults::FaultKind::LinkFail`]: instead of starving into
+//!   [`crate::Error::RankStalled`], the transfer is detected lost after
+//!   `detection_timeout`, then retransmitted from scratch with
+//!   exponential backoff until the link is restored or `max_retries` is
+//!   exhausted.
+//!
+//! The classic first-order optimum for the checkpoint interval is the
+//! Young/Daly approximation `τ* ≈ sqrt(2 δ M)` for per-checkpoint cost
+//! `δ` and mean time between failures `M`; [`young_daly_interval`]
+//! computes it and artifact X5 checks the simulator actually lands there.
+
+use crate::error::{Error, Result};
+use crate::ids::NumaNodeId;
+use crate::Machine;
+
+/// Where a rank's checkpoint bytes are written.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointTarget {
+    /// Each rank streams its checkpoint through its own memory layout —
+    /// the NUMA placement the affinity scheme gave it.
+    OwnLayout,
+    /// Every rank writes to a single designated node (a shared in-memory
+    /// checkpoint store), concentrating the traffic on one controller.
+    Node(NumaNodeId),
+}
+
+/// Coordinated checkpoint/restart policy for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Simulated seconds between checkpoint *starts* (and between a
+    /// recovery and the next checkpoint).
+    pub interval: f64,
+    /// Bytes of state each live rank streams per checkpoint.
+    pub bytes_per_rank: f64,
+    /// Where the checkpoint traffic lands.
+    pub target: CheckpointTarget,
+    /// Downtime between a rank kill and the rolled-back job resuming
+    /// (failure detection plus relaunch).
+    pub restart_delay: f64,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing through each rank's own layout with no restart
+    /// downtime.
+    pub fn new(interval: f64, bytes_per_rank: f64) -> Self {
+        Self { interval, bytes_per_rank, target: CheckpointTarget::OwnLayout, restart_delay: 0.0 }
+    }
+
+    /// Sets the checkpoint destination.
+    #[must_use]
+    pub fn with_target(mut self, target: CheckpointTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the restart downtime after a kill.
+    #[must_use]
+    pub fn with_restart_delay(mut self, delay: f64) -> Self {
+        self.restart_delay = delay;
+        self
+    }
+
+    /// Checks the policy against a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for non-positive or non-finite
+    /// intervals/bytes, negative or non-finite restart delay, or a target
+    /// node outside the machine.
+    pub fn validate(&self, machine: &Machine) -> Result<()> {
+        if !self.interval.is_finite() || self.interval <= 0.0 {
+            return Err(Error::InvalidSpec(format!(
+                "checkpoint interval must be positive and finite, got {}",
+                self.interval
+            )));
+        }
+        if !self.bytes_per_rank.is_finite() || self.bytes_per_rank <= 0.0 {
+            return Err(Error::InvalidSpec(format!(
+                "checkpoint bytes_per_rank must be positive and finite, got {}",
+                self.bytes_per_rank
+            )));
+        }
+        if !self.restart_delay.is_finite() || self.restart_delay < 0.0 {
+            return Err(Error::InvalidSpec(format!(
+                "checkpoint restart_delay must be non-negative and finite, got {}",
+                self.restart_delay
+            )));
+        }
+        if let CheckpointTarget::Node(node) = self.target {
+            if node.index() >= machine.num_sockets() {
+                return Err(Error::NodeOutOfRange {
+                    node: node.index(),
+                    num_nodes: machine.num_sockets(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Timeout/retry/backoff policy for transfers crossing a failed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Simulated seconds before a transfer on a failed link is declared
+    /// lost (failure-detector timeout).
+    pub detection_timeout: f64,
+    /// Base backoff before the first retransmit; doubles per attempt.
+    pub backoff: f64,
+    /// Retransmit attempts before the run fails with
+    /// [`Error::RetriesExhausted`].
+    pub max_retries: usize,
+}
+
+impl RetryPolicy {
+    /// A policy with the given detection timeout, backoff equal to the
+    /// timeout, and 8 attempts.
+    pub fn new(detection_timeout: f64) -> Self {
+        Self { detection_timeout, backoff: detection_timeout, max_retries: 8 }
+    }
+
+    /// Sets the base backoff.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: f64) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the retry budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Delay from loss detection to the start of attempt `attempt`
+    /// (0-based): exponential backoff, `backoff × 2^attempt`.
+    pub fn backoff_for(&self, attempt: usize) -> f64 {
+        self.backoff * (1u64 << attempt.min(32)) as f64
+    }
+
+    /// Checks the policy is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for non-positive or non-finite
+    /// timeouts/backoffs or a zero retry budget.
+    pub fn validate(&self) -> Result<()> {
+        if !self.detection_timeout.is_finite() || self.detection_timeout <= 0.0 {
+            return Err(Error::InvalidSpec(format!(
+                "retry detection_timeout must be positive and finite, got {}",
+                self.detection_timeout
+            )));
+        }
+        if !self.backoff.is_finite() || self.backoff <= 0.0 {
+            return Err(Error::InvalidSpec(format!(
+                "retry backoff must be positive and finite, got {}",
+                self.backoff
+            )));
+        }
+        if self.max_retries == 0 {
+            return Err(Error::InvalidSpec("retry max_retries must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The Young/Daly first-order optimal checkpoint interval
+/// `τ* = sqrt(2 δ M)` for per-checkpoint cost `delta` and mean time
+/// between failures `mtbf`.
+pub fn young_daly_interval(delta: f64, mtbf: f64) -> f64 {
+    (2.0 * delta * mtbf).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems;
+
+    #[test]
+    fn policy_builders_and_validation() {
+        let m = Machine::new(systems::dmz());
+        let p = CheckpointPolicy::new(1e-3, 1e6)
+            .with_target(CheckpointTarget::Node(NumaNodeId::new(1)))
+            .with_restart_delay(5e-4);
+        assert!(p.validate(&m).is_ok());
+        assert_eq!(p.restart_delay, 5e-4);
+
+        for bad in [
+            CheckpointPolicy::new(0.0, 1e6),
+            CheckpointPolicy::new(1e-3, 0.0),
+            CheckpointPolicy::new(f64::NAN, 1e6),
+            CheckpointPolicy::new(1e-3, 1e6).with_restart_delay(-1.0),
+        ] {
+            assert!(bad.validate(&m).is_err(), "{bad:?} should fail validation");
+        }
+        let off_machine = CheckpointPolicy::new(1e-3, 1e6)
+            .with_target(CheckpointTarget::Node(NumaNodeId::new(9)));
+        assert!(matches!(off_machine.validate(&m), Err(Error::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially() {
+        let r = RetryPolicy::new(1e-4).with_backoff(1e-5).with_max_retries(3);
+        assert!(r.validate().is_ok());
+        assert_eq!(r.backoff_for(0), 1e-5);
+        assert_eq!(r.backoff_for(1), 2e-5);
+        assert_eq!(r.backoff_for(2), 4e-5);
+        assert!(RetryPolicy::new(0.0).validate().is_err());
+        assert!(RetryPolicy::new(1e-4).with_max_retries(0).validate().is_err());
+    }
+
+    #[test]
+    fn young_daly_matches_the_formula() {
+        let tau = young_daly_interval(0.5, 100.0);
+        assert!((tau - 10.0).abs() < 1e-12);
+        // Costlier checkpoints and rarer failures both push the optimum up.
+        assert!(young_daly_interval(1.0, 100.0) > tau);
+        assert!(young_daly_interval(0.5, 400.0) > tau);
+    }
+}

@@ -112,17 +112,24 @@ impl Topology {
 
     /// The directed links along the deterministic shortest route from
     /// `src` to `dst` (empty when they are the same socket).
-    pub fn route(&self, src: SocketId, dst: SocketId) -> Vec<LinkId> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the routing tables have no path
+    /// — unreachable for topologies built by [`Topology::from_spec`],
+    /// which rejects disconnected graphs, but kept typed so malformed
+    /// state degrades into an error instead of a panic.
+    pub fn route(&self, src: SocketId, dst: SocketId) -> Result<Vec<LinkId>> {
+        let missing = || Error::Disconnected { src: src.index(), dst: dst.index() };
         let mut route = Vec::with_capacity(self.hops(src, dst));
         let mut cur = src;
         while cur != dst {
-            let next =
-                self.next_hop[cur.index()][dst.index()].expect("connected topology has next hop");
-            let link = self.link_index[cur.index()][next.index()].expect("next hop is adjacent");
+            let next = self.next_hop[cur.index()][dst.index()].ok_or_else(missing)?;
+            let link = self.link_index[cur.index()][next.index()].ok_or_else(missing)?;
             route.push(link);
             cur = next;
         }
-        route
+        Ok(route)
     }
 
     /// Average hop distance from a socket to all sockets (including
@@ -170,7 +177,7 @@ mod tests {
         let t = topo(systems::longs());
         for s in 0..8 {
             for d in 0..8 {
-                let route = t.route(SocketId::new(s), SocketId::new(d));
+                let route = t.route(SocketId::new(s), SocketId::new(d)).expect("connected");
                 assert_eq!(route.len(), t.hops(SocketId::new(s), SocketId::new(d)));
                 // Route must be contiguous.
                 let mut cur = SocketId::new(s);

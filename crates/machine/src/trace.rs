@@ -15,6 +15,7 @@
 //! the same progressive-filling arithmetic either way.
 
 use crate::flow::Bottleneck;
+use crate::ids::RankId;
 use crate::metrics::{RankSpans, ResourceTimeline};
 use crate::FaultKind;
 
@@ -207,6 +208,31 @@ pub struct FaultStamp {
     pub kind: FaultKind,
 }
 
+/// One rollback-and-replay recovery as it happened (see
+/// [`crate::recovery::CheckpointPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryStamp {
+    /// The rank whose [`FaultKind::RankKill`] triggered the recovery.
+    pub rank: RankId,
+    /// Engine time when the kill fired.
+    pub killed_at: f64,
+    /// The checkpoint the run rolled back to (time of the last completed
+    /// coordinated checkpoint; `0.0` for the implicit initial state).
+    pub restored_to: f64,
+    /// Engine time when replay resumed (`killed_at` plus the policy's
+    /// restart delay).
+    pub resumed_at: f64,
+}
+
+impl RecoveryStamp {
+    /// Simulated work lost to the rollback: progress between the restored
+    /// checkpoint and the kill, which replay must redo.
+    #[must_use]
+    pub fn lost_work(&self) -> f64 {
+        self.killed_at - self.restored_to
+    }
+}
+
 /// One bucket of a [`RunTrace::bottleneck_ranking`]: seconds of op-span
 /// time attributed to one cause.
 #[derive(Debug, Clone, PartialEq)]
@@ -232,6 +258,8 @@ pub struct RunTrace {
     pub spans: Vec<OpSpan>,
     /// Fault events that fired, in firing order.
     pub faults: Vec<FaultStamp>,
+    /// Rollback-and-replay recoveries, in the order they happened.
+    pub recoveries: Vec<RecoveryStamp>,
     /// Engine time when the run ended (successfully or not).
     pub end_time: f64,
 }
@@ -371,6 +399,7 @@ mod tests {
                 span(SpanKind::Barrier, 1.5, 1.6, vec![]),
             ],
             faults: vec![],
+            recoveries: vec![],
             end_time: 1.6,
         };
         let ranking = trace.bottleneck_ranking();
@@ -415,6 +444,7 @@ mod tests {
             ],
             spans: vec![],
             faults: vec![],
+            recoveries: vec![],
             end_time: 3.0,
         };
         let tl = &trace.resource_timelines()[0];
@@ -446,6 +476,7 @@ mod tests {
                 },
             ],
             faults: vec![],
+            recoveries: vec![],
             end_time: 2.0,
         };
         let per_rank = trace.rank_spans();
@@ -454,6 +485,17 @@ mod tests {
         assert!((per_rank[0].total() - 2.0).abs() < 1e-12);
         assert!((per_rank[1].recv - 0.5).abs() < 1e-12);
         assert_eq!(per_rank[0].spans, 1);
+    }
+
+    #[test]
+    fn recovery_stamp_reports_lost_work() {
+        let stamp = RecoveryStamp {
+            rank: RankId::new(2),
+            killed_at: 1.5,
+            restored_to: 1.0,
+            resumed_at: 1.6,
+        };
+        assert!((stamp.lost_work() - 0.5).abs() < 1e-12);
     }
 
     #[test]

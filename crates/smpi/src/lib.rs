@@ -37,5 +37,5 @@ pub mod imb;
 pub mod profiles;
 pub mod transport;
 
-pub use comm::CommWorld;
+pub use comm::{CommWorld, FtOutcome, RankFailure};
 pub use profiles::{LockLayer, MpiImpl, MpiProfile};

@@ -158,7 +158,7 @@ proptest! {
         let (sa, sb) = (SocketId::new(a), SocketId::new(b));
         prop_assert_eq!(topo.hops(sa, sb), topo.hops(sb, sa));
         prop_assert!(topo.hops(sa, sb) <= topo.diameter());
-        prop_assert_eq!(topo.route(sa, sb).len(), topo.hops(sa, sb));
+        prop_assert_eq!(topo.route(sa, sb).expect("connected ladder").len(), topo.hops(sa, sb));
     }
 }
 
@@ -206,5 +206,111 @@ proptest! {
         for &t in &report.rank_finish {
             prop_assert!(t <= report.makespan + 1e-12);
         }
+    }
+}
+
+/// Builds the lockstep four-rank workload the fault proptests run: each
+/// step is cross-socket traffic plus a reduction, so every rank re-syncs
+/// and a fault anywhere shows up in the makespan.
+fn lockstep_world(machine: &Machine) -> corescope::smpi::CommWorld<'_> {
+    use corescope::affinity::Scheme;
+    use corescope::smpi::{CommWorld, LockLayer, MpiImpl};
+    let placements = Scheme::TwoMpiLocalAlloc.resolve(machine, 4).unwrap();
+    let mut w = CommWorld::new(machine, placements, MpiImpl::OpenMpi.profile(), LockLayer::USysV);
+    for _ in 0..8 {
+        w.sendrecv(0, 2, 1e5);
+        w.allreduce(1e4);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid transient fault plan — brownouts with restores, at most
+    /// one per resource, plus an optional stall/resume pair — completes
+    /// without panicking and never makes the run *faster* than
+    /// fault-free.
+    #[test]
+    fn transient_fault_plans_never_speed_up_or_panic(
+        ctrl0 in proptest::option::of((0.05f64..0.7, 0.05f64..0.25, 0.05f64..0.95)),
+        ctrl1 in proptest::option::of((0.05f64..0.7, 0.05f64..0.25, 0.05f64..0.95)),
+        link0 in proptest::option::of((0.05f64..0.7, 0.05f64..0.25, 0.05f64..0.95)),
+        link1 in proptest::option::of((0.05f64..0.7, 0.05f64..0.25, 0.05f64..0.95)),
+        probe in proptest::option::of((0.05f64..0.7, 0.05f64..0.25, 0.05f64..0.95)),
+        stall in proptest::option::of((0.05f64..0.6, 0.05f64..0.25, 0usize..4)),
+    ) {
+        use corescope::machine::{FaultPlan, LinkId, RankId};
+
+        let machine = Machine::new(systems::dmz());
+        let healthy = lockstep_world(&machine).run().unwrap().makespan;
+
+        let mut plan = FaultPlan::new();
+        if let Some((t, d, f)) = ctrl0 {
+            plan = plan
+                .controller_throttle(t * healthy, SocketId::new(0), f)
+                .controller_restore((t + d) * healthy, SocketId::new(0));
+        }
+        if let Some((t, d, f)) = ctrl1 {
+            plan = plan
+                .controller_throttle(t * healthy, SocketId::new(1), f)
+                .controller_restore((t + d) * healthy, SocketId::new(1));
+        }
+        if let Some((t, d, f)) = link0 {
+            plan = plan
+                .link_degrade(t * healthy, LinkId::new(0), f)
+                .link_restore((t + d) * healthy, LinkId::new(0));
+        }
+        if let Some((t, d, f)) = link1 {
+            plan = plan
+                .link_degrade(t * healthy, LinkId::new(1), f)
+                .link_restore((t + d) * healthy, LinkId::new(1));
+        }
+        if let Some((t, d, f)) = probe {
+            plan = plan
+                .probe_brownout(t * healthy, f)
+                .probe_restore((t + d) * healthy);
+        }
+        if let Some((t, d, r)) = stall {
+            plan = plan
+                .rank_stall(t * healthy, RankId::new(r))
+                .rank_resume((t + d) * healthy, RankId::new(r));
+        }
+
+        let report = lockstep_world(&machine).run_with_faults(&plan).unwrap();
+        prop_assert!(
+            report.makespan >= healthy * (1.0 - 1e-9),
+            "faults must not speed the run up: {} < {}",
+            report.makespan,
+            healthy
+        );
+    }
+
+    /// A rank kill under an armed checkpoint policy always completes by
+    /// rollback-and-replay, and the recovered run never beats fault-free.
+    #[test]
+    fn kill_with_checkpoints_completes_and_never_speeds_up(
+        kill_frac in 0.05f64..0.95,
+        interval_frac in 0.05f64..0.6,
+        restart_frac in 0.0f64..0.1,
+        rank in 0usize..4,
+    ) {
+        use corescope::machine::{CheckpointPolicy, FaultPlan, RankId};
+
+        let machine = Machine::new(systems::dmz());
+        let healthy = lockstep_world(&machine).run().unwrap().makespan;
+        let policy = CheckpointPolicy::new(interval_frac * healthy, 1e6)
+            .with_restart_delay(restart_frac * healthy);
+        let plan = FaultPlan::new().rank_kill(kill_frac * healthy, RankId::new(rank));
+        let report = lockstep_world(&machine)
+            .with_recovery(policy)
+            .run_with_faults(&plan)
+            .unwrap();
+        prop_assert!(
+            report.makespan >= healthy * (1.0 - 1e-9),
+            "recovery must not beat fault-free: {} < {}",
+            report.makespan,
+            healthy
+        );
     }
 }

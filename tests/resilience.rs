@@ -3,12 +3,25 @@
 //! hangs.
 
 use corescope::affinity::Scheme;
-use corescope::machine::{systems, Error, FaultPlan, LinkId, Machine, RankId};
-use corescope::smpi::{CommWorld, LockLayer, MpiImpl};
+use corescope::machine::{
+    systems, CheckpointPolicy, Error, FaultPlan, LinkId, Machine, RankId, RetryPolicy, TraceConfig,
+};
+use corescope::smpi::{CommWorld, FtOutcome, LockLayer, MpiImpl};
 
 fn world(machine: &Machine, n: usize) -> CommWorld<'_> {
     let placements = Scheme::TwoMpiLocalAlloc.resolve(machine, n).unwrap();
     CommWorld::new(machine, placements, MpiImpl::OpenMpi.profile(), LockLayer::USysV)
+}
+
+/// A four-rank workload that keeps every rank busy: repeated reductions
+/// with cross-socket traffic under the packed placement.
+fn busy_world(machine: &Machine) -> CommWorld<'_> {
+    let mut w = world(machine, 4);
+    for _ in 0..40 {
+        w.sendrecv(0, 2, 1e5);
+        w.allreduce(1e5);
+    }
+    w
 }
 
 #[test]
@@ -75,6 +88,90 @@ fn link_brownout_and_restore_bounds_a_collective_workload() {
         permanent.makespan
     );
     assert!(transient.metrics.faults_applied > 0);
+}
+
+#[test]
+fn rank_kill_is_fatal_without_checkpoints_and_survivable_with_them() {
+    let m = Machine::new(systems::dmz());
+    let healthy = busy_world(&m).run().unwrap().makespan;
+    let plan = FaultPlan::new().rank_kill(healthy * 0.5, RankId::new(2));
+
+    // No checkpoint policy: the kill is a typed failure, not a hang.
+    match busy_world(&m).run_with_faults(&plan).unwrap_err() {
+        Error::RankKilled { rank, at_time } => {
+            assert_eq!(rank, RankId::new(2));
+            assert!((at_time - healthy * 0.5).abs() < healthy * 0.1);
+        }
+        other => panic!("expected RankKilled for rank 2, got {other}"),
+    }
+
+    // Armed with checkpoints, the same plan completes; the rollback is
+    // stamped into the trace with a consistent timeline.
+    let w = busy_world(&m).with_recovery(
+        CheckpointPolicy::new(healthy / 5.0, 1e7).with_restart_delay(healthy / 20.0),
+    );
+    let observed = w.observe(&plan, TraceConfig::on());
+    let report = observed.result.unwrap();
+    assert_eq!(report.metrics.recoveries, 1);
+    assert!(report.metrics.checkpoints_taken >= 1);
+    assert!(report.makespan > healthy, "rollback and downtime must cost time");
+    let trace = observed.trace.unwrap();
+    assert_eq!(trace.recoveries.len(), 1);
+    let stamp = &trace.recoveries[0];
+    assert_eq!(stamp.rank, RankId::new(2));
+    assert!(stamp.restored_to <= stamp.killed_at && stamp.killed_at < stamp.resumed_at);
+    assert!(stamp.resumed_at <= trace.end_time);
+}
+
+#[test]
+fn ulfm_notification_and_shrink_resume_on_survivors() {
+    let m = Machine::new(systems::dmz());
+    let mut w = world(&m, 4);
+    for _ in 0..20 {
+        w.allreduce(1e5);
+    }
+    let healthy = w.run().unwrap().makespan;
+    let plan = FaultPlan::new().rank_kill(healthy * 0.5, RankId::new(1));
+    match w.run_fault_tolerant(&plan, healthy * 0.01).unwrap() {
+        FtOutcome::RankFailed(failure) => {
+            assert_eq!(failure.rank, RankId::new(1));
+            assert!(failure.detected_at > failure.failed_at);
+            // Shrink to the survivors and re-plan the collectives over
+            // the three remaining ranks.
+            let mut survivors = w.shrink(&[failure.rank]).unwrap();
+            assert_eq!(survivors.size(), 3);
+            for _ in 0..20 {
+                survivors.allreduce(1e5);
+            }
+            assert!(survivors.run().unwrap().makespan > 0.0);
+        }
+        FtOutcome::Completed(_) => panic!("a mid-run kill must interrupt the run"),
+    }
+}
+
+#[test]
+fn transfer_retry_rides_out_a_link_failure() {
+    let m = Machine::new(systems::dmz());
+    let xfers = |w: &mut CommWorld<'_>| {
+        for _ in 0..10 {
+            w.sendrecv(0, 2, 1e6);
+        }
+    };
+    let mut baseline = world(&m, 4);
+    xfers(&mut baseline);
+    let healthy = baseline.run().unwrap().makespan;
+
+    // One direction of the socket0<->socket1 pair is severed mid-run and
+    // restored later; with a retry policy the transfers retransmit with
+    // backoff instead of starving into RankStalled.
+    let plan = FaultPlan::new()
+        .link_fail(healthy * 0.3, LinkId::new(0))
+        .link_restore(healthy * 0.6, LinkId::new(0));
+    let mut retried = world(&m, 4).with_retry(RetryPolicy::new(healthy * 0.02));
+    xfers(&mut retried);
+    let report = retried.run_with_faults(&plan).unwrap();
+    assert!(report.metrics.retries >= 1, "severed transfers must retransmit");
+    assert!(report.makespan > healthy, "the outage must cost time");
 }
 
 #[test]

@@ -147,6 +147,37 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! Strategies for `Option<T>`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding `None` a quarter of the time and `Some(inner)`
+    /// otherwise.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` in an [`OptionStrategy`].
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.rng.gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
 pub mod test_runner {
     //! Configuration, RNG, and error plumbing used by [`crate::proptest!`].
 
