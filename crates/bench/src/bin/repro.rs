@@ -4,22 +4,33 @@
 //! repro                      # every artifact, full fidelity
 //! repro --artifact t2        # just Table 2
 //! repro --quick              # reduced step counts (fast sanity sweep)
-//! repro --jobs 8             # regenerate artifacts in parallel
+//! repro --jobs 8             # fan out: sweep scenarios run in parallel
+//! repro --cache results/.cache  # content-addressed result cache on disk
 //! repro --csv out/           # also write one CSV per table
 //! repro --trace traces/      # also export engine traces + utilization
 //! repro --list               # list artifact ids
 //! ```
+//!
+//! Artifacts *enumerate* [`corescope_sched::Scenario`]s and hand them to
+//! a shared [`Scheduler`], which fans out over `--jobs` workers, dedups
+//! identical scenarios in flight and consults the content-addressed
+//! result cache. With `--cache <dir>` the cache persists across
+//! invocations: a second run of the same artifacts replays cached engine
+//! results and prints byte-identical tables. A summary line
+//! (`sched: scenarios N, engine runs M, …`) lands on stderr at the end.
 //!
 //! `--trace <dir>` re-runs a representative configuration of each
 //! requested artifact with engine tracing on and writes
 //! `<id>.trace.json` (Chrome trace format — load in `chrome://tracing`
 //! or Perfetto) and `<id>.util.csv` (per-resource utilization timeline).
 //! Artifacts without a traced representative are skipped with a note.
+//! Traced runs bypass the scheduler deliberately: traces are observation
+//! artifacts, not cacheable results.
 
-use corescope_bench::validate_chrome_trace;
+use corescope_bench::write_tables_csv;
 use corescope_harness::{chrome_trace_json, representative_trace, utilization_csv};
 use corescope_harness::{Artifact, Fidelity};
-use std::io::Write;
+use corescope_sched::{executor, ResultCache, Scheduler};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -28,6 +39,7 @@ struct Options {
     fidelity: Fidelity,
     csv_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
     jobs: usize,
 }
 
@@ -36,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
     let mut fidelity = Fidelity::Full;
     let mut csv_dir = None;
     let mut trace_dir = None;
+    let mut cache_dir = None;
     let mut jobs = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,9 +63,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--artifact" | "-a" => {
                 let id = args.next().ok_or("--artifact needs an id (e.g. t2, f10)")?;
-                let artifact =
-                    Artifact::parse(&id).ok_or_else(|| format!("unknown artifact '{id}'"))?;
-                artifacts.push(artifact);
+                artifacts.push(Artifact::from_id(&id).map_err(|e| e.to_string())?);
             }
             "--quick" | "-q" => fidelity = Fidelity::Quick,
             "--csv" => {
@@ -63,8 +74,13 @@ fn parse_args() -> Result<Options, String> {
                 let dir = args.next().ok_or("--trace needs a directory")?;
                 trace_dir = Some(PathBuf::from(dir));
             }
+            "--cache" => {
+                let dir = args.next().ok_or("--cache needs a directory")?;
+                cache_dir = Some(PathBuf::from(dir));
+            }
             "--list" | "-l" => {
                 // Ignore EPIPE so `repro --list | head` exits quietly.
+                use std::io::Write;
                 let mut out = std::io::stdout().lock();
                 for a in Artifact::all() {
                     if writeln!(out, "{:>4}  {}", a.id(), a.title()).is_err() {
@@ -75,8 +91,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--artifact <id>]... [--quick] [--csv <dir>] \
-                     [--trace <dir>] [--list]"
+                    "usage: repro [--artifact <id>]... [--quick] [--jobs <n>] \
+                     [--cache <dir>] [--csv <dir>] [--trace <dir>] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -86,39 +102,28 @@ fn parse_args() -> Result<Options, String> {
     if artifacts.is_empty() {
         artifacts = Artifact::all();
     }
-    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, jobs })
+    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, cache_dir, jobs })
 }
 
 type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error>;
 
-/// Runs every artifact, up to `jobs` at a time, preserving input order in
-/// the result vector.
+/// Runs every artifact through the shared scheduler, up to `jobs`
+/// artifacts at a time, preserving input order in the result vector.
+///
+/// Parallelism applies at both levels: artifacts run concurrently here,
+/// and each artifact's scenario sweep additionally fans out inside
+/// `sched`. The in-flight dedup in the scheduler keeps concurrent
+/// artifacts from repeating a shared scenario.
 fn run_all(
-    artifacts: &[Artifact],
+    artifacts: Vec<Artifact>,
     fidelity: Fidelity,
-    jobs: usize,
+    sched: &Scheduler,
 ) -> Vec<(Artifact, RunOutcome, f64)> {
-    let results = std::sync::Mutex::new(vec![None; artifacts.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(artifacts.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&artifact) = artifacts.get(i) else { break };
-                let started = Instant::now();
-                let outcome = artifact.run(fidelity);
-                let elapsed = started.elapsed().as_secs_f64();
-                results.lock().expect("no panics while holding the results lock")[i] =
-                    Some((artifact, outcome, elapsed));
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("no panics while holding the results lock")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    executor::run_ordered(sched.jobs(), artifacts, |&artifact| {
+        let started = Instant::now();
+        let outcome = artifact.run_with(fidelity, sched);
+        (artifact, outcome, started.elapsed().as_secs_f64())
+    })
 }
 
 fn main() {
@@ -129,33 +134,35 @@ fn main() {
             std::process::exit(2);
         }
     };
-    for dir in [&options.csv_dir, &options.trace_dir].into_iter().flatten() {
+    if let Some(dir) = &options.trace_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("repro: cannot create {}: {e}", dir.display());
             std::process::exit(1);
         }
     }
+    // Oversubscribing a small machine only adds context-switch overhead
+    // to CPU-bound simulation, so cap the fan-out at the cores we have.
+    let cores = std::thread::available_parallelism().map_or(options.jobs, |n| n.get());
+    let jobs = options.jobs.min(cores.max(1));
+    if jobs < options.jobs {
+        eprintln!("repro: capping --jobs {} at {jobs} available core(s)", options.jobs);
+    }
+    let sched = match &options.cache_dir {
+        Some(dir) => Scheduler::with_cache(jobs, ResultCache::on_disk(dir)),
+        None => Scheduler::new(jobs),
+    };
 
     let mut failures = 0;
-    for (artifact, outcome, elapsed) in run_all(&options.artifacts, options.fidelity, options.jobs)
-    {
+    for (artifact, outcome, elapsed) in run_all(options.artifacts, options.fidelity, &sched) {
         match outcome {
             Ok(tables) => {
-                for (i, table) in tables.iter().enumerate() {
+                for table in &tables {
                     println!("{table}");
-                    if let Some(dir) = &options.csv_dir {
-                        let name = if tables.len() > 1 {
-                            format!("{}_{}.csv", artifact.id(), i)
-                        } else {
-                            format!("{}.csv", artifact.id())
-                        };
-                        let path = dir.join(name);
-                        if let Err(e) = std::fs::File::create(&path)
-                            .and_then(|mut f| f.write_all(table.to_csv().as_bytes()))
-                        {
-                            eprintln!("repro: writing {}: {e}", path.display());
-                            failures += 1;
-                        }
+                }
+                if let Some(dir) = &options.csv_dir {
+                    if let Err(e) = write_tables_csv(dir, artifact.id(), &tables) {
+                        eprintln!("repro: {e}");
+                        failures += 1;
                     }
                 }
                 if let Some(dir) = &options.trace_dir {
@@ -172,6 +179,7 @@ fn main() {
             }
         }
     }
+    eprintln!("{}", sched.summary());
     if failures > 0 {
         std::process::exit(1);
     }
@@ -194,7 +202,8 @@ fn export_trace(
         Err(e) => return Err(e.to_string()),
     };
     let json = chrome_trace_json(&bundle.label, &bundle.trace);
-    validate_chrome_trace(&json).map_err(|e| format!("exported trace is malformed: {e}"))?;
+    corescope_bench::validate_chrome_trace(&json)
+        .map_err(|e| format!("exported trace is malformed: {e}"))?;
     let json_path = dir.join(format!("{}.trace.json", artifact.id()));
     std::fs::write(&json_path, &json)
         .map_err(|e| format!("writing {}: {e}", json_path.display()))?;

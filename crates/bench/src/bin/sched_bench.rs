@@ -1,0 +1,109 @@
+//! `sched_bench` — measures what the scheduler layer buys and emits
+//! `BENCH_sched.json`.
+//!
+//! ```text
+//! sched_bench                    # x5 at quick fidelity → BENCH_sched.json
+//! sched_bench --artifact f9      # a different scenario-sweep artifact
+//! sched_bench --out bench/       # write the JSON elsewhere
+//! ```
+//!
+//! Three timed passes of one sweep artifact:
+//!
+//! 1. cold, `jobs = 1` — the serial baseline;
+//! 2. cold, `jobs = 8` — work-stealing fan-out over the same sweep;
+//! 3. warm, `jobs = 8` — a repeat on the same scheduler, which should be
+//!    cache-hit-dominated (zero scheduled engine runs).
+//!
+//! The three passes must produce byte-identical tables — the bench exits
+//! non-zero if they do not, so CI catches a nondeterministic executor or
+//! an unsound cache along with any performance regression.
+
+use corescope_harness::{Artifact, Fidelity};
+use corescope_sched::{json, Scheduler};
+use std::time::Instant;
+
+fn parse_args() -> Result<(Artifact, std::path::PathBuf), String> {
+    let mut artifact = Artifact::X5;
+    let mut out = std::path::PathBuf::from("BENCH_sched.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--artifact" | "-a" => {
+                let id = args.next().ok_or("--artifact needs an id")?;
+                artifact = Artifact::from_id(&id).map_err(|e| e.to_string())?;
+            }
+            "--out" | "-o" => {
+                out = std::path::PathBuf::from(args.next().ok_or("--out needs a path")?);
+                if out.is_dir() {
+                    out = out.join("BENCH_sched.json");
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: sched_bench [--artifact <id>] [--out <path>]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok((artifact, out))
+}
+
+fn timed_run(artifact: Artifact, sched: &Scheduler) -> Result<(String, f64), String> {
+    let started = Instant::now();
+    let tables = artifact.run_with(Fidelity::Quick, sched).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let csv: String = tables.iter().map(|t| t.to_csv()).collect();
+    Ok((csv, elapsed))
+}
+
+fn run() -> Result<(), String> {
+    let (artifact, out) = parse_args()?;
+
+    let serial = Scheduler::new(1);
+    let (csv_1, jobs1_s) = timed_run(artifact, &serial)?;
+
+    let parallel = Scheduler::new(8);
+    let (csv_8, jobs8_s) = timed_run(artifact, &parallel)?;
+    let cold = parallel.stats();
+
+    let (csv_warm, warm_s) = timed_run(artifact, &parallel)?;
+    let warm = parallel.stats();
+
+    if csv_1 != csv_8 {
+        return Err("jobs 1 and jobs 8 tables differ — executor is order-unstable".into());
+    }
+    if csv_1 != csv_warm {
+        return Err("cold and warm tables differ — cache is unsound".into());
+    }
+    let warm_engine_runs = warm.engine_runs - cold.engine_runs;
+    let warm_hits = (warm.hits_memory + warm.hits_disk) - (cold.hits_memory + cold.hits_disk);
+    if warm_engine_runs > 0 {
+        return Err(format!(
+            "warm pass re-ran {warm_engine_runs} scheduled engine runs — cache misses on replay"
+        ));
+    }
+
+    let body = format!(
+        "{{\"bench\":\"sched\",\"artifact\":\"{}\",\"fidelity\":\"quick\",\
+         \"jobs1_s\":{},\"jobs8_s\":{},\"speedup\":{},\"warm_s\":{},\
+         \"cold_engine_runs\":{},\"warm_engine_runs\":{warm_engine_runs},\
+         \"warm_cache_hits\":{warm_hits}}}\n",
+        artifact.id(),
+        json::num(jobs1_s),
+        json::num(jobs8_s),
+        json::num(jobs1_s / jobs8_s),
+        json::num(warm_s),
+        cold.engine_runs,
+    );
+    std::fs::write(&out, &body).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    print!("{body}");
+    eprintln!("{}", parallel.summary());
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("sched_bench: {e}");
+        std::process::exit(1);
+    }
+}

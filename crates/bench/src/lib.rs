@@ -11,6 +11,33 @@
 
 pub use corescope_harness::{Artifact, Fidelity};
 
+use corescope_harness::Table;
+use std::path::{Path, PathBuf};
+
+/// Writes one CSV file per table under `dir` and returns the written
+/// paths.
+///
+/// A single table lands in `<id>.csv`; a multi-table artifact lands in
+/// `<id>_0.csv`, `<id>_1.csv`, … — the naming used by `repro --csv` and
+/// `corescope-serve --csv` alike, so downstream diffing scripts see one
+/// layout.
+///
+/// # Errors
+///
+/// Returns a one-line description naming the path that failed.
+pub fn write_tables_csv(dir: &Path, id: &str, tables: &[Table]) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written = Vec::with_capacity(tables.len());
+    for (i, table) in tables.iter().enumerate() {
+        let name = if tables.len() > 1 { format!("{id}_{i}.csv") } else { format!("{id}.csv") };
+        let path = dir.join(name);
+        std::fs::write(&path, table.to_csv())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
 /// Structural sanity check for an exported Chrome trace, without a JSON
 /// dependency.
 ///
@@ -126,6 +153,21 @@ mod tests {
             "missing traceEvents"
         );
         assert!(validate_chrome_trace(r#"{"traceEvents":"oops"#).is_err(), "open string");
+    }
+
+    #[test]
+    fn csv_helper_names_single_and_multi_table_artifacts() {
+        let dir = std::env::temp_dir().join("corescope-csv-helper-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = corescope_harness::Table::with_columns("t", &["r", "a"]);
+        t.push_row("x", vec![corescope_harness::Cell::num(1.0)]);
+
+        let single = write_tables_csv(&dir, "t9", std::slice::from_ref(&t)).unwrap();
+        assert_eq!(single, vec![dir.join("t9.csv")]);
+        let multi = write_tables_csv(&dir, "x5", &[t.clone(), t.clone()]).unwrap();
+        assert_eq!(multi, vec![dir.join("x5_0.csv"), dir.join("x5_1.csv")]);
+        assert_eq!(std::fs::read_to_string(&single[0]).unwrap(), t.to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! End-to-end tests for the `corescope-serve` and `repro` binaries:
+//! NDJSON protocol, cache warm-up across processes, and the determinism
+//! guarantee that `--jobs N` never changes a byte of output.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn serve(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_corescope-serve"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn corescope-serve");
+    child.stdin.take().expect("piped stdin").write_all(input.as_bytes()).expect("write requests");
+    child.wait_with_output().expect("collect corescope-serve output")
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("run repro")
+}
+
+const BSP: &str = r#"{"system":"dmz","nranks":2,"workload":{"kind":"bsp","steps":4,"flops_per_step":1e6,"bytes_per_step":1e6,"sync_bytes":8}}"#;
+
+#[test]
+fn serve_answers_scenarios_artifacts_and_errors_in_order() {
+    let input = format!("{BSP}\n{BSP}\n{{\"artifact\":\"t1\"}}\n{{\"what\":1}}\n");
+    let out = serve(&["--jobs", "2"], &input);
+    assert!(out.status.success());
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 4, "one response per request: {lines:?}");
+
+    assert!(lines[0].starts_with("{\"ok\":true,\"digest\":\""));
+    assert!(lines[0].contains("\"cache\":\"miss\""));
+    assert!(lines[0].contains("\"makespan\":"));
+    // The identical second request is deduplicated against the first,
+    // not recomputed — and carries the same result bytes.
+    assert!(lines[1].contains("\"cache\":\"in-flight\""));
+    let result = |l: &str| l.split("\"result\":").nth(1).map(String::from);
+    assert_eq!(result(lines[0]), result(lines[1]));
+
+    assert!(lines[2].contains("\"artifact\":\"t1\""));
+    assert!(lines[2].contains("Total cores"), "tables travel as CSV: {}", lines[2]);
+    assert!(lines[3].starts_with("{\"ok\":false,\"error\":"));
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("engine runs 1"), "summary must land on stderr: {stderr}");
+}
+
+#[test]
+fn serve_and_repro_share_the_disk_cache() {
+    let dir = std::env::temp_dir().join("corescope-serve-cache-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.to_str().unwrap();
+
+    // A serve process computes the scenario once, cold...
+    let first = serve(&["--cache", cache], &format!("{BSP}\n"));
+    let first_line = String::from_utf8(first.stdout).unwrap();
+    assert!(first_line.contains("\"cache\":\"miss\""));
+
+    // ...and a *fresh process* replays it from disk, bit-identical.
+    let second = serve(&["--cache", cache], &format!("{BSP}\n"));
+    let second_line = String::from_utf8(second.stdout).unwrap();
+    assert!(second_line.contains("\"cache\":\"disk\""), "expected a disk hit: {second_line}");
+    let result = |l: &str| l.split("\"result\":").nth(1).map(String::from);
+    assert_eq!(result(&first_line), result(&second_line));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_jobs_and_cache_keep_every_output_byte() {
+    let dir = std::env::temp_dir().join("corescope-repro-cache-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.to_str().unwrap();
+
+    let serial = repro(&["--artifact", "x5", "--artifact", "f2", "--quick", "--jobs", "1"]);
+    assert!(serial.status.success());
+    let cold = repro(&[
+        "--artifact",
+        "x5",
+        "--artifact",
+        "f2",
+        "--quick",
+        "--jobs",
+        "8",
+        "--cache",
+        cache,
+    ]);
+    let warm = repro(&[
+        "--artifact",
+        "x5",
+        "--artifact",
+        "f2",
+        "--quick",
+        "--jobs",
+        "8",
+        "--cache",
+        cache,
+    ]);
+    assert_eq!(serial.stdout, cold.stdout, "--jobs 8 changed table bytes");
+    assert_eq!(serial.stdout, warm.stdout, "cache replay changed table bytes");
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("engine runs 0"),
+        "warm pass must be cache-hit-dominated: {warm_err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_rejects_unknown_artifacts_with_a_catalogue_hint() {
+    let out = repro(&["--artifact", "zz9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown artifact 'zz9'"));
+    assert!(stderr.contains("--list"), "error should point at the catalogue: {stderr}");
+}
+
+#[test]
+fn repro_list_prints_the_catalogue() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["t1", "f10", "x5"] {
+        assert!(stdout.lines().any(|l| l.trim().starts_with(id)), "missing {id}:\n{stdout}");
+    }
+}

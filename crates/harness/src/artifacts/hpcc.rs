@@ -1,62 +1,69 @@
 //! HPCC artifacts: Figures 8 (HPL), 9 (DGEMM/FFT single/star), 11
 //! (RandomAccess), 12 (PTRANS + ring/pingpong bandwidth) and 13
 //! (latencies), all under the six LAM/NUMA runtime options.
+//!
+//! Figures 8, 9, 11 and the PTRANS column of 12 enumerate [`Scenario`]
+//! batches and run them through the [`Scheduler`]; the ring/pingpong
+//! helper columns and Figure 13's latency probes use bespoke kernel
+//! helpers that need raw placements, so they stay direct engine calls.
 
 use crate::context::{lam_profile, Systems};
 use crate::fidelity::Fidelity;
 use crate::report::{Cell, Table};
 use crate::runtime::RuntimeOption;
-use corescope_kernels::blas::{append_dgemm_single, append_dgemm_star, BlasVariant, DgemmParams};
-use corescope_kernels::fft::{append_single as fft_single, append_star as fft_star, FftParams};
+use corescope_kernels::blas::{BlasVariant, DgemmParams};
+use corescope_kernels::fft::FftParams;
 use corescope_kernels::hpcc::{ring_bandwidth, ring_latency};
-use corescope_kernels::hpl::{append_run as hpl_run, HplParams};
-use corescope_kernels::ptrans::{append_run as ptrans_run, PtransParams};
-use corescope_kernels::randomaccess::{
-    append_mpi as ra_mpi, append_single as ra_single, append_star as ra_star, RaParams,
-};
-use corescope_machine::engine::RankPlacement;
-use corescope_machine::{Machine, Result};
+use corescope_kernels::hpl::HplParams;
+use corescope_kernels::ptrans::PtransParams;
+use corescope_kernels::randomaccess::RaParams;
+use corescope_machine::Result;
+use corescope_sched::{Placement, Scenario, Scheduler, System, Workload};
 use corescope_smpi::imb::pingpong_bandwidth;
 use corescope_smpi::imb::pingpong_time;
-use corescope_smpi::CommWorld;
+use corescope_smpi::MpiImpl;
 
-/// Runs `build` on Longs/16 ranks under `option`; returns the makespan
-/// (`None` if the option's scheme cannot place 16 ranks — it always can).
-fn option_run(
-    machine: &Machine,
-    option: RuntimeOption,
-    build: impl FnOnce(&mut CommWorld<'_>),
-) -> Result<(f64, Vec<RankPlacement>)> {
-    let placements =
-        option.scheme().resolve(machine, 16).expect("all runtime options place 16 ranks on longs");
-    let mut world = CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
-    build(&mut world);
-    Ok((world.run()?.makespan, placements))
+/// The standard HPCC scenario: Longs, 16 ranks, LAM, under `option`'s
+/// placement scheme and lock layer.
+fn option_scenario(option: RuntimeOption, workload: Workload, fidelity: Fidelity) -> Scenario {
+    Scenario::new(System::Longs, 16, workload)
+        .with_fidelity(fidelity)
+        .with_placement(Placement::Scheme(option.scheme()))
+        .with_mpi(MpiImpl::Lam)
+        .with_lock(option.lock())
 }
 
 /// Figure 8: HPL GFlop/s under the six options (Longs, 16 cores) plus the
 /// DMZ reference point.
-pub fn figure8(fidelity: Fidelity) -> Result<Vec<Table>> {
-    let systems = Systems::new();
+pub fn figure8(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let n = match fidelity {
         Fidelity::Full => 16_384,
         Fidelity::Quick => 4_096,
     };
     let params = HplParams { n, nb: 256, dgemm_efficiency: 0.85 };
+    let workload =
+        Workload::Hpl { n: params.n, nb: params.nb, dgemm_efficiency: params.dgemm_efficiency };
+
+    // DMZ reference (default options only, as in the paper) plus the six
+    // Longs options, in one batch.
+    let dmz_ref = Scenario::new(System::Dmz, 4, workload.clone())
+        .with_fidelity(fidelity)
+        .with_placement(Placement::Scheme(RuntimeOption::Default.scheme()))
+        .with_mpi(MpiImpl::Lam)
+        .with_lock(RuntimeOption::Default.lock());
+    let mut batch = vec![dmz_ref];
+    batch.extend(
+        RuntimeOption::all().into_iter().map(|o| option_scenario(o, workload.clone(), fidelity)),
+    );
+    let mut outcomes = sched.run_batch(&batch).into_iter();
+
     let mut table = Table::with_columns(
         "Figure 8: HPL with LAM/NUMA options (GFlop/s)",
         &["Option", "Longs 16 cores", "DMZ 4 cores"],
     );
-    // DMZ reference: default options only, as in the paper.
-    let dmz_placements =
-        RuntimeOption::Default.scheme().resolve(&systems.dmz, 4).expect("dmz places 4 ranks");
-    let mut dmz_world =
-        CommWorld::new(&systems.dmz, dmz_placements, lam_profile(), RuntimeOption::Default.lock());
-    hpl_run(&mut dmz_world, &params);
-    let dmz_gf = params.gflops(dmz_world.run()?.makespan);
-
+    let dmz_gf = params.gflops(outcomes.next().expect("dmz outcome")?.result.makespan);
     for option in RuntimeOption::all() {
-        let (time, _) = option_run(&systems.longs, option, |w| hpl_run(w, &params))?;
+        let time = outcomes.next().expect("one outcome per option")?.result.makespan;
         let dmz_cell =
             if option == RuntimeOption::Default { Cell::num(dmz_gf) } else { Cell::Dash };
         table.push_row(option.name(), vec![Cell::num(params.gflops(time)), dmz_cell]);
@@ -65,24 +72,34 @@ pub fn figure8(fidelity: Fidelity) -> Result<Vec<Table>> {
 }
 
 /// Figure 9: Single and Star DGEMM + FFT GFlop/s per core vs options.
-pub fn figure9(fidelity: Fidelity) -> Result<Vec<Table>> {
-    let systems = Systems::new();
-    let machine = &systems.longs;
+pub fn figure9(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let dgemm = DgemmParams { n: 1000, reps: fidelity.steps(3).max(1), variant: BlasVariant::Acml };
     let fft = FftParams { points_per_rank: 1 << 20, reps: fidelity.steps(3).max(1) };
     let dgemm_flops = dgemm.flops_per_rank();
     let fft_flops_total =
         fft.reps as f64 * corescope_kernels::fft::fft_flops(fft.points_per_rank as f64);
 
+    let workloads = [
+        Workload::DgemmSingle { n: dgemm.n, reps: dgemm.reps, variant: dgemm.variant },
+        Workload::DgemmStar { n: dgemm.n, reps: dgemm.reps, variant: dgemm.variant },
+        Workload::FftSingle { points_per_rank: fft.points_per_rank, reps: fft.reps },
+        Workload::FftStar { points_per_rank: fft.points_per_rank, reps: fft.reps },
+    ];
+    let batch: Vec<Scenario> = RuntimeOption::all()
+        .into_iter()
+        .flat_map(|o| workloads.iter().map(move |w| option_scenario(o, w.clone(), fidelity)))
+        .collect();
+    let mut outcomes = sched.run_batch(&batch).into_iter();
+
     let mut table = Table::with_columns(
         "Figure 9: Single/Star DGEMM and FFT on Longs (GFlop/s per core)",
         &["Option", "Single DGEMM", "Star DGEMM", "Single FFT", "Star FFT"],
     );
     for option in RuntimeOption::all() {
-        let (t_sd, _) = option_run(machine, option, |w| append_dgemm_single(w, &dgemm))?;
-        let (t_td, _) = option_run(machine, option, |w| append_dgemm_star(w, &dgemm))?;
-        let (t_sf, _) = option_run(machine, option, |w| fft_single(w, &fft))?;
-        let (t_tf, _) = option_run(machine, option, |w| fft_star(w, &fft))?;
+        let mut next = || -> Result<f64> {
+            Ok(outcomes.next().expect("one outcome per option x workload")?.result.makespan)
+        };
+        let (t_sd, t_td, t_sf, t_tf) = (next()?, next()?, next()?, next()?);
         table.push_row(
             option.name(),
             vec![
@@ -98,21 +115,40 @@ pub fn figure9(fidelity: Fidelity) -> Result<Vec<Table>> {
 
 /// Figure 11: RandomAccess GUP/s (Single, Star per-core, MPI aggregate)
 /// vs options.
-pub fn figure11(fidelity: Fidelity) -> Result<Vec<Table>> {
-    let systems = Systems::new();
-    let machine = &systems.longs;
+pub fn figure11(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let params = match fidelity {
         Fidelity::Full => RaParams { table_words_per_rank: 1 << 24, updates_per_rank: 1 << 22 },
         Fidelity::Quick => RaParams { table_words_per_rank: 1 << 21, updates_per_rank: 1 << 16 },
     };
+    let workloads = [
+        Workload::RandomAccessSingle {
+            table_words_per_rank: params.table_words_per_rank,
+            updates_per_rank: params.updates_per_rank,
+        },
+        Workload::RandomAccessStar {
+            table_words_per_rank: params.table_words_per_rank,
+            updates_per_rank: params.updates_per_rank,
+        },
+        Workload::RandomAccessMpi {
+            table_words_per_rank: params.table_words_per_rank,
+            updates_per_rank: params.updates_per_rank,
+        },
+    ];
+    let batch: Vec<Scenario> = RuntimeOption::all()
+        .into_iter()
+        .flat_map(|o| workloads.iter().map(move |w| option_scenario(o, w.clone(), fidelity)))
+        .collect();
+    let mut outcomes = sched.run_batch(&batch).into_iter();
+
     let mut table = Table::with_columns(
         "Figure 11: RandomAccess on Longs (GUP/s)",
         &["Option", "Single", "Star per-core", "MPI (16 ranks)"],
     );
     for option in RuntimeOption::all() {
-        let (t_single, _) = option_run(machine, option, |w| ra_single(w, &params))?;
-        let (t_star, _) = option_run(machine, option, |w| ra_star(w, &params))?;
-        let (t_mpi, _) = option_run(machine, option, |w| ra_mpi(w, &params))?;
+        let mut next = || -> Result<f64> {
+            Ok(outcomes.next().expect("one outcome per option x mode")?.result.makespan)
+        };
+        let (t_single, t_star, t_mpi) = (next()?, next()?, next()?);
         table.push_row(
             option.name(),
             vec![
@@ -126,7 +162,7 @@ pub fn figure11(fidelity: Fidelity) -> Result<Vec<Table>> {
 }
 
 /// Figure 12: PTRANS bandwidth plus ring/pingpong bandwidth vs options.
-pub fn figure12(fidelity: Fidelity) -> Result<Vec<Table>> {
+pub fn figure12(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let machine = &systems.longs;
     let params = PtransParams {
@@ -139,12 +175,24 @@ pub fn figure12(fidelity: Fidelity) -> Result<Vec<Table>> {
     };
     let moved = (params.n * params.n) as f64 * 8.0;
     let reps = fidelity.steps(10).max(2);
+
+    let workload =
+        Workload::Ptrans { n: params.n, reps: params.reps, block_bytes: params.block_bytes };
+    let batch: Vec<Scenario> = RuntimeOption::all()
+        .into_iter()
+        .map(|o| option_scenario(o, workload.clone(), fidelity))
+        .collect();
+    let mut outcomes = sched.run_batch(&batch).into_iter();
+
     let mut table = Table::with_columns(
         "Figure 12: PTRANS and ring/pingpong bandwidth on Longs (GB/s)",
         &["Option", "PTRANS", "Ring BW/rank", "PingPong BW"],
     );
     for option in RuntimeOption::all() {
-        let (t_pt, placements) = option_run(machine, option, |w| ptrans_run(w, &params))?;
+        let t_pt = outcomes.next().expect("one PTRANS outcome per option")?.result.makespan;
+        // The ring/pingpong helpers need raw placements, so they bypass
+        // the scheduler (they are cheap point probes, not sweeps).
+        let placements = option.scheme().resolve(machine, 16)?;
         let profile = lam_profile();
         let ring = ring_bandwidth(machine, &placements, &profile, option.lock(), reps)?;
         let pp = pingpong_bandwidth(machine, &placements, &profile, option.lock(), 2e6, reps)?;
@@ -170,7 +218,7 @@ pub fn figure13(fidelity: Fidelity) -> Result<Vec<Table>> {
         &["Option", "PingPong", "Ring"],
     );
     for option in RuntimeOption::all() {
-        let placements = option.scheme().resolve(machine, 16).expect("16 ranks place on longs");
+        let placements = option.scheme().resolve(machine, 16)?;
         let profile = lam_profile();
         let pp = pingpong_time(machine, &placements, &profile, option.lock(), 8.0, reps)?;
         let ring = ring_latency(machine, &placements, &profile, option.lock(), reps)?;
@@ -183,9 +231,13 @@ pub fn figure13(fidelity: Fidelity) -> Result<Vec<Table>> {
 mod tests {
     use super::*;
 
+    fn sched() -> Scheduler {
+        Scheduler::new(2)
+    }
+
     #[test]
     fn figure8_tuned_options_win() {
-        let t = &figure8(Fidelity::Quick).unwrap()[0];
+        let t = &figure8(Fidelity::Quick, &sched()).unwrap()[0];
         let tuned = t.value("localalloc+usysv", "Longs 16 cores").unwrap();
         let stock = t.value("sysv", "Longs 16 cores").unwrap();
         assert!(tuned >= stock, "tuned {tuned} vs stock {stock}");
@@ -195,7 +247,7 @@ mod tests {
 
     #[test]
     fn figure9_dgemm_star_equals_single() {
-        let t = &figure9(Fidelity::Quick).unwrap()[0];
+        let t = &figure9(Fidelity::Quick, &sched()).unwrap()[0];
         for option in ["default", "localalloc+usysv"] {
             let single = t.value(option, "Single DGEMM").unwrap();
             let star = t.value(option, "Star DGEMM").unwrap();
@@ -212,7 +264,7 @@ mod tests {
 
     #[test]
     fn figure11_mpi_randomaccess_suffers_under_sysv() {
-        let t = &figure11(Fidelity::Quick).unwrap()[0];
+        let t = &figure11(Fidelity::Quick, &sched()).unwrap()[0];
         let sysv = t.value("sysv", "MPI (16 ranks)").unwrap();
         let usysv = t.value("usysv", "MPI (16 ranks)").unwrap();
         assert!(usysv > sysv, "spinlocks must help RA: {usysv} vs {sysv}");
@@ -220,7 +272,7 @@ mod tests {
 
     #[test]
     fn figure12_usysv_clearly_beats_sysv_on_ptrans() {
-        let t = &figure12(Fidelity::Quick).unwrap()[0];
+        let t = &figure12(Fidelity::Quick, &sched()).unwrap()[0];
         let sysv = t.value("sysv", "PTRANS").unwrap();
         let usysv = t.value("usysv", "PTRANS").unwrap();
         assert!(usysv > sysv, "usysv {usysv} vs sysv {sysv}");
@@ -235,5 +287,12 @@ mod tests {
         // Ring > pingpong under the same option.
         let ring = t.value("usysv", "Ring").unwrap();
         assert!(ring > pp_usysv);
+    }
+
+    #[test]
+    fn figure9_parallel_matches_serial_byte_for_byte() {
+        let serial = figure9(Fidelity::Quick, &Scheduler::new(1)).unwrap();
+        let parallel = figure9(Fidelity::Quick, &Scheduler::new(8)).unwrap();
+        assert_eq!(serial[0].to_csv(), parallel[0].to_csv());
     }
 }

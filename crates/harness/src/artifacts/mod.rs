@@ -16,7 +16,30 @@ pub mod stream;
 use crate::fidelity::Fidelity;
 use crate::report::Table;
 use corescope_machine::Result;
+use corescope_sched::Scheduler;
 use std::fmt;
+
+/// A request named an artifact id that does not exist. Carries the
+/// requested string so `repro` and `corescope-serve` can report it (and
+/// point at the catalogue) instead of silently skipping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownArtifact {
+    /// What the request said, verbatim.
+    pub requested: String,
+}
+
+impl fmt::Display for UnknownArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5; \
+             run with --list for the catalogue)",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for UnknownArtifact {}
 
 /// Every table and figure of the paper's evaluation, by its number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +149,15 @@ impl Artifact {
         Artifact::all().into_iter().find(|a| a.id() == s.to_lowercase())
     }
 
+    /// Parses an artifact id with a typed error for unknown names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownArtifact`] carrying the requested string.
+    pub fn from_id(s: &str) -> std::result::Result<Artifact, UnknownArtifact> {
+        Artifact::parse(s).ok_or_else(|| UnknownArtifact { requested: s.to_string() })
+    }
+
     /// The paper's caption, abbreviated.
     pub fn title(self) -> &'static str {
         use Artifact::*;
@@ -168,28 +200,40 @@ impl Artifact {
         }
     }
 
-    /// Regenerates the artifact.
+    /// Regenerates the artifact with a private single-job scheduler.
     ///
     /// # Errors
     ///
     /// Propagates engine errors from the underlying simulations.
     pub fn run(self, fidelity: Fidelity) -> Result<Vec<Table>> {
+        self.run_with(fidelity, &Scheduler::new(1))
+    }
+
+    /// Regenerates the artifact, executing its simulation sweeps through
+    /// `sched` — which brings the work-stealing fan-out, the result
+    /// cache and in-flight dedup to every scenario-enumerated artifact.
+    /// Results are byte-identical at any job count or cache temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors from the underlying simulations.
+    pub fn run_with(self, fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
         use Artifact::*;
         match self {
             T1 => Ok(vec![statics::table1()]),
             T5 => Ok(vec![statics::table5()]),
             T6 => Ok(vec![statics::table6()]),
-            F2 => stream::figure2(fidelity),
-            F3 => stream::figure3(fidelity),
+            F2 => stream::figure2(fidelity, sched),
+            F3 => stream::figure3(fidelity, sched),
             F4 => blas::figure4(fidelity),
             F5 => blas::figure5(fidelity),
             F6 => blas::figure6(fidelity),
             F7 => blas::figure7(fidelity),
-            F8 => hpcc::figure8(fidelity),
-            F9 => hpcc::figure9(fidelity),
-            F10 => stream::figure10(fidelity),
-            F11 => hpcc::figure11(fidelity),
-            F12 => hpcc::figure12(fidelity),
+            F8 => hpcc::figure8(fidelity, sched),
+            F9 => hpcc::figure9(fidelity, sched),
+            F10 => stream::figure10(fidelity, sched),
+            F11 => hpcc::figure11(fidelity, sched),
+            F12 => hpcc::figure12(fidelity, sched),
             F13 => hpcc::figure13(fidelity),
             F14 => imb::figure14(fidelity),
             F15 => imb::figure15(fidelity),
@@ -210,7 +254,7 @@ impl Artifact {
             X2 => Ok(vec![statics::extra2()]),
             X3 => crate::resilience::extra3(fidelity),
             X4 => bottleneck::extra4(fidelity),
-            X5 => recovery::extra5(fidelity),
+            X5 => recovery::extra5(fidelity, sched),
         }
     }
 }

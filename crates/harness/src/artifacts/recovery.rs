@@ -21,6 +21,13 @@
 //!    [`CheckpointTarget::Node`]) must shift the traced bottleneck
 //!    attribution toward the memory controllers.
 //!
+//! The campaign is *scenario-enumerated*: each measurement phase (the
+//! fault-free baselines, the δ probes, the 4-campaign × 5-interval
+//! sweep) is one [`Scheduler`] batch, so the twenty-plus engine runs fan
+//! out over workers and land in the result cache. The traced
+//! attribution runs (claim 3) need `RunTrace`s, which the scenario IR
+//! deliberately does not cache, so those stay direct engine calls.
+//!
 //! [`FaultKind::RankKill`]: corescope_machine::FaultKind::RankKill
 
 use crate::context::{default_stack, Systems};
@@ -31,6 +38,7 @@ use corescope_machine::{
     young_daly_interval, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultPlan,
     Machine, NumaNodeId, RankId, Result, RunTrace, TraceConfig, TrafficProfile,
 };
+use corescope_sched::{Placement, Scenario, Scheduler, System, Workload};
 use corescope_smpi::CommWorld;
 
 /// Bounded-recovery guarantee: with kills at MTBF spacing and the best
@@ -44,21 +52,26 @@ const TAU_GRID: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 /// Index of `τ*` itself in [`TAU_GRID`].
 const TAU_STAR_IDX: usize = 2;
 
-/// One campaign: a system, a placement, and a fault rate expressed as
+/// One campaign: a system, a world size, and a fault rate expressed as
 /// kills per fault-free makespan (MTBF = fault-free / kills).
 struct Campaign {
-    system: &'static str,
-    machine: fn(&Systems) -> &Machine,
+    system: System,
     nranks: usize,
     kills: usize,
 }
 
+impl Campaign {
+    fn name(&self) -> String {
+        format!("{} x{}, {} kills", self.system.key(), self.nranks, self.kills)
+    }
+}
+
 fn campaigns() -> Vec<Campaign> {
     vec![
-        Campaign { system: "dmz", machine: |s| &s.dmz, nranks: 4, kills: 3 },
-        Campaign { system: "dmz", machine: |s| &s.dmz, nranks: 4, kills: 2 },
-        Campaign { system: "longs", machine: |s| &s.longs, nranks: 8, kills: 3 },
-        Campaign { system: "longs", machine: |s| &s.longs, nranks: 8, kills: 2 },
+        Campaign { system: System::Dmz, nranks: 4, kills: 3 },
+        Campaign { system: System::Dmz, nranks: 4, kills: 2 },
+        Campaign { system: System::Longs, nranks: 8, kills: 3 },
+        Campaign { system: System::Longs, nranks: 8, kills: 2 },
     ]
 }
 
@@ -75,8 +88,25 @@ const STEP_BYTES: f64 = 8.0e6;
 /// count so `δ` stays proportionate to the run at every fidelity).
 const CKPT_BYTES: f64 = 1.0e7;
 
-/// Builds the BSP workload: `steps` stream-compute phases, each followed
-/// by an 8-byte allreduce (the bulk-synchronous barrier).
+/// The campaign's BSP scenario: the scenario defaults (two MPI per
+/// socket, localalloc, MPICH2, spin locks) are exactly the old
+/// `default_stack()` world.
+fn bsp_scenario(system: System, nranks: usize, fidelity: Fidelity) -> Scenario {
+    Scenario::new(
+        system,
+        nranks,
+        Workload::Bsp {
+            steps: fidelity.steps(BSP_STEPS),
+            flops_per_step: STEP_FLOPS,
+            bytes_per_step: STEP_BYTES,
+            sync_bytes: 8.0,
+        },
+    )
+    .with_fidelity(fidelity)
+}
+
+/// Builds the BSP workload as a traced-capable world (claim 3 needs
+/// `observe`, which the scenario/cache path deliberately omits).
 fn bsp_world<'m>(
     machine: &'m Machine,
     scheme: Scheme,
@@ -123,97 +153,143 @@ struct CampaignResult {
     best: usize,
 }
 
-fn run_campaign(systems: &Systems, c: &Campaign, fidelity: Fidelity) -> Result<CampaignResult> {
-    let name = format!("{} x{}, {} kills", c.system, c.nranks, c.kills);
-    let machine = (c.machine)(systems);
+/// Runs every campaign in three scheduler batches — fault-free
+/// baselines, δ probes, then the full interval sweep — and applies the
+/// per-campaign invariant checks.
+fn run_campaigns(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<CampaignResult>> {
+    let cs = campaigns();
     let bytes = ckpt_bytes(fidelity);
 
-    let fault_free =
-        bsp_world(machine, Scheme::TwoMpiLocalAlloc, c.nranks, fidelity)?.run()?.makespan;
+    // Batch A: fault-free baselines (duplicate digests — the two DMZ and
+    // two Longs campaigns share theirs — collapse in the scheduler).
+    let baselines: Vec<Scenario> =
+        cs.iter().map(|c| bsp_scenario(c.system, c.nranks, fidelity)).collect();
+    let fault_free: Vec<f64> = sched
+        .run_batch(&baselines)
+        .into_iter()
+        .map(|o| Ok(o?.result.makespan))
+        .collect::<Result<_>>()?;
 
-    // Measure the per-checkpoint cost δ empirically: a checkpointed but
-    // fault-free run against the plain fault-free run. Checkpoints are
-    // concurrent flows, so δ is the *contention* cost, which is exactly
-    // what Young/Daly's δ means for this engine.
-    let probe = bsp_world(machine, Scheme::TwoMpiLocalAlloc, c.nranks, fidelity)?
-        .with_recovery(CheckpointPolicy::new(fault_free / 8.0, bytes))
-        .run()?;
-    if probe.metrics.checkpoints_taken == 0 {
-        return Err(recovery_violation(&name, "probe run took no checkpoints"));
+    // Batch B: measure the per-checkpoint cost δ empirically — a
+    // checkpointed but fault-free run against the plain fault-free run.
+    // Checkpoints are concurrent flows, so δ is the *contention* cost,
+    // which is exactly what Young/Daly's δ means for this engine.
+    let probes: Vec<Scenario> = cs
+        .iter()
+        .zip(&fault_free)
+        .map(|(c, &free)| {
+            bsp_scenario(c.system, c.nranks, fidelity)
+                .with_recovery(CheckpointPolicy::new(free / 8.0, bytes))
+        })
+        .collect();
+    let probe_results = sched.run_batch(&probes);
+
+    let mut deltas = Vec::with_capacity(cs.len());
+    for ((c, &free), probe) in cs.iter().zip(&fault_free).zip(probe_results) {
+        let probe = probe?.result;
+        if probe.checkpoints_taken == 0 {
+            return Err(recovery_violation(&c.name(), "probe run took no checkpoints"));
+        }
+        let delta = (probe.makespan - free) / probe.checkpoints_taken as f64;
+        if delta <= 0.0 {
+            return Err(recovery_violation(
+                &c.name(),
+                format!("checkpoints must cost time, measured δ = {delta:e}"),
+            ));
+        }
+        deltas.push(delta);
     }
-    let delta = (probe.makespan - fault_free) / probe.metrics.checkpoints_taken as f64;
-    if delta <= 0.0 {
-        return Err(recovery_violation(
-            &name,
-            format!("checkpoints must cost time, measured δ = {delta:e}"),
-        ));
+
+    // Batch C: the full sweep — every campaign's five interval points in
+    // one batch. Deterministic kills, one per MTBF, rotating over ranks
+    // (the plan validator rejects killing the same rank twice); the same
+    // plan drives every sweep point, so the comparison is
+    // apples-to-apples.
+    let mut sweep_batch = Vec::with_capacity(cs.len() * TAU_GRID.len());
+    let mut tau_stars = Vec::with_capacity(cs.len());
+    for ((c, &free), &delta) in cs.iter().zip(&fault_free).zip(&deltas) {
+        let mtbf = free / c.kills as f64;
+        let tau_star = young_daly_interval(delta, mtbf);
+        tau_stars.push(tau_star);
+        let plan = (1..=c.kills)
+            .fold(FaultPlan::new(), |p, k| p.rank_kill(k as f64 * mtbf, RankId::new(k % c.nranks)));
+        for factor in TAU_GRID {
+            sweep_batch.push(
+                bsp_scenario(c.system, c.nranks, fidelity)
+                    .with_recovery(CheckpointPolicy::new(factor * tau_star, bytes))
+                    .with_faults(plan.clone()),
+            );
+        }
     }
+    let mut sweep_outcomes = sched.run_batch(&sweep_batch).into_iter();
 
-    let mtbf = fault_free / c.kills as f64;
-    let tau_star = young_daly_interval(delta, mtbf);
+    let mut results = Vec::with_capacity(cs.len());
+    for (i, c) in cs.iter().enumerate() {
+        let name = c.name();
+        let tau_star = tau_stars[i];
+        let mut sweep = Vec::with_capacity(TAU_GRID.len());
+        for factor in TAU_GRID {
+            let tau = factor * tau_star;
+            let point = sweep_outcomes.next().expect("one outcome per sweep point")?.result;
+            if point.recoveries != c.kills {
+                return Err(recovery_violation(
+                    &name,
+                    format!(
+                        "scheduled {} kills but {} recoveries happened at τ = {tau:.4}",
+                        c.kills, point.recoveries
+                    ),
+                ));
+            }
+            sweep.push(SweepPoint {
+                tau,
+                makespan: point.makespan,
+                checkpoints: point.checkpoints_taken,
+                recoveries: point.recoveries,
+            });
+        }
 
-    // Deterministic kills, one per MTBF, rotating over ranks (the plan
-    // validator rejects killing the same rank twice). The same plan
-    // drives every sweep point, so the comparison is apples-to-apples.
-    let plan = (1..=c.kills)
-        .fold(FaultPlan::new(), |p, k| p.rank_kill(k as f64 * mtbf, RankId::new(k % c.nranks)));
+        let best = sweep
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.makespan.total_cmp(&b.1.makespan))
+            .map(|(j, _)| j)
+            .unwrap_or(TAU_STAR_IDX);
 
-    let mut sweep = Vec::with_capacity(TAU_GRID.len());
-    for factor in TAU_GRID {
-        let tau = factor * tau_star;
-        let report = bsp_world(machine, Scheme::TwoMpiLocalAlloc, c.nranks, fidelity)?
-            .with_recovery(CheckpointPolicy::new(tau, bytes))
-            .run_with_faults(&plan)?;
-        if report.metrics.recoveries != c.kills {
+        // Claim 1: the measured optimum tracks Young/Daly — within one
+        // grid step of τ* on a ×2 geometric grid.
+        if best.abs_diff(TAU_STAR_IDX) > 1 {
             return Err(recovery_violation(
                 &name,
                 format!(
-                    "scheduled {} kills but {} recoveries happened at τ = {tau:.4}",
-                    c.kills, report.metrics.recoveries
+                    "measured optimal interval {:.4}s is more than one grid step from \
+                     Young/Daly τ* = {tau_star:.4}s (sweep {:?})",
+                    sweep[best].tau,
+                    sweep.iter().map(|p| p.makespan).collect::<Vec<_>>(),
                 ),
             ));
         }
-        sweep.push(SweepPoint {
-            tau,
-            makespan: report.makespan,
-            checkpoints: report.metrics.checkpoints_taken,
-            recoveries: report.metrics.recoveries,
+
+        // Claim 2: recovery is bounded at the best interval.
+        if sweep[best].makespan > fault_free[i] * RECOVERY_BOUND {
+            return Err(recovery_violation(
+                &name,
+                format!(
+                    "best faulted makespan {:.4}s exceeds {RECOVERY_BOUND} x fault-free {:.4}s",
+                    sweep[best].makespan, fault_free[i]
+                ),
+            ));
+        }
+
+        results.push(CampaignResult {
+            fault_free: fault_free[i],
+            delta: deltas[i],
+            mtbf: fault_free[i] / c.kills as f64,
+            tau_star,
+            sweep,
+            best,
         });
     }
-
-    let best = sweep
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.makespan.total_cmp(&b.1.makespan))
-        .map(|(i, _)| i)
-        .unwrap_or(TAU_STAR_IDX);
-
-    // Claim 1: the measured optimum tracks Young/Daly — within one grid
-    // step of τ* on a ×2 geometric grid.
-    if best.abs_diff(TAU_STAR_IDX) > 1 {
-        return Err(recovery_violation(
-            &name,
-            format!(
-                "measured optimal interval {:.4}s is more than one grid step from \
-                 Young/Daly τ* = {tau_star:.4}s (sweep {:?})",
-                sweep[best].tau,
-                sweep.iter().map(|p| p.makespan).collect::<Vec<_>>(),
-            ),
-        ));
-    }
-
-    // Claim 2: recovery is bounded at the best interval.
-    if sweep[best].makespan > fault_free * RECOVERY_BOUND {
-        return Err(recovery_violation(
-            &name,
-            format!(
-                "best faulted makespan {:.4}s exceeds {RECOVERY_BOUND} x fault-free {fault_free:.4}s",
-                sweep[best].makespan
-            ),
-        ));
-    }
-
-    Ok(CampaignResult { fault_free, delta, mtbf, tau_star, sweep, best })
+    Ok(results)
 }
 
 /// The share of ranked bottleneck time attributed to memory controllers.
@@ -261,7 +337,7 @@ fn shift_mc_share(
 /// failing to shift attribution toward the memory controllers under
 /// membind (that is the point: the artifact doubles as a recovery
 /// check).
-pub fn extra5(fidelity: Fidelity) -> Result<Vec<Table>> {
+pub fn extra5(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let systems = Systems::new();
 
     let mut sweep_table = Table::with_columns(
@@ -288,9 +364,8 @@ pub fn extra5(fidelity: Fidelity) -> Result<Vec<Table>> {
         ],
     );
 
-    for c in campaigns() {
-        let r = run_campaign(&systems, &c, fidelity)?;
-        let name = format!("{} x{}, {} kills", c.system, c.nranks, c.kills);
+    for (c, r) in campaigns().iter().zip(run_campaigns(fidelity, sched)?) {
+        let name = c.name();
         for (i, p) in r.sweep.iter().enumerate() {
             let marker = if i == r.best { " <- best" } else { "" };
             sweep_table.push_row(
@@ -323,7 +398,13 @@ pub fn extra5(fidelity: Fidelity) -> Result<Vec<Table>> {
     // bound to node 0) must tip the controller into being the binding
     // constraint and raise its share of the traced attribution.
     let base = shift_mc_share(&systems, fidelity, None)?;
-    let free = bsp_world(&systems.dmz, Scheme::OneMpiLocalAlloc, 2, fidelity)?.run()?.makespan;
+    let free = sched
+        .run_one(
+            &bsp_scenario(System::Dmz, 2, fidelity)
+                .with_placement(Placement::Scheme(Scheme::OneMpiLocalAlloc)),
+        )?
+        .result
+        .makespan;
     let policy = CheckpointPolicy::new(free / 8.0, ckpt_bytes(fidelity));
     let own = shift_mc_share(&systems, fidelity, Some(policy.clone()))?;
     let membind = shift_mc_share(
@@ -361,7 +442,7 @@ mod tests {
         // extra5 fails with InvalidSpec on any recovery-invariant
         // violation, so a clean return *is* the assertion; spot-check
         // the table shapes.
-        let tables = extra5(Fidelity::Quick).unwrap();
+        let tables = extra5(Fidelity::Quick, &Scheduler::new(2)).unwrap();
         assert_eq!(tables.len(), 3);
         let (sweep, summary, shift) = (&tables[0], &tables[1], &tables[2]);
         assert_eq!(sweep.num_rows(), campaigns().len() * TAU_GRID.len());
@@ -378,14 +459,27 @@ mod tests {
 
     #[test]
     fn sweep_runs_recover_every_scheduled_kill() {
-        let systems = Systems::new();
-        let c = &campaigns()[0];
-        let r = run_campaign(&systems, c, Fidelity::Quick).unwrap();
+        let results = run_campaigns(Fidelity::Quick, &Scheduler::new(2)).unwrap();
+        let cs = campaigns();
+        let (c, r) = (&cs[0], &results[0]);
         assert!(r.delta > 0.0 && r.tau_star > 0.0);
         for p in &r.sweep {
             assert_eq!(p.recoveries, c.kills);
             assert!(p.makespan > r.fault_free, "faults must cost time");
         }
         assert!(r.mtbf > r.tau_star, "the sweep only makes sense with tau* below MTBF");
+    }
+
+    #[test]
+    fn campaign_baselines_share_cache_entries() {
+        // The two DMZ campaigns (and the two Longs ones) share their
+        // fault-free baseline; batch dedup + cache must collapse them.
+        let sched = Scheduler::new(1);
+        let _ = run_campaigns(Fidelity::Quick, &sched).unwrap();
+        let stats = sched.stats();
+        assert!(
+            stats.deduped + stats.hits_memory >= 2,
+            "shared baselines must not run twice: {stats:?}"
+        );
     }
 }

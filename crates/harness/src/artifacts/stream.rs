@@ -1,54 +1,72 @@
 //! STREAM artifacts: Figures 2, 3 (bandwidth scaling) and 10 (HPCC
 //! STREAM vs runtime options).
+//!
+//! These sweeps *enumerate* [`Scenario`]s and hand the whole batch to
+//! the [`Scheduler`], which fans out over workers, dedups and caches;
+//! the functions here only do the post-processing arithmetic. Results
+//! are byte-identical to the old serial loops at any job count.
 
-use crate::context::{lam_profile, Systems};
 use crate::fidelity::Fidelity;
 use crate::report::{Cell, Table};
 use crate::runtime::RuntimeOption;
-use corescope_affinity::{os_scatter, policy};
-use corescope_kernels::stream::{append_single, append_star, StreamParams};
-use corescope_machine::engine::RankPlacement;
-use corescope_machine::{Machine, Result};
-use corescope_smpi::{CommWorld, LockLayer};
+use corescope_kernels::stream::StreamParams;
+use corescope_machine::Result;
+use corescope_sched::{Placement, Scenario, Scheduler, System, Workload};
 
 fn params(fidelity: Fidelity) -> StreamParams {
     StreamParams { sweeps: fidelity.steps(10).max(2), ..StreamParams::default() }
 }
 
-/// lmbench-style placements: spread over sockets first (the paper's
-/// core-activation order), memory allocated locally.
-fn scatter_local(machine: &Machine, nranks: usize) -> Result<Vec<RankPlacement>> {
-    Ok(os_scatter(machine, nranks)?
-        .into_iter()
-        .map(|core| RankPlacement::new(core, policy::local(machine, core)))
-        .collect())
-}
-
-/// Aggregate triad bandwidth (bytes/s) with `nranks` active cores.
-fn triad_bandwidth(machine: &Machine, nranks: usize, fidelity: Fidelity) -> Result<f64> {
+fn star_workload(fidelity: Fidelity) -> Workload {
     let p = params(fidelity);
-    let mut world =
-        CommWorld::new(machine, scatter_local(machine, nranks)?, lam_profile(), LockLayer::USysV);
-    append_star(&mut world, &p);
-    let report = world.run()?;
-    Ok(nranks as f64 * p.bytes_per_rank() / report.makespan)
+    Workload::StreamStar {
+        kernel: p.kernel,
+        elements_per_rank: p.elements_per_rank,
+        sweeps: p.sweeps,
+    }
 }
 
-fn bandwidth_scaling(fidelity: Fidelity, per_core: bool) -> Result<Table> {
-    let systems = Systems::new();
+/// The scatter-local STREAM scenario behind Figures 2 and 3: lmbench
+/// core-activation order, LAM profile, spin locks.
+fn triad_scenario(system: System, nranks: usize, fidelity: Fidelity) -> Scenario {
+    Scenario::new(system, nranks, star_workload(fidelity))
+        .with_fidelity(fidelity)
+        .with_placement(Placement::ScatterLocal)
+        .with_mpi(corescope_smpi::MpiImpl::Lam)
+}
+
+fn bandwidth_scaling(fidelity: Fidelity, per_core: bool, sched: &Scheduler) -> Result<Table> {
     let title = if per_core {
         "Figure 3: Memory bandwidth per core (GB/s, STREAM triad)"
     } else {
         "Figure 2: Memory bandwidth (GB/s aggregate, STREAM triad)"
     };
+    let systems = [System::Tiger, System::Dmz, System::Longs];
+    let cores: Vec<usize> = systems.iter().map(|s| s.machine().num_cores()).collect();
+    let counts = [1usize, 2, 4, 8, 16];
+
+    // Enumerate the whole grid (skipping impossible cells), then run it
+    // as one batch.
+    let mut batch = Vec::new();
+    for &n in &counts {
+        for (system, &num_cores) in systems.iter().zip(&cores) {
+            if n <= num_cores {
+                batch.push(triad_scenario(*system, n, fidelity));
+            }
+        }
+    }
+    let mut outcomes = sched.run_batch(&batch).into_iter();
+
+    let p = params(fidelity);
     let mut table = Table::with_columns(title, &["Active cores", "tiger", "dmz", "longs"]);
-    for n in [1usize, 2, 4, 8, 16] {
+    for &n in &counts {
         let mut cells = Vec::new();
-        for machine in [&systems.tiger, &systems.dmz, &systems.longs] {
-            if n > machine.num_cores() {
+        for &num_cores in &cores {
+            if n > num_cores {
                 cells.push(Cell::Dash);
             } else {
-                let bw = triad_bandwidth(machine, n, fidelity)?;
+                let completed = outcomes.next().expect("one outcome per enumerated cell")?;
+                let bw = n as f64 * p.bytes_per_rank() / completed.result.makespan;
                 let value = if per_core { bw / n as f64 } else { bw };
                 cells.push(Cell::num(value / 1e9));
             }
@@ -59,40 +77,58 @@ fn bandwidth_scaling(fidelity: Fidelity, per_core: bool) -> Result<Table> {
 }
 
 /// Figure 2: aggregate triad bandwidth vs active cores.
-pub fn figure2(fidelity: Fidelity) -> Result<Vec<Table>> {
-    Ok(vec![bandwidth_scaling(fidelity, false)?])
+pub fn figure2(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
+    Ok(vec![bandwidth_scaling(fidelity, false, sched)?])
 }
 
 /// Figure 3: per-core triad bandwidth vs active cores.
-pub fn figure3(fidelity: Fidelity) -> Result<Vec<Table>> {
-    Ok(vec![bandwidth_scaling(fidelity, true)?])
+pub fn figure3(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
+    Ok(vec![bandwidth_scaling(fidelity, true, sched)?])
 }
 
 /// Figure 10: HPCC STREAM Single vs Star on Longs under the six runtime
 /// options.
-pub fn figure10(fidelity: Fidelity) -> Result<Vec<Table>> {
-    let systems = Systems::new();
-    let machine = &systems.longs;
+pub fn figure10(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let p = params(fidelity);
+    let single_workload = Workload::StreamSingle {
+        kernel: p.kernel,
+        elements_per_rank: p.elements_per_rank,
+        sweeps: p.sweeps,
+    };
+    let scenario = |option: RuntimeOption, workload: Workload| {
+        Scenario::new(System::Longs, 16, workload)
+            .with_fidelity(fidelity)
+            .with_placement(Placement::Scheme(option.scheme()))
+            .with_mpi(corescope_smpi::MpiImpl::Lam)
+            .with_lock(option.lock())
+    };
+
+    // Unplaceable options become Dash rows, as in the paper; the rest
+    // contribute a Single and a Star scenario each.
+    let placeable: Vec<bool> = RuntimeOption::all()
+        .iter()
+        .map(|o| Placement::Scheme(o.scheme()).placeable(System::Longs, 16))
+        .collect();
+    let mut batch = Vec::new();
+    for (option, ok) in RuntimeOption::all().into_iter().zip(&placeable) {
+        if *ok {
+            batch.push(scenario(option, single_workload.clone()));
+            batch.push(scenario(option, star_workload(fidelity)));
+        }
+    }
+    let mut outcomes = sched.run_batch(&batch).into_iter();
+
     let mut table = Table::with_columns(
         "Figure 10: STREAM triad on Longs, 16 ranks (GB/s)",
         &["Option", "Single", "Star per-core", "Single:Star"],
     );
-    for option in RuntimeOption::all() {
-        let Ok(placements) = option.scheme().resolve(machine, 16) else {
+    for (option, ok) in RuntimeOption::all().into_iter().zip(&placeable) {
+        if !*ok {
             table.push_row(option.name(), vec![Cell::Dash, Cell::Dash, Cell::Dash]);
             continue;
-        };
-        let single = {
-            let mut w = CommWorld::new(machine, placements.clone(), lam_profile(), option.lock());
-            append_single(&mut w, &p);
-            p.bytes_per_rank() / w.run()?.makespan
-        };
-        let star = {
-            let mut w = CommWorld::new(machine, placements, lam_profile(), option.lock());
-            append_star(&mut w, &p);
-            p.bytes_per_rank() / w.run()?.makespan
-        };
+        }
+        let single = p.bytes_per_rank() / outcomes.next().expect("single outcome")?.result.makespan;
+        let star = p.bytes_per_rank() / outcomes.next().expect("star outcome")?.result.makespan;
         table.push_row(
             option.name(),
             vec![Cell::num(single / 1e9), Cell::num(star / 1e9), Cell::num(single / star)],
@@ -105,9 +141,13 @@ pub fn figure10(fidelity: Fidelity) -> Result<Vec<Table>> {
 mod tests {
     use super::*;
 
+    fn sched() -> Scheduler {
+        Scheduler::new(2)
+    }
+
     #[test]
     fn figure2_socket_scaling_beats_core_packing() {
-        let t = &figure2(Fidelity::Quick).unwrap()[0];
+        let t = &figure2(Fidelity::Quick, &sched()).unwrap()[0];
         // DMZ: 2 cores (one per socket) ~2x of 1; 4 cores (both per
         // socket) well under 4x.
         let b1 = t.value("1", "dmz").unwrap();
@@ -121,7 +161,7 @@ mod tests {
 
     #[test]
     fn figure3_longs_per_core_is_lowest() {
-        let t = &figure3(Fidelity::Quick).unwrap()[0];
+        let t = &figure3(Fidelity::Quick, &sched()).unwrap()[0];
         let longs = t.value("1", "longs").unwrap();
         let dmz = t.value("1", "dmz").unwrap();
         assert!(longs < 0.6 * dmz, "8-socket per-core bandwidth {longs} must trail dmz {dmz}");
@@ -129,7 +169,7 @@ mod tests {
 
     #[test]
     fn figure10_star_ratio_exceeds_two_on_default() {
-        let t = &figure10(Fidelity::Quick).unwrap()[0];
+        let t = &figure10(Fidelity::Quick, &sched()).unwrap()[0];
         let ratio = t.value("default", "Single:Star").unwrap();
         assert!(ratio > 2.0, "paper: 'Single to Star ratio of greater than 2:1', got {ratio:.2}");
         // The tuned option should not be worse than default's ratio by
@@ -137,5 +177,16 @@ mod tests {
         let star_tuned = t.value("localalloc+usysv", "Star per-core").unwrap();
         let star_default = t.value("default", "Star per-core").unwrap();
         assert!(star_tuned >= star_default * 0.95);
+    }
+
+    #[test]
+    fn figure2_jobs_and_cache_do_not_change_cells() {
+        let serial = figure2(Fidelity::Quick, &Scheduler::new(1)).unwrap();
+        let warm = sched();
+        let parallel_cold = figure2(Fidelity::Quick, &warm).unwrap();
+        let parallel_warm = figure2(Fidelity::Quick, &warm).unwrap();
+        assert_eq!(serial[0].to_csv(), parallel_cold[0].to_csv());
+        assert_eq!(serial[0].to_csv(), parallel_warm[0].to_csv());
+        assert!(warm.stats().hits_memory > 0, "second pass must hit the cache");
     }
 }

@@ -25,8 +25,8 @@ pub mod report;
 pub mod resilience;
 pub mod runtime;
 
-pub use artifacts::Artifact;
+pub use artifacts::{Artifact, UnknownArtifact};
 pub use fidelity::Fidelity;
 pub use observe::{chrome_trace_json, representative_trace, utilization_csv, TraceBundle};
-pub use report::{Cell, Table};
+pub use report::{Cell, RowShapeError, Table};
 pub use runtime::RuntimeOption;

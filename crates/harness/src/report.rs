@@ -64,6 +64,31 @@ impl From<Option<f64>> for Cell {
     }
 }
 
+/// A row whose cell count does not match its table's columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowShapeError {
+    /// The table's title.
+    pub table: String,
+    /// The offending row's label.
+    pub label: String,
+    /// Data columns the table has.
+    pub expected: usize,
+    /// Cells the row brought.
+    pub got: usize,
+}
+
+impl fmt::Display for RowShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "row '{}' brings {} cells but table '{}' has {} data columns",
+            self.label, self.got, self.table, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RowShapeError {}
+
 /// A labelled results table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
@@ -89,14 +114,38 @@ impl Table {
     ///
     /// # Panics
     ///
-    /// Panics if the cell count does not match the data columns.
+    /// Panics if the cell count does not match the data columns. Code
+    /// assembling rows from external input should use
+    /// [`Table::try_push_row`] instead.
     pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
-        assert_eq!(
-            cells.len(),
-            self.columns.len().saturating_sub(1),
-            "row width must match columns"
-        );
+        if let Err(e) = self.try_push_row(label, cells) {
+            panic!("row width must match columns: {e}");
+        }
+    }
+
+    /// Appends a row, reporting a shape mismatch as a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowShapeError`] when the cell count does not match the
+    /// table's data-column count; the table is left unchanged.
+    pub fn try_push_row(
+        &mut self,
+        label: impl Into<String>,
+        cells: Vec<Cell>,
+    ) -> Result<(), RowShapeError> {
+        let expected = self.columns.len().saturating_sub(1);
+        if cells.len() != expected {
+            return Err(RowShapeError {
+                table: self.title.clone(),
+                label: label.into(),
+                expected,
+                got: cells.len(),
+            });
+        }
         self.rows.push((label.into(), cells));
+        Ok(())
     }
 
     /// Number of data rows.
@@ -216,6 +265,17 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut t = Table::with_columns("t", &["r", "a"]);
         t.push_row("x", vec![Cell::num(1.0), Cell::num(2.0)]);
+    }
+
+    #[test]
+    fn try_push_row_reports_the_shape_instead_of_panicking() {
+        let mut t = Table::with_columns("t", &["r", "a"]);
+        let err = t.try_push_row("x", vec![Cell::num(1.0), Cell::num(2.0)]).unwrap_err();
+        assert_eq!((err.expected, err.got), (1, 2));
+        assert!(err.to_string().contains("'x'"), "{err}");
+        assert_eq!(t.num_rows(), 0, "a rejected row must not be half-applied");
+        t.try_push_row("x", vec![Cell::num(1.0)]).unwrap();
+        assert_eq!(t.num_rows(), 1);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Content-addressed result cache: in-memory always, on-disk optionally.
+//!
+//! Keys are scenario digests (see [`crate::scenario::Scenario::digest`]),
+//! which already fold in [`crate::ENGINE_TAG`]; the disk layout repeats
+//! the tag as a directory level (`<root>/<tag>/<digest>.json`) so stale
+//! engines' entries are orphaned wholesale and a `results/.cache` wipe of
+//! one tag cannot touch another's.
+//!
+//! Failure policy: the cache is an accelerator, never a correctness
+//! dependency. Disk errors (unwritable directory, corrupt entry, partial
+//! file from a killed process) degrade to a miss; they are counted, not
+//! propagated. Writes go through a temp file + rename so readers never
+//! observe a half-written entry.
+
+use crate::encode::Digest;
+use crate::json;
+use crate::scenario::ScenarioResult;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Where a cache lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Not cached: the engine ran.
+    Miss,
+    /// Served from the in-memory map.
+    Memory,
+    /// Served from `results/.cache` (and promoted to memory).
+    Disk,
+    /// Another thread was already running the same scenario; we waited
+    /// for its result instead of recomputing.
+    InFlight,
+}
+
+impl CacheTier {
+    /// Stable lowercase key for JSON output and logs.
+    pub fn key(self) -> &'static str {
+        match self {
+            CacheTier::Miss => "miss",
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+            CacheTier::InFlight => "in-flight",
+        }
+    }
+}
+
+/// Monotonic counters for observability; read via [`ResultCache::stats`].
+#[derive(Debug, Default)]
+struct Counters {
+    hits_memory: AtomicUsize,
+    hits_disk: AtomicUsize,
+    misses: AtomicUsize,
+    disk_errors: AtomicUsize,
+}
+
+/// A snapshot of cache activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits_memory: usize,
+    /// Lookups served from disk.
+    pub hits_disk: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Disk reads/writes that failed and were treated as misses.
+    pub disk_errors: usize,
+}
+
+/// The two-tier result cache. All methods take `&self`; the cache is
+/// shared across executor workers by reference.
+#[derive(Debug)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<u128, ScenarioResult>>,
+    disk_root: Option<PathBuf>,
+    counters: Counters,
+}
+
+impl ResultCache {
+    /// An in-memory-only cache.
+    pub fn in_memory() -> Self {
+        Self { memory: Mutex::new(HashMap::new()), disk_root: None, counters: Counters::default() }
+    }
+
+    /// A cache backed by `root` (conventionally `results/.cache`).
+    /// Entries land under `<root>/<ENGINE_TAG>/`. The directory is
+    /// created lazily on first store.
+    pub fn on_disk(root: impl Into<PathBuf>) -> Self {
+        Self {
+            memory: Mutex::new(HashMap::new()),
+            disk_root: Some(root.into()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The directory entries are stored in, if disk-backed.
+    pub fn tag_dir(&self) -> Option<PathBuf> {
+        self.disk_root.as_ref().map(|root| root.join(crate::ENGINE_TAG))
+    }
+
+    fn entry_path(&self, digest: Digest) -> Option<PathBuf> {
+        self.tag_dir().map(|dir| dir.join(format!("{}.json", digest.hex())))
+    }
+
+    /// Looks a digest up, reporting which tier answered. A disk hit is
+    /// promoted into memory.
+    pub fn get(&self, digest: Digest) -> Option<(ScenarioResult, CacheTier)> {
+        if let Ok(map) = self.memory.lock() {
+            if let Some(hit) = map.get(&digest.0) {
+                self.counters.hits_memory.fetch_add(1, Ordering::Relaxed);
+                return Some((hit.clone(), CacheTier::Memory));
+            }
+        }
+        if let Some(path) = self.entry_path(digest) {
+            match read_entry(&path) {
+                Ok(Some(result)) => {
+                    self.counters.hits_disk.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(mut map) = self.memory.lock() {
+                        map.insert(digest.0, result.clone());
+                    }
+                    return Some((result, CacheTier::Disk));
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a fresh result in memory and (best-effort) on disk.
+    pub fn put(&self, digest: Digest, result: &ScenarioResult) {
+        if let Ok(mut map) = self.memory.lock() {
+            map.insert(digest.0, result.clone());
+        }
+        if let Some(path) = self.entry_path(digest) {
+            if write_entry(&path, result).is_err() {
+                self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits_memory: self.counters.hits_memory.load(Ordering::Relaxed),
+            hits_disk: self.counters.hits_disk.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            disk_errors: self.counters.disk_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `Ok(None)` means "no entry"; `Err` means "entry exists but is bad" (or
+/// IO failed), which the caller counts as a disk error.
+fn read_entry(path: &Path) -> Result<Option<ScenarioResult>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.to_string()),
+    };
+    let value = json::parse(&text)?;
+    let tag = value.get("engine").and_then(json::Value::as_str);
+    if tag != Some(crate::ENGINE_TAG) {
+        // A foreign tag in our own tag directory means someone moved
+        // files around; refuse rather than serve numbers from another
+        // engine version.
+        return Err(format!("engine tag mismatch in {}", path.display()));
+    }
+    let result = value.get("result").ok_or("cache entry missing \"result\"")?;
+    ScenarioResult::from_json(result).map(Some)
+}
+
+fn write_entry(path: &Path, result: &ScenarioResult) -> Result<(), String> {
+    let dir = path.parent().ok_or("cache entry path has no parent")?;
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let body = format!(
+        "{{\"engine\":\"{}\",\"result\":{}}}\n",
+        json::escape(crate::ENGINE_TAG),
+        result.to_json()
+    );
+    // Unique temp name per thread so concurrent writers of *different*
+    // digests (or even the same one) never clobber each other's partial
+    // file; rename is atomic on the same filesystem.
+    let tmp = path.with_extension(format!("tmp.{:?}", std::thread::current().id()));
+    std::fs::write(&tmp, body).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        e.to_string()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(makespan: f64) -> ScenarioResult {
+        ScenarioResult {
+            makespan,
+            events: 42,
+            faults_applied: 0,
+            checkpoints_taken: 0,
+            recoveries: 0,
+            retries: 0,
+        }
+    }
+
+    fn tmpdir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("corescope-cache-test-{label}-{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_round_trips() {
+        let cache = ResultCache::in_memory();
+        let d = Digest(7);
+        assert!(cache.get(d).is_none());
+        cache.put(d, &result(1.5));
+        let (hit, tier) = cache.get(d).unwrap();
+        assert_eq!(hit, result(1.5));
+        assert_eq!(tier, CacheTier::Memory);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits_memory), (1, 1));
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_and_promotes_to_memory() {
+        let root = tmpdir("disk");
+        let d = Digest(99);
+        {
+            let cache = ResultCache::on_disk(&root);
+            cache.put(d, &result(1.0 / 3.0));
+        }
+        let cache = ResultCache::on_disk(&root);
+        let (hit, tier) = cache.get(d).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(hit.makespan.to_bits(), (1.0f64 / 3.0).to_bits(), "disk must be bit-exact");
+        // Second read comes from memory.
+        assert_eq!(cache.get(d).unwrap().1, CacheTier::Memory);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let root = tmpdir("corrupt");
+        let cache = ResultCache::on_disk(&root);
+        let d = Digest(5);
+        let path = cache.entry_path(d).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(cache.get(d).is_none());
+        assert_eq!(cache.stats().disk_errors, 1);
+        // A put repairs the entry.
+        cache.put(d, &result(2.0));
+        let fresh = ResultCache::on_disk(&root);
+        assert_eq!(fresh.get(d).unwrap().0, result(2.0));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn foreign_engine_tags_are_rejected() {
+        let root = tmpdir("tag");
+        let cache = ResultCache::on_disk(&root);
+        let d = Digest(11);
+        let path = cache.entry_path(d).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            format!("{{\"engine\":\"other\",\"result\":{}}}", result(9.0).to_json()),
+        )
+        .unwrap();
+        assert!(cache.get(d).is_none());
+        assert_eq!(cache.stats().disk_errors, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn entries_live_under_the_engine_tag() {
+        let root = tmpdir("layout");
+        let cache = ResultCache::on_disk(&root);
+        cache.put(Digest(1), &result(1.0));
+        let dir = cache.tag_dir().unwrap();
+        assert!(dir.ends_with(crate::ENGINE_TAG));
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

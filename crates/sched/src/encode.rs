@@ -1,0 +1,216 @@
+//! Canonical byte encoding and content digests for scenarios.
+//!
+//! The repo vendors no serde, so the encoding is hand-rolled (like the
+//! Chrome-trace JSON in `harness::observe`) and deliberately boring: a
+//! flat byte stream of length-prefixed, tagged fields. Two properties
+//! matter and are tested:
+//!
+//! 1. **stability** — encoding is a pure function of the value, so the
+//!    same scenario always produces the same bytes (and digest), across
+//!    processes and re-encodings;
+//! 2. **injectivity in practice** — every field is written as
+//!    `name-length ‖ name ‖ payload` with fixed-width scalar payloads and
+//!    length-prefixed variable ones, so two different field sequences
+//!    cannot concatenate to the same byte stream (no ambiguity at field
+//!    boundaries), and any single-field perturbation changes the stream.
+//!
+//! The digest is 128-bit FNV-1a over the canonical bytes. FNV is not
+//! cryptographic, but cache keys here defend against *accidental*
+//! collision, not an adversary; 128 bits over kilobyte-scale inputs makes
+//! accidental collision astronomically unlikely.
+
+use std::fmt;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content digest, printed as 32 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u128);
+
+impl Digest {
+    /// The digest as a lowercase hex string (32 chars), usable as a file
+    /// name.
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the output of [`Digest::hex`].
+    pub fn parse(s: &str) -> Option<Digest> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Digest)
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Canonical byte encoder: append-only, field-tagged, length-prefixed.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    bytes: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn raw_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn name(&mut self, name: &str) {
+        self.raw_u64(name.len() as u64);
+        self.bytes.extend_from_slice(name.as_bytes());
+    }
+
+    /// A named unsigned integer field.
+    pub fn u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.name(name);
+        self.bytes.push(b'u');
+        self.raw_u64(v);
+        self
+    }
+
+    /// A named `usize` field (encoded as u64).
+    pub fn usize(&mut self, name: &str, v: usize) -> &mut Self {
+        self.u64(name, v as u64)
+    }
+
+    /// A named float field, encoded by bit pattern so `-0.0` and `0.0`
+    /// (and every NaN payload) stay distinguishable and the encoding is
+    /// exact.
+    pub fn f64(&mut self, name: &str, v: f64) -> &mut Self {
+        self.name(name);
+        self.bytes.push(b'f');
+        self.bytes.extend_from_slice(&v.to_bits().to_be_bytes());
+        self
+    }
+
+    /// A named string field.
+    pub fn str(&mut self, name: &str, v: &str) -> &mut Self {
+        self.name(name);
+        self.bytes.push(b's');
+        self.raw_u64(v.len() as u64);
+        self.bytes.extend_from_slice(v.as_bytes());
+        self
+    }
+
+    /// A named enum-discriminant field: the variant's stable key string.
+    pub fn tag(&mut self, name: &str, variant: &str) -> &mut Self {
+        self.name(name);
+        self.bytes.push(b't');
+        self.raw_u64(variant.len() as u64);
+        self.bytes.extend_from_slice(variant.as_bytes());
+        self
+    }
+
+    /// Opens a named list of `len` elements; callers then encode each
+    /// element's fields. The length prefix keeps adjacent lists from
+    /// bleeding into one another.
+    pub fn list(&mut self, name: &str, len: usize) -> &mut Self {
+        self.name(name);
+        self.bytes.push(b'l');
+        self.raw_u64(len as u64);
+        self
+    }
+
+    /// The canonical bytes accumulated so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// 128-bit FNV-1a over the canonical bytes.
+    pub fn digest(&self) -> Digest {
+        let mut h = FNV_OFFSET;
+        for &b in &self.bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Digest(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(f: impl FnOnce(&mut Encoder)) -> Digest {
+        let mut e = Encoder::new();
+        f(&mut e);
+        e.digest()
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = digest_of(|e| {
+            e.str("name", "dmz").usize("ranks", 4).f64("bytes", 1.5e9);
+        });
+        let b = digest_of(|e| {
+            e.str("name", "dmz").usize("ranks", 4).f64("bytes", 1.5e9);
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_field_change_changes_the_digest() {
+        let base = digest_of(|e| {
+            e.str("name", "dmz").usize("ranks", 4).f64("bytes", 1.5e9);
+        });
+        let name = digest_of(|e| {
+            e.str("name", "dmx").usize("ranks", 4).f64("bytes", 1.5e9);
+        });
+        let ranks = digest_of(|e| {
+            e.str("name", "dmz").usize("ranks", 5).f64("bytes", 1.5e9);
+        });
+        let bytes = digest_of(|e| {
+            e.str("name", "dmz").usize("ranks", 4).f64("bytes", 1.5e9 + 1.0);
+        });
+        assert_ne!(base, name);
+        assert_ne!(base, ranks);
+        assert_ne!(base, bytes);
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        // "ab" + "c" must not collide with "a" + "bc": the length
+        // prefixes land in different places.
+        let a = digest_of(|e| {
+            e.str("x", "ab").str("y", "c");
+        });
+        let b = digest_of(|e| {
+            e.str("x", "a").str("y", "bc");
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_bit_patterns_are_exact() {
+        let pos = digest_of(|e| {
+            e.f64("v", 0.0);
+        });
+        let neg = digest_of(|e| {
+            e.f64("v", -0.0);
+        });
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let d = digest_of(|e| {
+            e.str("k", "v");
+        });
+        assert_eq!(Digest::parse(&d.hex()), Some(d));
+        assert_eq!(d.hex().len(), 32);
+        assert_eq!(Digest::parse("xyz"), None);
+    }
+}

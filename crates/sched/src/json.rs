@@ -1,0 +1,363 @@
+//! A minimal JSON reader/writer — the repo vendors no serde.
+//!
+//! Covers exactly what the scheduler needs: parsing newline-delimited
+//! scenario requests in `corescope-serve` and reading on-disk cache
+//! entries back. Numbers are `f64` (like JavaScript); objects preserve
+//! insertion order; duplicate keys keep the last value.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` elsewhere, last duplicate wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=(u64::MAX as f64)).contains(&n) {
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. Rust's shortest-round-trip `{}`
+/// float formatting guarantees `parse` recovers the exact bits, which is
+/// what keeps cached results bit-identical to cold runs. JSON has no
+/// NaN/inf; those become `null`-adjacent `0` by policy (scenarios reject
+/// non-finite inputs before they get here).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Parses one JSON document, requiring nothing but whitespace after it.
+///
+/// # Errors
+///
+/// Returns a one-line description with a byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Nesting depth guard: scenario documents are shallow; anything deeper
+/// is hostile or broken input, not a real request.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest escape-free, ASCII-or-UTF-8 run at once.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates are not paired up; scenario
+                            // documents never need astral characters.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(_) => return Err(format!("control character in string at byte {}", self.pos)),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null"), Ok(Value::Null));
+        assert_eq!(parse(" true "), Ok(Value::Bool(true)));
+        assert_eq!(parse("-1.5e3"), Ok(Value::Num(-1500.0)));
+        assert_eq!(parse(r#""a\nb""#), Ok(Value::Str("a\nb".to_string())));
+        assert_eq!(
+            parse(r#"[1, "two", []]"#),
+            Ok(Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Str("two".to_string()),
+                Value::Arr(vec![])
+            ]))
+        );
+        let obj = parse(r#"{"a": 1, "b": {"c": null}}"#).unwrap();
+        assert_eq!(obj.get("a").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(obj.get("b").and_then(|b| b.get("c")), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("1 2").is_err(), "trailing data");
+        assert!(parse("nul").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 123_456_789.123_456_79] {
+            let text = num(v);
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {text}");
+        }
+        assert_eq!(num(f64::NAN), "0");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
+        let round = parse(&format!("\"{}\"", escape("a\"b\\c\n\u{1}"))).unwrap();
+        assert_eq!(round, Value::Str("a\"b\\c\n\u{1}".to_string()));
+    }
+
+    #[test]
+    fn as_usize_requires_exact_integers() {
+        assert_eq!(Value::Num(4.0).as_usize(), Some(4));
+        assert_eq!(Value::Num(4.5).as_usize(), None);
+        assert_eq!(Value::Num(-1.0).as_usize(), None);
+        assert_eq!(Value::Str("4".into()).as_usize(), None);
+    }
+}

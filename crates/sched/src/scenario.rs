@@ -1,0 +1,1224 @@
+//! The Scenario IR: a canonical value that fully determines one engine
+//! run, with a stable content digest and a serde-free JSON form.
+//!
+//! A [`Scenario`] names everything that feeds the simulation — the
+//! machine (whose *full spec* is folded into the digest, not just its
+//! name), the fidelity, the workload and its resolved parameters, the
+//! placement scheme, the MPI implementation and lock layer, the fault
+//! plan, and the recovery policies. Because the engine is deterministic
+//! (PR 2's bit-identical guarantee), two scenarios with equal digests
+//! produce equal [`ScenarioResult`]s, which is what makes the
+//! content-addressed cache in [`crate::cache`] sound.
+
+use crate::encode::{Digest, Encoder};
+use crate::fidelity::Fidelity;
+use crate::json::{self, Value};
+use corescope_affinity::{os_scatter, policy, Scheme};
+use corescope_kernels::blas::{append_dgemm_single, append_dgemm_star, BlasVariant, DgemmParams};
+use corescope_kernels::fft::{append_single as fft_single, append_star as fft_star, FftParams};
+use corescope_kernels::hpl::{append_run as hpl_run, HplParams};
+use corescope_kernels::ptrans::{append_run as ptrans_run, PtransParams};
+use corescope_kernels::randomaccess::{
+    append_mpi as ra_mpi, append_single as ra_single, append_star as ra_star, RaParams,
+};
+use corescope_kernels::stream::{
+    append_single as stream_single, append_star as stream_star, StreamKernel, StreamParams,
+};
+use corescope_machine::engine::RankPlacement;
+use corescope_machine::{
+    systems, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultEvent, FaultKind,
+    FaultPlan, LinkId, Machine, MachineSpec, NumaNodeId, RankId, Result, RetryPolicy, RunReport,
+    SocketId, TrafficProfile,
+};
+use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+
+/// The three evaluation systems of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// Cray XD1 node, 2 × single-core Opteron 248.
+    Tiger,
+    /// 2 × dual-core Opteron 275.
+    Dmz,
+    /// Iwill H8501, 8 × dual-core Opteron 865.
+    Longs,
+}
+
+impl System {
+    /// Stable lowercase key (JSON and encoding).
+    pub fn key(self) -> &'static str {
+        match self {
+            System::Tiger => "tiger",
+            System::Dmz => "dmz",
+            System::Longs => "longs",
+        }
+    }
+
+    /// Parses [`System::key`] output.
+    pub fn parse(s: &str) -> Option<System> {
+        match s {
+            "tiger" => Some(System::Tiger),
+            "dmz" => Some(System::Dmz),
+            "longs" => Some(System::Longs),
+            _ => None,
+        }
+    }
+
+    /// The preset machine spec.
+    pub fn spec(self) -> MachineSpec {
+        match self {
+            System::Tiger => systems::tiger(),
+            System::Dmz => systems::dmz(),
+            System::Longs => systems::longs(),
+        }
+    }
+
+    /// Builds the machine.
+    pub fn machine(self) -> Machine {
+        Machine::new(self.spec())
+    }
+}
+
+/// How ranks are pinned and their memory placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// One of the paper's Table 5 `numactl` schemes.
+    Scheme(Scheme),
+    /// lmbench-style: spread over sockets first, memory allocated locally
+    /// (the STREAM scaling figures' core-activation order).
+    ScatterLocal,
+}
+
+impl Placement {
+    /// Stable lowercase key (JSON and encoding); scheme placements reuse
+    /// [`Scheme::key`], the CSV column identifiers.
+    pub fn key(self) -> &'static str {
+        match self {
+            Placement::Scheme(s) => s.key(),
+            Placement::ScatterLocal => "scatter-local",
+        }
+    }
+
+    /// Parses [`Placement::key`] output.
+    pub fn parse(s: &str) -> Option<Placement> {
+        if s == "scatter-local" {
+            return Some(Placement::ScatterLocal);
+        }
+        Scheme::all().into_iter().find(|sch| sch.key() == s).map(Placement::Scheme)
+    }
+
+    /// Resolves the placement on a machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (typically [`Error::InvalidPlacement`]
+    /// when the machine cannot host `nranks` under this placement).
+    pub fn resolve(self, machine: &Machine, nranks: usize) -> Result<Vec<RankPlacement>> {
+        match self {
+            Placement::Scheme(scheme) => scheme.resolve(machine, nranks),
+            Placement::ScatterLocal => Ok(os_scatter(machine, nranks)?
+                .into_iter()
+                .map(|core| RankPlacement::new(core, policy::local(machine, core)))
+                .collect()),
+        }
+    }
+
+    /// Whether the placement can host `nranks` on `system` (the paper's
+    /// "—" cells enumerate the ones that cannot).
+    pub fn placeable(self, system: System, nranks: usize) -> bool {
+        self.resolve(&system.machine(), nranks).is_ok()
+    }
+}
+
+fn mpi_key(mpi: MpiImpl) -> &'static str {
+    match mpi {
+        MpiImpl::Mpich2 => "mpich2",
+        MpiImpl::Lam => "lam",
+        MpiImpl::OpenMpi => "openmpi",
+    }
+}
+
+fn mpi_parse(s: &str) -> Option<MpiImpl> {
+    MpiImpl::all().into_iter().find(|&m| mpi_key(m) == s)
+}
+
+fn lock_parse(s: &str) -> Option<LockLayer> {
+    [LockLayer::SysV, LockLayer::USysV].into_iter().find(|l| l.key() == s)
+}
+
+fn stream_kernel_key(kernel: StreamKernel) -> &'static str {
+    match kernel {
+        StreamKernel::Copy => "copy",
+        StreamKernel::Scale => "scale",
+        StreamKernel::Add => "add",
+        StreamKernel::Triad => "triad",
+    }
+}
+
+fn stream_kernel_parse(s: &str) -> Option<StreamKernel> {
+    [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
+        .into_iter()
+        .find(|&k| stream_kernel_key(k) == s)
+}
+
+fn blas_key(variant: BlasVariant) -> &'static str {
+    match variant {
+        BlasVariant::Acml => "acml",
+        BlasVariant::Vanilla => "vanilla",
+    }
+}
+
+fn blas_parse(s: &str) -> Option<BlasVariant> {
+    [BlasVariant::Acml, BlasVariant::Vanilla].into_iter().find(|&v| blas_key(v) == s)
+}
+
+/// The workload appended to the world — every parameter fully resolved
+/// (fidelity scaling happens at enumeration time, in the artifact code).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Bulk-synchronous: `steps` stream-compute phases, each followed by
+    /// an allreduce of `sync_bytes` (the X5 recovery-campaign workload).
+    Bsp {
+        /// Number of compute+allreduce steps.
+        steps: usize,
+        /// Flops per step per rank.
+        flops_per_step: f64,
+        /// DRAM bytes streamed per step per rank.
+        bytes_per_step: f64,
+        /// Allreduce payload per step.
+        sync_bytes: f64,
+    },
+    /// HPCC "Single" STREAM: rank 0 runs, the rest idle.
+    StreamSingle {
+        /// STREAM kernel.
+        kernel: StreamKernel,
+        /// Array length per rank.
+        elements_per_rank: usize,
+        /// Timed sweeps.
+        sweeps: usize,
+    },
+    /// HPCC "Star" STREAM: every rank runs concurrently.
+    StreamStar {
+        /// STREAM kernel.
+        kernel: StreamKernel,
+        /// Array length per rank.
+        elements_per_rank: usize,
+        /// Timed sweeps.
+        sweeps: usize,
+    },
+    /// HPL (LINPACK).
+    Hpl {
+        /// Global matrix order.
+        n: usize,
+        /// Block size.
+        nb: usize,
+        /// Fraction of peak the DGEMM update sustains.
+        dgemm_efficiency: f64,
+    },
+    /// HPCC "Single" DGEMM.
+    DgemmSingle {
+        /// Matrix order per rank.
+        n: usize,
+        /// Repetitions.
+        reps: usize,
+        /// BLAS implementation.
+        variant: BlasVariant,
+    },
+    /// HPCC "Star" DGEMM.
+    DgemmStar {
+        /// Matrix order per rank.
+        n: usize,
+        /// Repetitions.
+        reps: usize,
+        /// BLAS implementation.
+        variant: BlasVariant,
+    },
+    /// HPCC "Single" FFT.
+    FftSingle {
+        /// Points per rank.
+        points_per_rank: usize,
+        /// Repetitions.
+        reps: usize,
+    },
+    /// HPCC "Star" FFT.
+    FftStar {
+        /// Points per rank.
+        points_per_rank: usize,
+        /// Repetitions.
+        reps: usize,
+    },
+    /// HPCC "Single" RandomAccess.
+    RandomAccessSingle {
+        /// Table words per rank.
+        table_words_per_rank: u64,
+        /// Updates per rank.
+        updates_per_rank: u64,
+    },
+    /// HPCC "Star" RandomAccess.
+    RandomAccessStar {
+        /// Table words per rank.
+        table_words_per_rank: u64,
+        /// Updates per rank.
+        updates_per_rank: u64,
+    },
+    /// HPCC MPI RandomAccess (global table, all-to-all updates).
+    RandomAccessMpi {
+        /// Table words per rank.
+        table_words_per_rank: u64,
+        /// Updates per rank.
+        updates_per_rank: u64,
+    },
+    /// HPCC PTRANS (block-cyclic transpose).
+    Ptrans {
+        /// Global matrix order.
+        n: usize,
+        /// Repetitions.
+        reps: usize,
+        /// Bytes per tile message.
+        block_bytes: f64,
+    },
+    /// IMB-style PingPong between ranks 0 and 1.
+    PingPong {
+        /// Payload bytes per direction.
+        bytes: f64,
+        /// Round trips.
+        reps: usize,
+    },
+}
+
+impl Workload {
+    /// Stable lowercase kind key (JSON and encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Workload::Bsp { .. } => "bsp",
+            Workload::StreamSingle { .. } => "stream-single",
+            Workload::StreamStar { .. } => "stream-star",
+            Workload::Hpl { .. } => "hpl",
+            Workload::DgemmSingle { .. } => "dgemm-single",
+            Workload::DgemmStar { .. } => "dgemm-star",
+            Workload::FftSingle { .. } => "fft-single",
+            Workload::FftStar { .. } => "fft-star",
+            Workload::RandomAccessSingle { .. } => "randomaccess-single",
+            Workload::RandomAccessStar { .. } => "randomaccess-star",
+            Workload::RandomAccessMpi { .. } => "randomaccess-mpi",
+            Workload::Ptrans { .. } => "ptrans",
+            Workload::PingPong { .. } => "pingpong",
+        }
+    }
+
+    /// The smallest world this workload makes sense in.
+    fn min_ranks(&self) -> usize {
+        match self {
+            Workload::PingPong { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Appends the workload's operations to a world, mirroring the
+    /// artifact code it replaces byte-for-byte.
+    fn append(&self, world: &mut CommWorld<'_>) {
+        match *self {
+            Workload::Bsp { steps, flops_per_step, bytes_per_step, sync_bytes } => {
+                let phase = ComputePhase::new(
+                    "bsp-step",
+                    flops_per_step,
+                    TrafficProfile::stream(bytes_per_step),
+                );
+                for _ in 0..steps {
+                    world.compute_all(|_| Some(phase.clone()));
+                    world.allreduce(sync_bytes);
+                }
+            }
+            Workload::StreamSingle { kernel, elements_per_rank, sweeps } => {
+                stream_single(world, &StreamParams { kernel, elements_per_rank, sweeps });
+            }
+            Workload::StreamStar { kernel, elements_per_rank, sweeps } => {
+                stream_star(world, &StreamParams { kernel, elements_per_rank, sweeps });
+            }
+            Workload::Hpl { n, nb, dgemm_efficiency } => {
+                hpl_run(world, &HplParams { n, nb, dgemm_efficiency });
+            }
+            Workload::DgemmSingle { n, reps, variant } => {
+                append_dgemm_single(world, &DgemmParams { n, reps, variant });
+            }
+            Workload::DgemmStar { n, reps, variant } => {
+                append_dgemm_star(world, &DgemmParams { n, reps, variant });
+            }
+            Workload::FftSingle { points_per_rank, reps } => {
+                fft_single(world, &FftParams { points_per_rank, reps });
+            }
+            Workload::FftStar { points_per_rank, reps } => {
+                fft_star(world, &FftParams { points_per_rank, reps });
+            }
+            Workload::RandomAccessSingle { table_words_per_rank, updates_per_rank } => {
+                ra_single(world, &RaParams { table_words_per_rank, updates_per_rank });
+            }
+            Workload::RandomAccessStar { table_words_per_rank, updates_per_rank } => {
+                ra_star(world, &RaParams { table_words_per_rank, updates_per_rank });
+            }
+            Workload::RandomAccessMpi { table_words_per_rank, updates_per_rank } => {
+                ra_mpi(world, &RaParams { table_words_per_rank, updates_per_rank });
+            }
+            Workload::Ptrans { n, reps, block_bytes } => {
+                ptrans_run(world, &PtransParams { n, reps, block_bytes });
+            }
+            Workload::PingPong { bytes, reps } => {
+                for _ in 0..reps {
+                    world.p2p(0, 1, bytes);
+                    world.p2p(1, 0, bytes);
+                }
+            }
+        }
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.tag("workload", self.kind());
+        match *self {
+            Workload::Bsp { steps, flops_per_step, bytes_per_step, sync_bytes } => {
+                enc.usize("steps", steps)
+                    .f64("flops_per_step", flops_per_step)
+                    .f64("bytes_per_step", bytes_per_step)
+                    .f64("sync_bytes", sync_bytes);
+            }
+            Workload::StreamSingle { kernel, elements_per_rank, sweeps }
+            | Workload::StreamStar { kernel, elements_per_rank, sweeps } => {
+                enc.tag("kernel", stream_kernel_key(kernel))
+                    .usize("elements_per_rank", elements_per_rank)
+                    .usize("sweeps", sweeps);
+            }
+            Workload::Hpl { n, nb, dgemm_efficiency } => {
+                enc.usize("n", n).usize("nb", nb).f64("dgemm_efficiency", dgemm_efficiency);
+            }
+            Workload::DgemmSingle { n, reps, variant }
+            | Workload::DgemmStar { n, reps, variant } => {
+                enc.usize("n", n).usize("reps", reps).tag("variant", blas_key(variant));
+            }
+            Workload::FftSingle { points_per_rank, reps }
+            | Workload::FftStar { points_per_rank, reps } => {
+                enc.usize("points_per_rank", points_per_rank).usize("reps", reps);
+            }
+            Workload::RandomAccessSingle { table_words_per_rank, updates_per_rank }
+            | Workload::RandomAccessStar { table_words_per_rank, updates_per_rank }
+            | Workload::RandomAccessMpi { table_words_per_rank, updates_per_rank } => {
+                enc.u64("table_words_per_rank", table_words_per_rank)
+                    .u64("updates_per_rank", updates_per_rank);
+            }
+            Workload::Ptrans { n, reps, block_bytes } => {
+                enc.usize("n", n).usize("reps", reps).f64("block_bytes", block_bytes);
+            }
+            Workload::PingPong { bytes, reps } => {
+                enc.f64("bytes", bytes).usize("reps", reps);
+            }
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let kind = self.kind();
+        match *self {
+            Workload::Bsp { steps, flops_per_step, bytes_per_step, sync_bytes } => format!(
+                "{{\"kind\":\"{kind}\",\"steps\":{steps},\"flops_per_step\":{},\
+                 \"bytes_per_step\":{},\"sync_bytes\":{}}}",
+                json::num(flops_per_step),
+                json::num(bytes_per_step),
+                json::num(sync_bytes),
+            ),
+            Workload::StreamSingle { kernel, elements_per_rank, sweeps }
+            | Workload::StreamStar { kernel, elements_per_rank, sweeps } => format!(
+                "{{\"kind\":\"{kind}\",\"kernel\":\"{}\",\"elements_per_rank\":{elements_per_rank},\
+                 \"sweeps\":{sweeps}}}",
+                stream_kernel_key(kernel),
+            ),
+            Workload::Hpl { n, nb, dgemm_efficiency } => format!(
+                "{{\"kind\":\"{kind}\",\"n\":{n},\"nb\":{nb},\"dgemm_efficiency\":{}}}",
+                json::num(dgemm_efficiency),
+            ),
+            Workload::DgemmSingle { n, reps, variant }
+            | Workload::DgemmStar { n, reps, variant } => {
+                format!(
+                    "{{\"kind\":\"{kind}\",\"n\":{n},\"reps\":{reps},\"variant\":\"{}\"}}",
+                    blas_key(variant),
+                )
+            }
+            Workload::FftSingle { points_per_rank, reps }
+            | Workload::FftStar { points_per_rank, reps } => format!(
+                "{{\"kind\":\"{kind}\",\"points_per_rank\":{points_per_rank},\"reps\":{reps}}}"
+            ),
+            Workload::RandomAccessSingle { table_words_per_rank, updates_per_rank }
+            | Workload::RandomAccessStar { table_words_per_rank, updates_per_rank }
+            | Workload::RandomAccessMpi { table_words_per_rank, updates_per_rank } => format!(
+                "{{\"kind\":\"{kind}\",\"table_words_per_rank\":{table_words_per_rank},\
+                 \"updates_per_rank\":{updates_per_rank}}}"
+            ),
+            Workload::Ptrans { n, reps, block_bytes } => format!(
+                "{{\"kind\":\"{kind}\",\"n\":{n},\"reps\":{reps},\"block_bytes\":{}}}",
+                json::num(block_bytes),
+            ),
+            Workload::PingPong { bytes, reps } => {
+                format!("{{\"kind\":\"{kind}\",\"bytes\":{},\"reps\":{reps}}}", json::num(bytes))
+            }
+        }
+    }
+
+    fn from_json(v: &Value) -> std::result::Result<Workload, String> {
+        let kind = v.get("kind").and_then(Value::as_str).ok_or("workload needs a \"kind\"")?;
+        let f = |key: &str| {
+            v.get(key).and_then(Value::as_f64).ok_or(format!("workload needs number \"{key}\""))
+        };
+        let u = |key: &str| {
+            v.get(key).and_then(Value::as_usize).ok_or(format!("workload needs integer \"{key}\""))
+        };
+        Ok(match kind {
+            "bsp" => Workload::Bsp {
+                steps: u("steps")?,
+                flops_per_step: f("flops_per_step")?,
+                bytes_per_step: f("bytes_per_step")?,
+                sync_bytes: f("sync_bytes")?,
+            },
+            "stream-single" | "stream-star" => {
+                let kernel = v
+                    .get("kernel")
+                    .and_then(Value::as_str)
+                    .and_then(stream_kernel_parse)
+                    .ok_or("bad stream \"kernel\"")?;
+                let elements_per_rank = u("elements_per_rank")?;
+                let sweeps = u("sweeps")?;
+                if kind == "stream-single" {
+                    Workload::StreamSingle { kernel, elements_per_rank, sweeps }
+                } else {
+                    Workload::StreamStar { kernel, elements_per_rank, sweeps }
+                }
+            }
+            "hpl" => {
+                Workload::Hpl { n: u("n")?, nb: u("nb")?, dgemm_efficiency: f("dgemm_efficiency")? }
+            }
+            "dgemm-single" | "dgemm-star" => {
+                let variant = v
+                    .get("variant")
+                    .and_then(Value::as_str)
+                    .and_then(blas_parse)
+                    .ok_or("bad dgemm \"variant\"")?;
+                let (n, reps) = (u("n")?, u("reps")?);
+                if kind == "dgemm-single" {
+                    Workload::DgemmSingle { n, reps, variant }
+                } else {
+                    Workload::DgemmStar { n, reps, variant }
+                }
+            }
+            "fft-single" => {
+                Workload::FftSingle { points_per_rank: u("points_per_rank")?, reps: u("reps")? }
+            }
+            "fft-star" => {
+                Workload::FftStar { points_per_rank: u("points_per_rank")?, reps: u("reps")? }
+            }
+            "randomaccess-single" | "randomaccess-star" | "randomaccess-mpi" => {
+                let table_words_per_rank = u("table_words_per_rank")? as u64;
+                let updates_per_rank = u("updates_per_rank")? as u64;
+                match kind {
+                    "randomaccess-single" => {
+                        Workload::RandomAccessSingle { table_words_per_rank, updates_per_rank }
+                    }
+                    "randomaccess-star" => {
+                        Workload::RandomAccessStar { table_words_per_rank, updates_per_rank }
+                    }
+                    _ => Workload::RandomAccessMpi { table_words_per_rank, updates_per_rank },
+                }
+            }
+            "ptrans" => {
+                Workload::Ptrans { n: u("n")?, reps: u("reps")?, block_bytes: f("block_bytes")? }
+            }
+            "pingpong" => Workload::PingPong { bytes: f("bytes")?, reps: u("reps")? },
+            other => return Err(format!("unknown workload kind '{other}'")),
+        })
+    }
+}
+
+fn fault_kind_key(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::LinkDegrade { .. } => "link-degrade",
+        FaultKind::LinkRestore { .. } => "link-restore",
+        FaultKind::ControllerThrottle { .. } => "controller-throttle",
+        FaultKind::ControllerRestore { .. } => "controller-restore",
+        FaultKind::ProbeBrownout { .. } => "probe-brownout",
+        FaultKind::ProbeRestore => "probe-restore",
+        FaultKind::RankStall { .. } => "rank-stall",
+        FaultKind::RankResume { .. } => "rank-resume",
+        FaultKind::RankKill { .. } => "rank-kill",
+        FaultKind::LinkFail { .. } => "link-fail",
+    }
+}
+
+fn encode_fault(enc: &mut Encoder, event: &FaultEvent) {
+    enc.f64("at", event.at).tag("kind", fault_kind_key(&event.kind));
+    match event.kind {
+        FaultKind::LinkDegrade { link, factor } => {
+            enc.usize("link", link.index()).f64("factor", factor);
+        }
+        FaultKind::LinkRestore { link } | FaultKind::LinkFail { link } => {
+            enc.usize("link", link.index());
+        }
+        FaultKind::ControllerThrottle { socket, factor } => {
+            enc.usize("socket", socket.index()).f64("factor", factor);
+        }
+        FaultKind::ControllerRestore { socket } => {
+            enc.usize("socket", socket.index());
+        }
+        FaultKind::ProbeBrownout { factor } => {
+            enc.f64("factor", factor);
+        }
+        FaultKind::ProbeRestore => {}
+        FaultKind::RankStall { rank }
+        | FaultKind::RankResume { rank }
+        | FaultKind::RankKill { rank } => {
+            enc.usize("rank", rank.index());
+        }
+    }
+}
+
+fn fault_to_json(event: &FaultEvent) -> String {
+    let head =
+        format!("{{\"at\":{},\"kind\":\"{}\"", json::num(event.at), fault_kind_key(&event.kind));
+    let tail = match event.kind {
+        FaultKind::LinkDegrade { link, factor } => {
+            format!(",\"link\":{},\"factor\":{}", link.index(), json::num(factor))
+        }
+        FaultKind::LinkRestore { link } | FaultKind::LinkFail { link } => {
+            format!(",\"link\":{}", link.index())
+        }
+        FaultKind::ControllerThrottle { socket, factor } => {
+            format!(",\"socket\":{},\"factor\":{}", socket.index(), json::num(factor))
+        }
+        FaultKind::ControllerRestore { socket } => format!(",\"socket\":{}", socket.index()),
+        FaultKind::ProbeBrownout { factor } => format!(",\"factor\":{}", json::num(factor)),
+        FaultKind::ProbeRestore => String::new(),
+        FaultKind::RankStall { rank }
+        | FaultKind::RankResume { rank }
+        | FaultKind::RankKill { rank } => format!(",\"rank\":{}", rank.index()),
+    };
+    format!("{head}{tail}}}")
+}
+
+fn fault_from_json(v: &Value) -> std::result::Result<FaultEvent, String> {
+    let at = v.get("at").and_then(Value::as_f64).ok_or("fault needs number \"at\"")?;
+    let kind = v.get("kind").and_then(Value::as_str).ok_or("fault needs \"kind\"")?;
+    let f = |key: &str| {
+        v.get(key).and_then(Value::as_f64).ok_or(format!("fault needs number \"{key}\""))
+    };
+    let u = |key: &str| {
+        v.get(key).and_then(Value::as_usize).ok_or(format!("fault needs integer \"{key}\""))
+    };
+    let kind = match kind {
+        "link-degrade" => {
+            FaultKind::LinkDegrade { link: LinkId::new(u("link")?), factor: f("factor")? }
+        }
+        "link-restore" => FaultKind::LinkRestore { link: LinkId::new(u("link")?) },
+        "link-fail" => FaultKind::LinkFail { link: LinkId::new(u("link")?) },
+        "controller-throttle" => FaultKind::ControllerThrottle {
+            socket: SocketId::new(u("socket")?),
+            factor: f("factor")?,
+        },
+        "controller-restore" => {
+            FaultKind::ControllerRestore { socket: SocketId::new(u("socket")?) }
+        }
+        "probe-brownout" => FaultKind::ProbeBrownout { factor: f("factor")? },
+        "probe-restore" => FaultKind::ProbeRestore,
+        "rank-stall" => FaultKind::RankStall { rank: RankId::new(u("rank")?) },
+        "rank-resume" => FaultKind::RankResume { rank: RankId::new(u("rank")?) },
+        "rank-kill" => FaultKind::RankKill { rank: RankId::new(u("rank")?) },
+        other => return Err(format!("unknown fault kind '{other}'")),
+    };
+    Ok(FaultEvent { at, kind })
+}
+
+/// One fully-specified engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The machine.
+    pub system: System,
+    /// Fidelity the parameters were resolved at (part of the identity:
+    /// quick and full runs never share a cache entry).
+    pub fidelity: Fidelity,
+    /// World size.
+    pub nranks: usize,
+    /// Rank/memory placement.
+    pub placement: Placement,
+    /// MPI implementation (selects the cost profile).
+    pub mpi: MpiImpl,
+    /// Lock sub-layer.
+    pub lock: LockLayer,
+    /// The workload.
+    pub workload: Workload,
+    /// Scheduled mid-run faults (empty == fault-free).
+    pub faults: FaultPlan,
+    /// Checkpoint/restart policy, if any.
+    pub recovery: Option<CheckpointPolicy>,
+    /// Transport retry policy, if any.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Scenario {
+    /// A scenario with the defaults the application tables use: full
+    /// fidelity, two-MPI-per-socket localalloc placement, MPICH2 with
+    /// spin locks, no faults, no recovery.
+    pub fn new(system: System, nranks: usize, workload: Workload) -> Self {
+        Self {
+            system,
+            fidelity: Fidelity::Full,
+            nranks,
+            placement: Placement::Scheme(Scheme::TwoMpiLocalAlloc),
+            mpi: MpiImpl::Mpich2,
+            lock: LockLayer::USysV,
+            workload,
+            faults: FaultPlan::new(),
+            recovery: None,
+            retry: None,
+        }
+    }
+
+    /// Sets the fidelity tag.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Sets the placement.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the MPI implementation.
+    #[must_use]
+    pub fn with_mpi(mut self, mpi: MpiImpl) -> Self {
+        self.mpi = mpi;
+        self
+    }
+
+    /// Sets the lock sub-layer.
+    #[must_use]
+    pub fn with_lock(mut self, lock: LockLayer) -> Self {
+        self.lock = lock;
+        self
+    }
+
+    /// Sets the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the checkpoint/restart policy.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: CheckpointPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Sets the transport retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Cheap structural checks before a run is attempted (the engine
+    /// still validates everything it consumes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for zero ranks or a workload that
+    /// cannot fit the world size.
+    pub fn validate(&self) -> Result<()> {
+        if self.nranks == 0 {
+            return Err(Error::InvalidSpec("scenario needs at least one rank".to_string()));
+        }
+        let min = self.workload.min_ranks();
+        if self.nranks < min {
+            return Err(Error::InvalidSpec(format!(
+                "workload '{}' needs at least {min} ranks, scenario has {}",
+                self.workload.kind(),
+                self.nranks
+            )));
+        }
+        Ok(())
+    }
+
+    /// The canonical content digest: [`crate::ENGINE_TAG`] plus every
+    /// field, with the machine's *full spec* (not just its name) folded
+    /// in so a spec change orphans stale entries.
+    pub fn digest(&self) -> Digest {
+        let mut enc = Encoder::new();
+        enc.str("engine", crate::ENGINE_TAG);
+        encode_machine_spec(&mut enc, &self.system.spec());
+        enc.tag("system", self.system.key())
+            .tag("fidelity", self.fidelity.key())
+            .usize("nranks", self.nranks)
+            .tag("placement", self.placement.key())
+            .tag("mpi", mpi_key(self.mpi))
+            .tag("lock", self.lock.key());
+        self.workload.encode(&mut enc);
+        enc.list("faults", self.faults.events().len());
+        for event in self.faults.events() {
+            encode_fault(&mut enc, event);
+        }
+        match &self.recovery {
+            None => {
+                enc.tag("recovery", "none");
+            }
+            Some(p) => {
+                enc.tag("recovery", "checkpoint")
+                    .f64("interval", p.interval)
+                    .f64("bytes_per_rank", p.bytes_per_rank)
+                    .f64("restart_delay", p.restart_delay);
+                match p.target {
+                    CheckpointTarget::OwnLayout => enc.tag("target", "own"),
+                    CheckpointTarget::Node(node) => {
+                        enc.tag("target", "node").usize("node", node.index())
+                    }
+                };
+            }
+        }
+        match &self.retry {
+            None => {
+                enc.tag("retry", "none");
+            }
+            Some(r) => {
+                enc.tag("retry", "some")
+                    .f64("detection_timeout", r.detection_timeout)
+                    .f64("backoff", r.backoff)
+                    .usize("max_retries", r.max_retries);
+            }
+        }
+        enc.digest()
+    }
+
+    /// Runs the scenario on a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement and engine errors.
+    pub fn run(&self) -> Result<ScenarioResult> {
+        self.validate()?;
+        let machine = self.system.machine();
+        let placements = self.placement.resolve(&machine, self.nranks)?;
+        let mut world = CommWorld::new(&machine, placements, self.mpi.profile(), self.lock);
+        self.workload.append(&mut world);
+        if let Some(policy) = &self.recovery {
+            world = world.with_recovery(policy.clone());
+        }
+        if let Some(policy) = &self.retry {
+            world = world.with_retry(policy.clone());
+        }
+        let report = world.run_with_faults(&self.faults)?;
+        Ok(ScenarioResult::from_report(&report))
+    }
+
+    /// Renders the scenario as a single-line JSON object (the
+    /// `corescope-serve` request body).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"system\":\"{}\",\"fidelity\":\"{}\",\"nranks\":{},\"placement\":\"{}\",\
+             \"mpi\":\"{}\",\"lock\":\"{}\",\"workload\":{}",
+            self.system.key(),
+            self.fidelity.key(),
+            self.nranks,
+            self.placement.key(),
+            mpi_key(self.mpi),
+            self.lock.key(),
+            self.workload.to_json(),
+        );
+        if !self.faults.events().is_empty() {
+            let events: Vec<String> = self.faults.events().iter().map(fault_to_json).collect();
+            out.push_str(&format!(",\"faults\":[{}]", events.join(",")));
+        }
+        if let Some(p) = &self.recovery {
+            let target = match p.target {
+                CheckpointTarget::OwnLayout => "\"own\"".to_string(),
+                CheckpointTarget::Node(node) => format!("{{\"node\":{}}}", node.index()),
+            };
+            out.push_str(&format!(
+                ",\"recovery\":{{\"interval\":{},\"bytes_per_rank\":{},\"target\":{target},\
+                 \"restart_delay\":{}}}",
+                json::num(p.interval),
+                json::num(p.bytes_per_rank),
+                json::num(p.restart_delay),
+            ));
+        }
+        if let Some(r) = &self.retry {
+            out.push_str(&format!(
+                ",\"retry\":{{\"detection_timeout\":{},\"backoff\":{},\"max_retries\":{}}}",
+                json::num(r.detection_timeout),
+                json::num(r.backoff),
+                r.max_retries,
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a scenario from a parsed JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first missing or malformed
+    /// field.
+    pub fn from_json(v: &Value) -> std::result::Result<Scenario, String> {
+        let system = v
+            .get("system")
+            .and_then(Value::as_str)
+            .and_then(System::parse)
+            .ok_or("scenario needs \"system\": tiger|dmz|longs")?;
+        let fidelity = match v.get("fidelity") {
+            None => Fidelity::Full,
+            Some(f) => {
+                f.as_str().and_then(Fidelity::parse).ok_or("bad \"fidelity\" (full|quick)")?
+            }
+        };
+        let nranks =
+            v.get("nranks").and_then(Value::as_usize).ok_or("scenario needs integer \"nranks\"")?;
+        let placement = match v.get("placement") {
+            None => Placement::Scheme(Scheme::TwoMpiLocalAlloc),
+            Some(p) => p
+                .as_str()
+                .and_then(Placement::parse)
+                .ok_or("bad \"placement\" (a scheme key or scatter-local)")?,
+        };
+        let mpi = match v.get("mpi") {
+            None => MpiImpl::Mpich2,
+            Some(m) => m.as_str().and_then(mpi_parse).ok_or("bad \"mpi\" (mpich2|lam|openmpi)")?,
+        };
+        let lock = match v.get("lock") {
+            None => LockLayer::USysV,
+            Some(l) => l.as_str().and_then(lock_parse).ok_or("bad \"lock\" (sysv|usysv)")?,
+        };
+        let workload =
+            Workload::from_json(v.get("workload").ok_or("scenario needs a \"workload\" object")?)?;
+        let mut faults = FaultPlan::new();
+        if let Some(list) = v.get("faults") {
+            for event in list.as_arr().ok_or("\"faults\" must be an array")? {
+                faults.push(fault_from_json(event)?);
+            }
+        }
+        let recovery = match v.get("recovery") {
+            None | Some(Value::Null) => None,
+            Some(r) => {
+                let interval = r
+                    .get("interval")
+                    .and_then(Value::as_f64)
+                    .ok_or("recovery needs \"interval\"")?;
+                let bytes = r
+                    .get("bytes_per_rank")
+                    .and_then(Value::as_f64)
+                    .ok_or("recovery needs \"bytes_per_rank\"")?;
+                let mut policy = CheckpointPolicy::new(interval, bytes);
+                match r.get("target") {
+                    None => {}
+                    Some(Value::Str(s)) if s == "own" => {}
+                    Some(t) => {
+                        let node = t
+                            .get("node")
+                            .and_then(Value::as_usize)
+                            .ok_or("recovery \"target\" must be \"own\" or {\"node\": i}")?;
+                        policy = policy.with_target(CheckpointTarget::Node(NumaNodeId::new(node)));
+                    }
+                }
+                if let Some(d) = r.get("restart_delay") {
+                    policy = policy
+                        .with_restart_delay(d.as_f64().ok_or("bad recovery \"restart_delay\"")?);
+                }
+                Some(policy)
+            }
+        };
+        let retry = match v.get("retry") {
+            None | Some(Value::Null) => None,
+            Some(r) => {
+                let timeout = r
+                    .get("detection_timeout")
+                    .and_then(Value::as_f64)
+                    .ok_or("retry needs \"detection_timeout\"")?;
+                let mut policy = RetryPolicy::new(timeout);
+                if let Some(b) = r.get("backoff") {
+                    policy = policy.with_backoff(b.as_f64().ok_or("bad retry \"backoff\"")?);
+                }
+                if let Some(m) = r.get("max_retries") {
+                    policy.max_retries = m.as_usize().ok_or("bad retry \"max_retries\"")?;
+                }
+                Some(policy)
+            }
+        };
+        Ok(Scenario {
+            system,
+            fidelity,
+            nranks,
+            placement,
+            mpi,
+            lock,
+            workload,
+            faults,
+            recovery,
+            retry,
+        })
+    }
+}
+
+fn encode_machine_spec(enc: &mut Encoder, spec: &MachineSpec) {
+    enc.str("spec.name", &spec.name);
+    enc.list("spec.sockets", spec.sockets.len());
+    for &s in &spec.sockets {
+        enc.f64("socket", s);
+    }
+    enc.usize("spec.cores_per_socket", spec.cores_per_socket)
+        .f64("core.frequency_hz", spec.core.frequency_hz)
+        .f64("core.flops_per_cycle", spec.core.flops_per_cycle)
+        .f64("cache.l1_bytes", spec.cache.l1_bytes)
+        .f64("cache.l2_bytes", spec.cache.l2_bytes)
+        .f64("cache.line_bytes", spec.cache.line_bytes)
+        .f64("cache.stream_mlp", spec.cache.stream_mlp)
+        .f64("cache.random_mlp", spec.cache.random_mlp)
+        .f64("cache.strided_mlp", spec.cache.strided_mlp)
+        .f64("memory.controller_bw", spec.memory.controller_bw)
+        .f64("memory.idle_latency", spec.memory.idle_latency)
+        .f64("link.bandwidth", spec.link.bandwidth)
+        .f64("link.hop_latency", spec.link.hop_latency)
+        .f64("coherence.base_probe", spec.coherence.base_probe)
+        .f64("coherence.per_hop_probe", spec.coherence.per_hop_probe)
+        .f64("coherence.probe_capacity", spec.coherence.probe_capacity);
+    enc.list("spec.edges", spec.edges.len());
+    for edge in &spec.edges {
+        enc.usize("a", edge.a).usize("b", edge.b);
+    }
+}
+
+/// The cacheable outcome of one scenario run: the makespan plus the
+/// scalar metrics the sweeps post-process. Per-rank vectors stay out —
+/// artifacts that need them run the engine directly (e.g. traced runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Discrete events processed.
+    pub events: usize,
+    /// Scheduled fault events that fired.
+    pub faults_applied: usize,
+    /// Coordinated checkpoints completed.
+    pub checkpoints_taken: usize,
+    /// Rollback-and-replay recoveries performed.
+    pub recoveries: usize,
+    /// Transfer retransmissions triggered by failed links.
+    pub retries: usize,
+}
+
+impl ScenarioResult {
+    /// Extracts the cacheable scalars from an engine report.
+    pub fn from_report(report: &RunReport) -> Self {
+        Self {
+            makespan: report.makespan,
+            events: report.metrics.events,
+            faults_applied: report.metrics.faults_applied,
+            checkpoints_taken: report.metrics.checkpoints_taken,
+            recoveries: report.metrics.recoveries,
+            retries: report.metrics.retries,
+        }
+    }
+
+    /// Single-line JSON form (cache entries and serve responses).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"makespan\":{},\"events\":{},\"faults_applied\":{},\"checkpoints_taken\":{},\
+             \"recoveries\":{},\"retries\":{}}}",
+            json::num(self.makespan),
+            self.events,
+            self.faults_applied,
+            self.checkpoints_taken,
+            self.recoveries,
+            self.retries,
+        )
+    }
+
+    /// Parses [`ScenarioResult::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first missing field.
+    pub fn from_json(v: &Value) -> std::result::Result<ScenarioResult, String> {
+        let f = |key: &str| {
+            v.get(key).and_then(Value::as_f64).ok_or(format!("result needs number \"{key}\""))
+        };
+        let u = |key: &str| {
+            v.get(key).and_then(Value::as_usize).ok_or(format!("result needs integer \"{key}\""))
+        };
+        Ok(ScenarioResult {
+            makespan: f("makespan")?,
+            events: u("events")?,
+            faults_applied: u("faults_applied")?,
+            checkpoints_taken: u("checkpoints_taken")?,
+            recoveries: u("recoveries")?,
+            retries: u("retries")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bsp(system: System, nranks: usize) -> Scenario {
+        Scenario::new(
+            system,
+            nranks,
+            Workload::Bsp { steps: 3, flops_per_step: 1e6, bytes_per_step: 1e6, sync_bytes: 8.0 },
+        )
+    }
+
+    #[test]
+    fn digest_is_stable_across_clones_and_re_encodings() {
+        let s = bsp(System::Dmz, 4);
+        assert_eq!(s.digest(), s.digest());
+        assert_eq!(s.digest(), s.clone().digest());
+    }
+
+    #[test]
+    fn digest_separates_every_axis() {
+        let base = bsp(System::Dmz, 4);
+        let mut others = vec![
+            bsp(System::Longs, 4),
+            bsp(System::Dmz, 2),
+            base.clone().with_fidelity(Fidelity::Quick),
+            base.clone().with_placement(Placement::ScatterLocal),
+            base.clone().with_mpi(MpiImpl::Lam),
+            base.clone().with_lock(LockLayer::SysV),
+            base.clone().with_faults(FaultPlan::new().rank_kill(0.5, RankId::new(0))),
+            base.clone().with_recovery(CheckpointPolicy::new(0.5, 1e6)),
+            base.clone().with_retry(RetryPolicy::new(0.01)),
+        ];
+        others.push(Scenario {
+            workload: Workload::Bsp {
+                steps: 4,
+                flops_per_step: 1e6,
+                bytes_per_step: 1e6,
+                sync_bytes: 8.0,
+            },
+            ..base.clone()
+        });
+        let d0 = base.digest();
+        for other in others {
+            assert_ne!(d0, other.digest(), "{other:?} must not collide with base");
+        }
+    }
+
+    #[test]
+    fn run_matches_a_direct_world_build() {
+        let s = bsp(System::Dmz, 4);
+        let result = s.run().unwrap();
+
+        let machine = System::Dmz.machine();
+        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 4).unwrap();
+        let mut world =
+            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
+        let phase = ComputePhase::new("bsp-step", 1e6, TrafficProfile::stream(1e6));
+        for _ in 0..3 {
+            world.compute_all(|_| Some(phase.clone()));
+            world.allreduce(8.0);
+        }
+        let report = world.run().unwrap();
+        assert_eq!(result.makespan.to_bits(), report.makespan.to_bits());
+        assert_eq!(result.events, report.metrics.events);
+    }
+
+    #[test]
+    fn json_round_trips_and_preserves_the_digest() {
+        let plain = bsp(System::Dmz, 4);
+        let fancy = bsp(System::Longs, 8)
+            .with_fidelity(Fidelity::Quick)
+            .with_placement(Placement::Scheme(Scheme::Interleave))
+            .with_mpi(MpiImpl::Lam)
+            .with_lock(LockLayer::SysV)
+            .with_faults(
+                FaultPlan::new()
+                    .controller_throttle(0.1, SocketId::new(1), 0.5)
+                    .controller_restore(0.2, SocketId::new(1))
+                    .rank_kill(0.3, RankId::new(2)),
+            )
+            .with_recovery(
+                CheckpointPolicy::new(0.05, 2e6)
+                    .with_target(CheckpointTarget::Node(NumaNodeId::new(0)))
+                    .with_restart_delay(0.01),
+            )
+            .with_retry(RetryPolicy::new(0.02));
+        for s in [plain, fancy] {
+            let parsed = Scenario::from_json(&json::parse(&s.to_json()).unwrap()).unwrap();
+            assert_eq!(parsed, s);
+            assert_eq!(parsed.digest(), s.digest());
+        }
+    }
+
+    #[test]
+    fn workload_json_round_trips_every_kind() {
+        let workloads = vec![
+            Workload::Bsp { steps: 2, flops_per_step: 1e6, bytes_per_step: 2e6, sync_bytes: 8.0 },
+            Workload::StreamSingle {
+                kernel: StreamKernel::Triad,
+                elements_per_rank: 1000,
+                sweeps: 2,
+            },
+            Workload::StreamStar { kernel: StreamKernel::Copy, elements_per_rank: 1000, sweeps: 2 },
+            Workload::Hpl { n: 256, nb: 32, dgemm_efficiency: 0.85 },
+            Workload::DgemmSingle { n: 100, reps: 1, variant: BlasVariant::Acml },
+            Workload::DgemmStar { n: 100, reps: 1, variant: BlasVariant::Vanilla },
+            Workload::FftSingle { points_per_rank: 1024, reps: 1 },
+            Workload::FftStar { points_per_rank: 1024, reps: 1 },
+            Workload::RandomAccessSingle { table_words_per_rank: 512, updates_per_rank: 64 },
+            Workload::RandomAccessStar { table_words_per_rank: 512, updates_per_rank: 64 },
+            Workload::RandomAccessMpi { table_words_per_rank: 512, updates_per_rank: 64 },
+            Workload::Ptrans { n: 64, reps: 1, block_bytes: 1e5 },
+            Workload::PingPong { bytes: 1024.0, reps: 3 },
+        ];
+        for w in workloads {
+            let parsed = Workload::from_json(&json::parse(&w.to_json()).unwrap()).unwrap();
+            assert_eq!(parsed, w, "{}", w.kind());
+        }
+    }
+
+    #[test]
+    fn result_json_round_trips_exactly() {
+        let r = ScenarioResult {
+            makespan: 1.0 / 3.0,
+            events: 12345,
+            faults_applied: 2,
+            checkpoints_taken: 7,
+            recoveries: 1,
+            retries: 0,
+        };
+        let back = ScenarioResult::from_json(&json::parse(&r.to_json()).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.makespan.to_bits(), r.makespan.to_bits());
+    }
+
+    #[test]
+    fn validate_rejects_impossible_worlds() {
+        assert!(bsp(System::Dmz, 0).validate().is_err());
+        let pp = Scenario::new(System::Dmz, 1, Workload::PingPong { bytes: 8.0, reps: 1 });
+        assert!(pp.validate().is_err());
+        assert!(pp.run().is_err());
+    }
+
+    #[test]
+    fn unplaceable_schemes_are_detected_without_running() {
+        // 16 one-per-socket ranks cannot fit on 8-socket longs.
+        let p = Placement::Scheme(Scheme::OneMpiLocalAlloc);
+        assert!(!p.placeable(System::Longs, 16));
+        assert!(p.placeable(System::Longs, 8));
+    }
+
+    #[test]
+    fn bad_scenario_json_reports_the_field() {
+        let missing = json::parse(r#"{"nranks": 2}"#).unwrap();
+        let err = Scenario::from_json(&missing).unwrap_err();
+        assert!(err.contains("system"), "{err}");
+        let bad_workload =
+            json::parse(r#"{"system":"dmz","nranks":2,"workload":{"kind":"nope"}}"#).unwrap();
+        let err = Scenario::from_json(&bad_workload).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+}

@@ -1,0 +1,398 @@
+//! The [`Scheduler`]: cache-aware, deduplicating batch execution.
+//!
+//! One scheduler is shared (by reference) between the `repro` driver, the
+//! artifact code and `corescope-serve`. A batch of scenarios goes
+//! through three filters before any engine runs:
+//!
+//! 1. **batch dedup** — identical digests inside one batch collapse to a
+//!    single job (sweeps love repeating their baseline point);
+//! 2. **cache** — memory, then disk ([`ResultCache`]);
+//! 3. **single-flight** — if another thread is *currently* running the
+//!    same digest, wait for its result instead of recomputing.
+//!
+//! What survives fans out over the work-stealing [`crate::executor`],
+//! and results return in input order — so any table built from a batch
+//! is byte-identical no matter the job count or cache temperature.
+
+use crate::cache::{CacheTier, ResultCache};
+use crate::encode::Digest;
+use crate::executor;
+use crate::scenario::{Scenario, ScenarioResult};
+use corescope_machine::{Error, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A finished scenario: the result plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completed {
+    /// The (possibly cached) engine result.
+    pub result: ScenarioResult,
+    /// Which tier satisfied the request.
+    pub tier: CacheTier,
+}
+
+/// Counters over a scheduler's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Scenarios requested (before any dedup).
+    pub scenarios: usize,
+    /// Actual engine executions.
+    pub engine_runs: usize,
+    /// Requests answered from the in-memory cache.
+    pub hits_memory: usize,
+    /// Requests answered from the on-disk cache.
+    pub hits_disk: usize,
+    /// Duplicate digests folded inside a single batch.
+    pub deduped: usize,
+    /// Requests that waited on another thread's identical in-flight run.
+    pub in_flight_waits: usize,
+    /// Requests that ended in an error.
+    pub errors: usize,
+    /// Disk-cache operations that failed (degraded to misses).
+    pub disk_errors: usize,
+}
+
+/// Cross-thread rendezvous for one in-flight digest.
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Result<ScenarioResult>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn complete(&self, outcome: Result<ScenarioResult>) {
+        if let Ok(mut slot) = self.slot.lock() {
+            *slot = Some(outcome);
+        }
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<ScenarioResult> {
+        let mut slot = match self.slot.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = match self.done.wait(slot) {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+/// Ensures a claimed flight is always completed, even if the scenario
+/// run panics — otherwise followers would wait forever.
+struct FlightGuard<'a> {
+    sched: &'a Scheduler,
+    digest: Digest,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn complete(mut self, outcome: Result<ScenarioResult>) {
+        self.completed = true;
+        self.finish(outcome);
+    }
+
+    fn finish(&self, outcome: Result<ScenarioResult>) {
+        if let Ok(mut flights) = self.sched.flights.lock() {
+            flights.remove(&self.digest.0);
+        }
+        self.flight.complete(outcome);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.finish(Err(Error::InvalidSpec(
+                "scenario execution panicked while other requests waited on it".to_string(),
+            )));
+        }
+    }
+}
+
+/// The batch scheduler. Cheap to share: all methods take `&self`.
+#[derive(Debug)]
+pub struct Scheduler {
+    jobs: usize,
+    cache: ResultCache,
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
+    scenarios: AtomicUsize,
+    engine_runs: AtomicUsize,
+    hits_memory: AtomicUsize,
+    hits_disk: AtomicUsize,
+    deduped: AtomicUsize,
+    in_flight_waits: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+impl Scheduler {
+    /// A scheduler with `jobs` workers and an in-memory cache.
+    pub fn new(jobs: usize) -> Self {
+        Self::with_cache(jobs, ResultCache::in_memory())
+    }
+
+    /// A scheduler with `jobs` workers over an explicit cache
+    /// (typically [`ResultCache::on_disk`]).
+    pub fn with_cache(jobs: usize, cache: ResultCache) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            cache,
+            flights: Mutex::new(HashMap::new()),
+            scenarios: AtomicUsize::new(0),
+            engine_runs: AtomicUsize::new(0),
+            hits_memory: AtomicUsize::new(0),
+            hits_disk: AtomicUsize::new(0),
+            deduped: AtomicUsize::new(0),
+            in_flight_waits: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs a batch, returning one outcome per input scenario, in input
+    /// order. Identical scenarios (same digest) run once.
+    pub fn run_batch(&self, scenarios: &[Scenario]) -> Vec<Result<Completed>> {
+        self.scenarios.fetch_add(scenarios.len(), Ordering::Relaxed);
+        let digests: Vec<Digest> = scenarios.iter().map(Scenario::digest).collect();
+
+        // Collapse duplicate digests: `unique[k]` is the index of the
+        // first scenario with that digest; `owner_of[i]` maps every input
+        // to its unique job.
+        let mut job_of_digest: HashMap<u128, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut owner_of: Vec<usize> = Vec::with_capacity(scenarios.len());
+        for digest in &digests {
+            let next = unique.len();
+            let job = *job_of_digest.entry(digest.0).or_insert(next);
+            if job == next {
+                unique.push(owner_of.len());
+            }
+            owner_of.push(job);
+        }
+        self.deduped.fetch_add(scenarios.len() - unique.len(), Ordering::Relaxed);
+
+        let unique_outcomes = executor::run_ordered(self.jobs, unique, |&i| {
+            self.run_single(&scenarios[i], digests[i])
+        });
+
+        owner_of
+            .iter()
+            .enumerate()
+            .map(|(i, &job)| {
+                let mut outcome = unique_outcomes[job].clone();
+                // Every input after the first with a given digest was
+                // folded into that first one's run.
+                if let Ok(completed) = &mut outcome {
+                    if is_duplicate(&owner_of, i) {
+                        completed.tier = CacheTier::InFlight;
+                    }
+                }
+                if outcome.is_err() {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                outcome
+            })
+            .collect()
+    }
+
+    /// Runs one scenario through cache + single-flight.
+    pub fn run_one(&self, scenario: &Scenario) -> Result<Completed> {
+        self.scenarios.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.run_single(scenario, scenario.digest());
+        if outcome.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    fn run_single(&self, scenario: &Scenario, digest: Digest) -> Result<Completed> {
+        if let Some((result, tier)) = self.cache.get(digest) {
+            match tier {
+                CacheTier::Memory => self.hits_memory.fetch_add(1, Ordering::Relaxed),
+                _ => self.hits_disk.fetch_add(1, Ordering::Relaxed),
+            };
+            return Ok(Completed { result, tier });
+        }
+
+        // Claim the flight or join an existing one.
+        let claim = {
+            let mut flights = match self.flights.lock() {
+                Ok(flights) => flights,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match flights.get(&digest.0) {
+                Some(flight) => Err(Arc::clone(flight)),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    flights.insert(digest.0, Arc::clone(&flight));
+                    Ok(flight)
+                }
+            }
+        };
+
+        match claim {
+            Ok(flight) => {
+                let guard = FlightGuard { sched: self, digest, flight, completed: false };
+                self.engine_runs.fetch_add(1, Ordering::Relaxed);
+                let outcome = scenario.run();
+                if let Ok(result) = &outcome {
+                    self.cache.put(digest, result);
+                }
+                guard.complete(outcome.clone());
+                outcome.map(|result| Completed { result, tier: CacheTier::Miss })
+            }
+            Err(flight) => {
+                self.in_flight_waits.fetch_add(1, Ordering::Relaxed);
+                flight.wait().map(|result| Completed { result, tier: CacheTier::InFlight })
+            }
+        }
+    }
+
+    /// A snapshot of the counters (plus the cache's disk-error count).
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            scenarios: self.scenarios.load(Ordering::Relaxed),
+            engine_runs: self.engine_runs.load(Ordering::Relaxed),
+            hits_memory: self.hits_memory.load(Ordering::Relaxed),
+            hits_disk: self.hits_disk.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            in_flight_waits: self.in_flight_waits.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            disk_errors: self.cache.stats().disk_errors,
+        }
+    }
+
+    /// One-line human summary, printed by `repro` and asserted on by CI's
+    /// warm-cache check.
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        format!(
+            "sched: scenarios {}, engine runs {}, cache hits {} (memory {}, disk {}), \
+             deduped {}, in-flight waits {}, errors {}",
+            s.scenarios,
+            s.engine_runs,
+            s.hits_memory + s.hits_disk,
+            s.hits_memory,
+            s.hits_disk,
+            s.deduped,
+            s.in_flight_waits,
+            s.errors,
+        )
+    }
+}
+
+fn is_duplicate(owner_of: &[usize], i: usize) -> bool {
+    owner_of.iter().take(i).any(|&j| j == owner_of[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{System, Workload};
+
+    fn bsp(steps: usize) -> Scenario {
+        Scenario::new(
+            System::Dmz,
+            2,
+            Workload::Bsp { steps, flops_per_step: 1e6, bytes_per_step: 1e6, sync_bytes: 8.0 },
+        )
+    }
+
+    #[test]
+    fn duplicates_inside_a_batch_run_once() {
+        let sched = Scheduler::new(2);
+        let batch = vec![bsp(3), bsp(3), bsp(3)];
+        let out = sched.run_batch(&batch);
+        assert_eq!(out.len(), 3);
+        let first = out[0].as_ref().unwrap();
+        assert_eq!(first.tier, CacheTier::Miss);
+        for dup in &out[1..] {
+            let dup = dup.as_ref().unwrap();
+            assert_eq!(dup.result, first.result);
+            assert_eq!(dup.tier, CacheTier::InFlight);
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.engine_runs, 1);
+        assert_eq!(stats.deduped, 2);
+    }
+
+    #[test]
+    fn warm_batches_come_from_cache_with_identical_results() {
+        let sched = Scheduler::new(4);
+        let batch = vec![bsp(2), bsp(4), bsp(6)];
+        let cold: Vec<_> = sched.run_batch(&batch).into_iter().map(|r| r.unwrap()).collect();
+        let warm: Vec<_> = sched.run_batch(&batch).into_iter().map(|r| r.unwrap()).collect();
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.result, w.result);
+            assert_eq!(
+                c.result.makespan.to_bits(),
+                w.result.makespan.to_bits(),
+                "cached makespan must be bit-identical"
+            );
+            assert_eq!(w.tier, CacheTier::Memory);
+        }
+        assert_eq!(sched.stats().engine_runs, 3);
+        assert_eq!(sched.stats().hits_memory, 3);
+    }
+
+    #[test]
+    fn jobs_do_not_change_results_or_order() {
+        let batch: Vec<Scenario> = (1..=12).map(bsp).collect();
+        let serial: Vec<_> =
+            Scheduler::new(1).run_batch(&batch).into_iter().map(|r| r.unwrap().result).collect();
+        let parallel: Vec<_> =
+            Scheduler::new(8).run_batch(&batch).into_iter().map(|r| r.unwrap().result).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn errors_come_back_in_place_without_poisoning_the_batch() {
+        let sched = Scheduler::new(2);
+        let bad = Scenario::new(System::Dmz, 99, bsp(1).workload); // cannot place 99 ranks
+        let batch = vec![bsp(2), bad, bsp(3)];
+        let out = sched.run_batch(&batch);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+        assert_eq!(sched.stats().errors, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_single_flight() {
+        let sched = std::sync::Arc::new(Scheduler::new(1));
+        let scenario = bsp(5);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sched = std::sync::Arc::clone(&sched);
+                let scenario = scenario.clone();
+                scope.spawn(move || sched.run_one(&scenario).unwrap());
+            }
+        });
+        let stats = sched.stats();
+        assert_eq!(stats.engine_runs, 1, "{stats:?}");
+        assert_eq!(stats.scenarios, 4);
+        // The other three were memory hits or in-flight waits.
+        assert_eq!(stats.hits_memory + stats.in_flight_waits, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn summary_mentions_engine_runs() {
+        let sched = Scheduler::new(1);
+        sched.run_batch(&[bsp(2)]);
+        let line = sched.summary();
+        assert!(line.contains("engine runs 1"), "{line}");
+        assert!(line.starts_with("sched: scenarios 1"), "{line}");
+    }
+}
