@@ -83,6 +83,22 @@ impl Scheme {
     /// cannot host `nranks` ranks (e.g. one-task-per-socket schemes with
     /// more ranks than sockets — the paper's dashed-out cells).
     pub fn resolve(self, machine: &Machine, nranks: usize) -> Result<Vec<RankPlacement>> {
+        self.resolve_with(machine, nranks, policy::DEFAULT_MISPLACEMENT)
+    }
+
+    /// [`Scheme::resolve`] with an explicit first-touch misplacement
+    /// fraction. Only [`Scheme::Default`] uses the fraction; every other
+    /// scheme pins memory explicitly and ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheme::resolve`].
+    pub fn resolve_with(
+        self,
+        machine: &Machine,
+        nranks: usize,
+        misplacement: f64,
+    ) -> Result<Vec<RankPlacement>> {
         let cores = match self {
             Scheme::Default | Scheme::Interleave => mapping::os_scatter(machine, nranks)?,
             Scheme::OneMpiLocalAlloc | Scheme::OneMpiMembind => {
@@ -95,8 +111,7 @@ impl Scheme {
         match self {
             Scheme::Default => {
                 for &core in &cores {
-                    let layout =
-                        policy::default_first_touch(machine, core, policy::DEFAULT_MISPLACEMENT)?;
+                    let layout = policy::default_first_touch(machine, core, misplacement)?;
                     placements.push(RankPlacement::new(core, layout));
                 }
             }
@@ -199,6 +214,24 @@ mod tests {
             let node = m.node_of_socket(m.socket_of(p.core));
             assert!(p.layout.fraction(node) > 0.85);
         }
+    }
+
+    #[test]
+    fn resolve_with_varies_default_misplacement_only() {
+        let m = longs();
+        let zero = Scheme::Default.resolve_with(&m, 4, 0.0).unwrap();
+        for p in &zero {
+            let node = m.node_of_socket(m.socket_of(p.core));
+            assert_eq!(p.layout.fraction(node), 1.0);
+        }
+        // The explicit-binding schemes ignore the fraction entirely.
+        let a = Scheme::TwoMpiLocalAlloc.resolve_with(&m, 8, 0.0).unwrap();
+        let b = Scheme::TwoMpiLocalAlloc.resolve_with(&m, 8, 0.4).unwrap();
+        assert_eq!(a, b);
+        // And the default fraction matches the plain resolve path.
+        let c = Scheme::Default.resolve(&m, 4).unwrap();
+        let d = Scheme::Default.resolve_with(&m, 4, policy::DEFAULT_MISPLACEMENT).unwrap();
+        assert_eq!(c, d);
     }
 
     #[test]

@@ -83,7 +83,7 @@ fn parse_args() -> Result<Options, String> {
                 use std::io::Write;
                 let mut out = std::io::stdout().lock();
                 for a in Artifact::all() {
-                    if writeln!(out, "{:>4}  {}", a.id(), a.title()).is_err() {
+                    if writeln!(out, "{:>4}  {} — {}", a.id(), a.title(), a.describe()).is_err() {
                         break;
                     }
                 }

@@ -1,0 +1,176 @@
+//! Sensitivity analysis: Morris-style one-at-a-time elementary effects
+//! over the calibration box, plus the raw observable sweeps the harness
+//! ablation tables are built on.
+//!
+//! The elementary-effect pass answers "which parameter moves which
+//! target family" — it subsumes the four hand-rolled ablation sweeps
+//! (probe capacity, misplacement, lock cost, same-socket boost) by
+//! making "sweep one knob, watch one observable" a single generic
+//! operation.
+
+use crate::eval::Evaluator;
+use crate::targets::{Family, Observable};
+use crate::Result;
+use corescope_machine::{CalibParams, ParamField};
+use corescope_sched::Scheduler;
+
+/// The elementary effect of one parameter on one target family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Effect {
+    /// Parameter name (a [`CalibParams::FIELDS`] entry).
+    pub param: &'static str,
+    /// Target family whose score moved.
+    pub family: Family,
+    /// |Δ family score| per unit step in normalized coordinates.
+    pub magnitude: f64,
+}
+
+/// One-at-a-time elementary effects: every axis is stepped by
+/// `step` × (hi − lo) from `base` (down when the step would leave the
+/// box) and the per-family score deltas are recorded.
+///
+/// Cost: `axes.len() + 1` evaluator calls.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn elementary_effects(
+    eval: &Evaluator<'_>,
+    base: &CalibParams,
+    axes: &[usize],
+    step: f64,
+) -> Result<Vec<Effect>> {
+    assert!(step > 0.0 && step < 1.0, "step is a fraction of the box");
+    let baseline = eval.evaluate(base)?;
+    let mut effects = Vec::new();
+    for &axis in axes {
+        let f = &CalibParams::FIELDS[axis];
+        let x = (f.read(base) - f.lo) / (f.hi - f.lo);
+        let stepped = if x + step <= 1.0 { x + step } else { x - step };
+        let mut p = *base;
+        f.write(&mut p, f.lo + stepped * (f.hi - f.lo));
+        let moved = eval.evaluate(&p)?;
+        for family in Family::all() {
+            let delta = moved.family_score(family) - baseline.family_score(family);
+            effects.push(Effect { param: f.name, family, magnitude: (delta / step).abs() });
+        }
+    }
+    Ok(effects)
+}
+
+/// Parameters ranked by their effect on one family, strongest first;
+/// zero-effect parameters are dropped.
+pub fn ranking(effects: &[Effect], family: Family) -> Vec<Effect> {
+    let mut rows: Vec<Effect> =
+        effects.iter().filter(|e| e.family == family && e.magnitude > 0.0).copied().collect();
+    rows.sort_by(|a, b| b.magnitude.total_cmp(&a.magnitude));
+    rows
+}
+
+/// Runs a set of observables as one scheduler batch and reduces each to
+/// its scalar.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn observe(sched: &Scheduler, observables: &[Observable]) -> Result<Vec<f64>> {
+    let scenarios: Vec<_> = observables.iter().map(|o| o.scenario.clone()).collect();
+    let completed = sched.run_batch(&scenarios);
+    observables.iter().zip(completed).map(|(o, c)| Ok(o.reduce.apply(c?.result.makespan))).collect()
+}
+
+/// Sweeps one calibration field over explicit values, measuring one
+/// observable at each point — the shape of every harness ablation table.
+/// Values outside the field's documented bounds are allowed only in the
+/// sense that they are NOT clamped here; the scenario layer rejects
+/// out-of-bounds points, so callers sweep within the box.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn sweep_field(
+    sched: &Scheduler,
+    base: &Observable,
+    field: &ParamField,
+    values: &[f64],
+) -> Result<Vec<f64>> {
+    let observables: Vec<Observable> = values
+        .iter()
+        .map(|&v| {
+            let mut p = base.scenario.params;
+            field.write(&mut p, v);
+            base.at(p)
+        })
+        .collect();
+    observe(sched, &observables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::Reduction;
+    use corescope_sched::{Fidelity, Placement, Scenario, Scheduler, System, Workload};
+
+    fn axis(name: &str) -> usize {
+        CalibParams::FIELDS.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn latency_effects_single_out_the_latency_knobs() {
+        let s = Scheduler::new(1);
+        let eval = Evaluator::with_families(&s, Fidelity::Quick, &[Family::Latency]);
+        let base = CalibParams::paper_2006();
+        let axes = [axis("dram_latency"), axis("ht_bandwidth"), axis("lock_sysv")];
+        let effects = elementary_effects(&eval, &base, &axes, 0.1).unwrap();
+        let ranked = ranking(&effects, Family::Latency);
+        assert_eq!(ranked[0].param, "dram_latency");
+        // Bandwidth and lock knobs cannot move an analytic latency.
+        assert!(ranked.iter().all(|e| e.param == "dram_latency"));
+    }
+
+    #[test]
+    fn sweep_field_reproduces_a_capacity_ladder() {
+        let s = Scheduler::new(2);
+        let base = Observable {
+            scenario: Scenario::new(
+                System::Longs,
+                16,
+                Workload::StreamStar {
+                    kernel: corescope_kernels::stream::StreamKernel::Triad,
+                    elements_per_rank: 400_000,
+                    sweeps: 2,
+                },
+            )
+            .with_fidelity(Fidelity::Quick)
+            .with_placement(Placement::Scheme(corescope_affinity::Scheme::TwoMpiLocalAlloc))
+            .with_mpi(corescope_smpi::MpiImpl::Lam),
+            reduce: Reduction::AggregateBandwidth { total_bytes: 1.0 },
+        };
+        let field = CalibParams::field("probe_capacity_ladder").unwrap();
+        let out = sweep_field(&s, &base, field, &[7e9, 14e9, 28e9]).unwrap();
+        assert_eq!(out.len(), 3);
+        // Doubling the fabric doubles bandwidth while the cap binds.
+        assert!(out[1] > 1.8 * out[0], "{out:?}");
+        assert!(out[2] > 1.8 * out[1], "{out:?}");
+    }
+
+    #[test]
+    fn observe_is_order_preserving() {
+        let s = Scheduler::new(2);
+        let mk = |sweeps| Observable {
+            scenario: Scenario::new(
+                System::Dmz,
+                1,
+                Workload::StreamStar {
+                    kernel: corescope_kernels::stream::StreamKernel::Triad,
+                    elements_per_rank: 400_000,
+                    sweeps,
+                },
+            )
+            .with_fidelity(Fidelity::Quick),
+            reduce: Reduction::Makespan,
+        };
+        let out = observe(&s, &[mk(2), mk(4)]).unwrap();
+        assert!(out[1] > out[0], "twice the sweeps, twice the time: {out:?}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Golden test: the target registry and the X7 table in EXPERIMENTS.md
+//! are the same document. Editing a target value in one place without
+//! the other fails here, so the markdown record of what the model is
+//! graded against can never drift from what the code actually grades.
+
+use corescope_calib::targets::{registry, TargetKind};
+use std::fs;
+use std::path::Path;
+
+struct Row {
+    id: String,
+    family: String,
+    kind: String,
+    value: f64,
+    tol: Option<f64>,
+    weight: f64,
+    provenance: String,
+    units: String,
+}
+
+/// Parses the X7 registry table: every markdown table row after the
+/// "Target registry" heading whose first cell is a known id shape.
+fn parse_table(doc: &str) -> Vec<Row> {
+    let section = doc
+        .split("### Target registry")
+        .nth(1)
+        .expect("EXPERIMENTS.md must contain the X7 target-registry section");
+    let mut rows = Vec::new();
+    for line in section.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() != 8 || cells[0] == "id" || cells[0].starts_with('-') {
+            continue;
+        }
+        rows.push(Row {
+            id: cells[0].to_string(),
+            family: cells[1].to_string(),
+            kind: cells[2].to_string(),
+            value: cells[3].parse().unwrap_or_else(|_| panic!("bad value in row {}", cells[0])),
+            tol: if cells[4] == "-" { None } else { Some(cells[4].parse().unwrap()) },
+            weight: cells[5].parse().unwrap(),
+            provenance: cells[6].to_string(),
+            units: cells[7].to_string(),
+        });
+    }
+    rows
+}
+
+#[test]
+fn registry_matches_experiments_table() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS.md");
+    let doc = fs::read_to_string(path).expect("EXPERIMENTS.md is at the repo root");
+    let rows = parse_table(&doc);
+    let targets = registry();
+    assert_eq!(rows.len(), targets.len(), "the X7 table and registry() must list the same targets");
+    for (row, target) in rows.iter().zip(&targets) {
+        assert_eq!(row.id, target.id, "table order must match registry order");
+        assert_eq!(row.family, target.family.key(), "{}", target.id);
+        assert_eq!(row.provenance, target.provenance.key(), "{}", target.id);
+        assert_eq!(row.units, target.units, "{}", target.id);
+        assert_eq!(row.weight, target.weight, "{}", target.id);
+        match target.kind {
+            TargetKind::Equal { value, tol } => {
+                assert_eq!(row.kind, "equal", "{}", target.id);
+                assert_eq!(
+                    row.value, value,
+                    "{}: table {} vs code {}",
+                    target.id, row.value, value
+                );
+                assert_eq!(row.tol, Some(tol), "{}", target.id);
+            }
+            TargetKind::AtMost { bound } => {
+                assert_eq!(row.kind, "at-most", "{}", target.id);
+                assert_eq!(row.value, bound, "{}", target.id);
+                assert_eq!(row.tol, None, "{}", target.id);
+            }
+            TargetKind::AtLeast { bound } => {
+                assert_eq!(row.kind, "at-least", "{}", target.id);
+                assert_eq!(row.value, bound, "{}", target.id);
+                assert_eq!(row.tol, None, "{}", target.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for target scoring.
+//!
+//! The optimizer only descends reliably if every target's score is
+//! monotone in the size of its miss and zero exactly when the target is
+//! hit (for inequalities). These properties are checked over the whole
+//! shipped registry with generated error magnitudes, so adding a target
+//! with a broken kind/weight combination fails here rather than as an
+//! unexplained fit plateau. (Per-field digest distinctness — the cache
+//! side of calibration — is property-tested in `corescope-sched`.)
+
+use corescope_calib::targets::{registry, TargetKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Walking a prediction away from the target never lowers its
+    /// score: for |e1| <= |e2|, score at relative error e1 is at most
+    /// the score at e2, on both sides of the target.
+    #[test]
+    fn scoring_is_monotone_in_the_miss(e1 in 0.0f64..2.0, e2 in 0.0f64..2.0, sign in -1.0f64..1.0) {
+        let (small, large) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let s = if sign >= 0.0 { 1.0 } else { -1.0 };
+        for t in registry() {
+            let near = t.nominal() * (1.0 + s * small);
+            let far = t.nominal() * (1.0 + s * large);
+            prop_assert!(
+                t.score(near) <= t.score(far) + 1e-12,
+                "{}: score({near}) = {} > score({far}) = {}",
+                t.id, t.score(near), t.score(far)
+            );
+        }
+    }
+
+    /// The hit side of every target scores zero and satisfies; the miss
+    /// side past the tolerance scores positive and does not.
+    #[test]
+    fn score_is_zero_exactly_on_the_hit_side(e in 1e-6f64..2.0) {
+        for t in registry() {
+            match t.kind {
+                TargetKind::Equal { value, tol } => {
+                    prop_assert!(t.satisfied(value));
+                    prop_assert_eq!(t.score(value), 0.0);
+                    let outside = value * (1.0 + tol + e);
+                    prop_assert!(!t.satisfied(outside), "{}: {} inside tol", t.id, outside);
+                    prop_assert!(t.score(outside) > 0.0);
+                }
+                TargetKind::AtMost { bound } => {
+                    let inside = bound * (1.0 - e).max(0.0);
+                    prop_assert!(t.satisfied(inside));
+                    prop_assert_eq!(t.score(inside), 0.0);
+                    let outside = bound * (1.0 + e);
+                    prop_assert!(!t.satisfied(outside));
+                    prop_assert!(t.score(outside) > 0.0);
+                }
+                TargetKind::AtLeast { bound } => {
+                    let inside = bound * (1.0 + e);
+                    prop_assert!(t.satisfied(inside));
+                    prop_assert_eq!(t.score(inside), 0.0);
+                    let outside = bound * (1.0 - e);
+                    if outside < bound {
+                        prop_assert!(!t.satisfied(outside));
+                        prop_assert!(t.score(outside) > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Score scales linearly with the target weight: it is exactly
+    /// weight times the squared relative error.
+    #[test]
+    fn score_is_weighted_squared_relative_error(e in -0.9f64..2.0) {
+        for t in registry() {
+            let predicted = t.nominal() * (1.0 + e);
+            let r = t.rel_err(predicted);
+            prop_assert!((t.score(predicted) - t.weight * r * r).abs() < 1e-12, "{}", t.id);
+        }
+    }
+}

@@ -11,15 +11,30 @@
 //! 3. the per-message **lock sub-layer cost** (RandomAccess/latency
 //!    sensitivity),
 //! 4. the **intra-socket copy-bandwidth boost** (Figures 16/17).
+//!
+//! Since the calibration subsystem landed, every swept knob is a
+//! [`CalibParams`] field and every measured quantity is a
+//! [`corescope_calib::targets::Observable`], so each table is a thin
+//! wrapper over [`corescope_calib::sensitivity::sweep_field`] /
+//! [`observe`] — "sweep one knob, watch one observable" as a single
+//! generic operation, with the scenarios flowing through a
+//! [`Scheduler`] (and therefore the result cache) instead of bespoke
+//! engine plumbing. The rendered tables are byte-identical to the
+//! hand-rolled sweeps they replaced.
 
 use crate::report::{Cell, Table};
-use corescope_affinity::{os_scatter, policy, Scheme};
-use corescope_kernels::cg::{CgClass, NasCg};
-use corescope_kernels::stream::{append_star, StreamParams};
-use corescope_machine::engine::RankPlacement;
-use corescope_machine::{systems, Machine, Result};
-use corescope_smpi::imb::pingpong_bandwidth;
-use corescope_smpi::{CommWorld, LockLayer, MpiImpl, MpiProfile};
+use corescope_affinity::Scheme;
+use corescope_calib::sensitivity::{observe, sweep_field};
+use corescope_calib::targets::{Observable, Reduction};
+use corescope_kernels::cg::CgClass;
+use corescope_kernels::stream::StreamParams;
+use corescope_machine::{CalibParams, Result};
+use corescope_sched::{Placement, Scenario, Scheduler, System, Workload};
+use corescope_smpi::{LockLayer, MpiImpl};
+
+fn field(name: &str) -> &'static corescope_machine::ParamField {
+    CalibParams::field(name).unwrap_or_else(|| panic!("unknown calibration field '{name}'"))
+}
 
 /// Sweeps the Longs probe-fabric capacity and reports 16-core Star STREAM
 /// bandwidth. Without the cap (last row) the ladder would scale like
@@ -29,20 +44,30 @@ use corescope_smpi::{CommWorld, LockLayer, MpiImpl, MpiProfile};
 ///
 /// Propagates engine errors.
 pub fn probe_capacity() -> Result<Table> {
+    let sched = Scheduler::new(1);
     let mut table = Table::with_columns(
         "Ablation: Longs probe-fabric capacity vs 16-core Star STREAM",
         &["Probe capacity (GB/s)", "Aggregate BW (GB/s)", "Per-core (GB/s)"],
     );
     let params = StreamParams { sweeps: 3, ..StreamParams::default() };
-    for cap in [7e9, 14e9, 28e9, 1e12] {
-        let mut spec = systems::longs();
-        spec.coherence.probe_capacity = cap;
-        let machine = Machine::new(spec);
-        let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16)?;
-        let mut world =
-            CommWorld::new(&machine, placements, MpiImpl::Lam.profile(), LockLayer::USysV);
-        append_star(&mut world, &params);
-        let bw = 16.0 * params.bytes_per_rank() / world.run()?.makespan;
+    let base = Observable {
+        scenario: Scenario::new(
+            System::Longs,
+            16,
+            Workload::StreamStar {
+                kernel: params.kernel,
+                elements_per_rank: params.elements_per_rank,
+                sweeps: params.sweeps,
+            },
+        )
+        .with_placement(Placement::Scheme(Scheme::TwoMpiLocalAlloc))
+        .with_mpi(MpiImpl::Lam)
+        .with_lock(LockLayer::USysV),
+        reduce: Reduction::AggregateBandwidth { total_bytes: 16.0 * params.bytes_per_rank() },
+    };
+    let caps = [7e9, 14e9, 28e9, 1e12];
+    let bws = sweep_field(&sched, &base, field("probe_capacity_ladder"), &caps)?;
+    for (cap, bw) in caps.into_iter().zip(bws) {
         let label = if cap >= 1e11 { "unlimited".to_string() } else { format!("{}", cap / 1e9) };
         table.push_row(label, vec![Cell::num(bw / 1e9), Cell::num(bw / 16.0 / 1e9)]);
     }
@@ -58,22 +83,22 @@ pub fn probe_capacity() -> Result<Table> {
 ///
 /// Propagates engine errors.
 pub fn misplacement_fraction() -> Result<Table> {
-    let machine = Machine::new(systems::longs());
+    let sched = Scheduler::new(1);
     let mut table = Table::with_columns(
         "Ablation: default-scheme page misplacement vs NAS CG-A (8 ranks, Longs)",
         &["Misplaced fraction", "CG time (s)"],
     );
-    for fraction in [0.0, 0.05, 0.10, 0.20, 0.40] {
-        let placements: Vec<RankPlacement> = os_scatter(&machine, 8)?
-            .into_iter()
-            .map(|core| {
-                Ok(RankPlacement::new(core, policy::default_first_touch(&machine, core, fraction)?))
-            })
-            .collect::<Result<_>>()?;
-        let mut world =
-            CommWorld::new(&machine, placements, MpiImpl::Mpich2.profile(), LockLayer::USysV);
-        NasCg { class: CgClass::A }.append_run(&mut world);
-        table.push_row(format!("{fraction:.2}"), vec![Cell::num(world.run()?.makespan)]);
+    let base = Observable {
+        scenario: Scenario::new(System::Longs, 8, Workload::NasCg { class: CgClass::A })
+            .with_placement(Placement::Scheme(Scheme::Default))
+            .with_mpi(MpiImpl::Mpich2)
+            .with_lock(LockLayer::USysV),
+        reduce: Reduction::Makespan,
+    };
+    let fractions = [0.0, 0.05, 0.10, 0.20, 0.40];
+    let times = sweep_field(&sched, &base, field("misplacement"), &fractions)?;
+    for (fraction, makespan) in fractions.into_iter().zip(times) {
+        table.push_row(format!("{fraction:.2}"), vec![Cell::num(makespan)]);
     }
     Ok(table)
 }
@@ -86,16 +111,24 @@ pub fn misplacement_fraction() -> Result<Table> {
 ///
 /// Propagates engine errors.
 pub fn lock_cost() -> Result<Table> {
-    let machine = Machine::new(systems::longs());
-    let placements = Scheme::TwoMpiLocalAlloc.resolve(&machine, 16)?;
+    let sched = Scheduler::new(1);
     let mut table = Table::with_columns(
         "Ablation: lock sub-layer cost vs 8-byte PingPong latency (Longs)",
         &["Lock layer", "Latency (us)"],
     );
-    let profile = MpiImpl::Lam.profile();
-    for (label, lock) in [("usysv (spin)", LockLayer::USysV), ("sysv (semaphore)", LockLayer::SysV)]
-    {
-        let t = corescope_smpi::imb::pingpong_time(&machine, &placements, &profile, lock, 8.0, 50)?;
+    let rows = [("usysv (spin)", LockLayer::USysV), ("sysv (semaphore)", LockLayer::SysV)];
+    let observables: Vec<Observable> = rows
+        .iter()
+        .map(|&(_, lock)| Observable {
+            scenario: Scenario::new(System::Longs, 16, Workload::PingPong { bytes: 8.0, reps: 50 })
+                .with_placement(Placement::Scheme(Scheme::TwoMpiLocalAlloc))
+                .with_mpi(MpiImpl::Lam)
+                .with_lock(lock),
+            reduce: Reduction::PingPongLatency { reps: 50 },
+        })
+        .collect();
+    let times = observe(&sched, &observables)?;
+    for ((label, _), t) in rows.into_iter().zip(times) {
         table.push_row(label, vec![Cell::num(t * 1e6)]);
     }
     Ok(table)
@@ -108,21 +141,26 @@ pub fn lock_cost() -> Result<Table> {
 ///
 /// Propagates engine errors.
 pub fn same_socket_boost() -> Result<Table> {
-    let machine = Machine::new(systems::dmz());
-    let near = Scheme::TwoMpiLocalAlloc.resolve(&machine, 2)?;
-    let far = Scheme::OneMpiLocalAlloc.resolve(&machine, 2)?;
+    let sched = Scheduler::new(1);
     let mut table = Table::with_columns(
         "Ablation: intra-socket copy boost vs bound:unbound PingPong ratio (DMZ, 1 MB)",
         &["Boost", "Bound (MB/s)", "Unbound (MB/s)", "Ratio"],
     );
-    for boost in [1.0_f64, 1.12, 1.25] {
-        // The boost constant lives in MpiProfile; emulate the sweep by
-        // scaling the intra-socket run's copy bandwidth.
-        let profile = MpiImpl::OpenMpi.profile();
-        let mut boosted = profile.clone();
-        boosted.copy_bw *= boost / MpiProfile::SAME_SOCKET_BW_BOOST;
-        let bw_near = pingpong_bandwidth(&machine, &near, &boosted, LockLayer::USysV, 1e6, 10)?;
-        let bw_far = pingpong_bandwidth(&machine, &far, &profile, LockLayer::USysV, 1e6, 10)?;
+    let pingpong = |scheme| {
+        Scenario::new(System::Dmz, 2, Workload::PingPong { bytes: 1e6, reps: 10 })
+            .with_placement(Placement::Scheme(scheme))
+            .with_mpi(MpiImpl::OpenMpi)
+            .with_lock(LockLayer::USysV)
+    };
+    let reduce = Reduction::PingPongBandwidth { bytes: 1e6, reps: 10 };
+    let near = Observable { scenario: pingpong(Scheme::TwoMpiLocalAlloc), reduce };
+    // The cross-socket pair never sees the boost; one run at the shipped
+    // point serves every row.
+    let far = Observable { scenario: pingpong(Scheme::OneMpiLocalAlloc), reduce };
+    let boosts = [1.0_f64, 1.12, 1.25];
+    let bound = sweep_field(&sched, &near, field("same_socket_boost"), &boosts)?;
+    let bw_far = observe(&sched, &[far])?[0];
+    for (boost, bw_near) in boosts.into_iter().zip(bound) {
         table.push_row(
             format!("{boost:.2}"),
             vec![

@@ -53,7 +53,7 @@ pub fn table7(fidelity: Fidelity) -> Result<Vec<Table>> {
 fn speedup_row(machine: &Machine, bench: &AmberBenchmark, counts: &[usize]) -> Result<Vec<Cell>> {
     let (profile, lock) = default_stack();
     let time = |n: usize| -> Result<f64> {
-        let placements = Scheme::Default.resolve(machine, n).expect("counts fit the machine");
+        let placements = Scheme::Default.resolve(machine, n)?;
         let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
         bench.append_run(&mut w);
         Ok(w.run()?.makespan)

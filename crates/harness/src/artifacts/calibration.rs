@@ -1,0 +1,250 @@
+//! Extra X7: the auto-calibration loop, run end-to-end and *checked*.
+//!
+//! The artifact perturbs the shipped calibration (+25% DRAM latency,
+//! −25% HyperTransport bandwidth), hands the perturbed point to
+//! [`corescope_calib::search::fit`] over the stream and latency target
+//! families, and then treats the outcome as a set of invariants rather
+//! than a report — any violation fails the run:
+//!
+//! 1. **recovery** — every one of the [`CalibParams::FIELDS`] must come
+//!    back within [`RECOVERY_TOLERANCE`] of `CalibParams::paper_2006()`
+//!    (the unfitted axes are pinned by construction; the two fitted
+//!    axes must be pulled home by the targets alone);
+//! 2. **headline claims at the fitted point** — grading the fitted
+//!    point against the *full* registry, both paper headline
+//!    inequalities (Longs single-core bandwidth under half the naive
+//!    expectation, flat 8→16 aggregate) must still hold;
+//! 3. **sensitivity sanity** — a Morris-style one-at-a-time pass must
+//!    rank `dram_latency` as the strongest mover of the latency family,
+//!    and `ht_bandwidth` must visibly move the stream family.
+//!
+//! Every candidate evaluation batches its scenarios through the shared
+//! [`Scheduler`], so the fit inherits work-stealing fan-out, in-flight
+//! dedup and the result cache; a warm-cache rerun of this artifact
+//! performs zero engine runs. The emitted tables carry no scheduler
+//! statistics, so output is byte-identical at any `--jobs` count or
+//! cache temperature (`calib_bench` reports the runtime numbers).
+
+use crate::fidelity::Fidelity;
+use crate::report::{Cell, Table};
+use corescope_calib::eval::Evaluator;
+use corescope_calib::search::{fit, FitConfig};
+use corescope_calib::sensitivity::{elementary_effects, ranking};
+use corescope_calib::targets::Family;
+use corescope_machine::{CalibParams, Error, Result};
+use corescope_sched::Scheduler;
+
+/// Every parameter must be fitted back to within this relative distance
+/// of the shipped calibration.
+pub const RECOVERY_TOLERANCE: f64 = 0.05;
+
+/// Relative perturbation applied to `dram_latency` (up) and
+/// `ht_bandwidth` (down) before the fit.
+pub const PERTURBATION: f64 = 0.25;
+
+/// Axes the fit is allowed to move; everything else stays pinned at the
+/// (perturbed) start, which for the unperturbed fields *is* the shipped
+/// value.
+pub const FITTED_AXES: [&str; 2] = ["dram_latency", "ht_bandwidth"];
+
+/// Fraction of the normalized parameter box stepped by the sensitivity
+/// pass.
+const SENSITIVITY_STEP: f64 = 0.1;
+
+/// Axes the sensitivity pass probes: the fitted pair plus the knobs the
+/// retired hand-rolled ablations used to sweep.
+const SENSITIVITY_AXES: [&str; 6] = [
+    "dram_latency",
+    "ht_bandwidth",
+    "probe_capacity_ladder",
+    "lock_usysv",
+    "same_socket_boost",
+    "misplacement",
+];
+
+fn calibration_violation(what: impl std::fmt::Display) -> Error {
+    Error::InvalidSpec(format!("calibration invariant violated: {what}"))
+}
+
+fn axis(name: &str) -> usize {
+    CalibParams::FIELDS
+        .iter()
+        .position(|f| f.name == name)
+        .unwrap_or_else(|| panic!("unknown calibration field '{name}'"))
+}
+
+/// The perturbed starting point the fit must recover from.
+pub fn perturbed_start() -> CalibParams {
+    let mut p = CalibParams::paper_2006();
+    p.dram_latency *= 1.0 + PERTURBATION;
+    p.ht_bandwidth *= 1.0 - PERTURBATION;
+    p
+}
+
+/// The fit configuration the artifact (and the CI smoke) runs: quick
+/// fidelity keeps the 60-evaluation CI budget, full fidelity doubles it.
+pub fn fit_config(fidelity: Fidelity) -> FitConfig {
+    let budget = match fidelity {
+        Fidelity::Full => 120,
+        Fidelity::Quick => 60,
+    };
+    FitConfig::new(FITTED_AXES.iter().map(|n| axis(n)).collect()).with_budget(budget)
+}
+
+/// Regenerates the X7 artifact.
+///
+/// # Errors
+///
+/// Propagates engine errors, and fails with a typed
+/// [`Error::InvalidSpec`] when a calibration invariant is violated.
+pub fn extra7(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
+    let shipped = CalibParams::paper_2006();
+    let start = perturbed_start();
+
+    // --- The fit itself, over the families that identify the two axes.
+    let fit_eval = Evaluator::with_families(sched, fidelity, &[Family::Stream, Family::Latency]);
+    let config = fit_config(fidelity);
+    let outcome = fit(&fit_eval, start, &config)?;
+    if !outcome.converged {
+        return Err(calibration_violation(format!(
+            "fit did not converge: best score {:.6} after {} evaluations",
+            outcome.best_score, outcome.evaluations
+        )));
+    }
+
+    // --- Invariant 1: every parameter within tolerance of shipped.
+    for field in &CalibParams::FIELDS {
+        let fitted = field.read(&outcome.fitted);
+        let reference = field.read(&shipped);
+        let rel = ((fitted - reference) / reference).abs();
+        if rel > RECOVERY_TOLERANCE {
+            return Err(calibration_violation(format!(
+                "parameter '{}' fitted to {fitted:.6e}, {:.1}% from shipped {reference:.6e}",
+                field.name,
+                rel * 100.0
+            )));
+        }
+    }
+
+    // --- Invariant 2: the full registry at start / fitted / shipped.
+    let full = Evaluator::new(sched, fidelity);
+    let at_start = full.evaluate(&start)?;
+    let at_fitted = full.evaluate(&outcome.fitted)?;
+    let at_shipped = full.evaluate(&shipped)?;
+    for miss in at_fitted.misses() {
+        if miss.family == Family::Headline {
+            return Err(calibration_violation(format!(
+                "headline claim '{}' fails at the fitted point (predicted {:.4})",
+                miss.id, miss.predicted
+            )));
+        }
+    }
+
+    // --- Invariant 3: sensitivity ranks the fitted axes where expected.
+    let sense_axes: Vec<usize> = SENSITIVITY_AXES.iter().map(|n| axis(n)).collect();
+    let effects = elementary_effects(&fit_eval, &shipped, &sense_axes, SENSITIVITY_STEP)?;
+    let latency_rank = ranking(&effects, Family::Latency);
+    match latency_rank.first() {
+        Some(top) if top.param == "dram_latency" => {}
+        other => {
+            return Err(calibration_violation(format!(
+                "expected dram_latency to top the latency sensitivity ranking, got {:?}",
+                other.map(|e| e.param)
+            )))
+        }
+    }
+    let stream_rank = ranking(&effects, Family::Stream);
+    if !stream_rank.iter().any(|e| e.param == "ht_bandwidth") {
+        return Err(calibration_violation(
+            "ht_bandwidth has no measurable effect on the stream family",
+        ));
+    }
+
+    // --- Tables. Values only — no scheduler statistics, so the bytes
+    // are identical at any job count or cache temperature.
+    let mut summary =
+        Table::with_columns("Extra X7: calibration fit summary", &["Metric", "Value"]);
+    summary.push_row("evaluations", vec![Cell::num_with(outcome.evaluations as f64, 0)]);
+    summary.push_row("score at perturbed start", vec![Cell::num_with(outcome.start_score, 6)]);
+    summary.push_row("score at fitted point", vec![Cell::num_with(outcome.best_score, 6)]);
+    summary.push_row("converged", vec![Cell::text(if outcome.converged { "yes" } else { "no" })]);
+
+    let mut params = Table::with_columns(
+        "Extra X7: fitted vs shipped parameters (ratios to shipped)",
+        &["Parameter", "Start/shipped", "Fitted/shipped", "Delta %"],
+    );
+    for field in &CalibParams::FIELDS {
+        let reference = field.read(&shipped);
+        let s = field.read(&outcome.start) / reference;
+        let f = field.read(&outcome.fitted) / reference;
+        params.push_row(
+            field.name,
+            vec![Cell::num_with(s, 4), Cell::num_with(f, 4), Cell::num_with((f - 1.0) * 100.0, 2)],
+        );
+    }
+
+    let mut scores = Table::with_columns(
+        "Extra X7: weighted registry score by family",
+        &["Family", "Perturbed start", "Fitted", "Shipped"],
+    );
+    for family in Family::all() {
+        scores.push_row(
+            family.key(),
+            vec![
+                Cell::num_with(at_start.family_score(family), 6),
+                Cell::num_with(at_fitted.family_score(family), 6),
+                Cell::num_with(at_shipped.family_score(family), 6),
+            ],
+        );
+    }
+
+    let mut sense = Table::with_columns(
+        "Extra X7: sensitivity ranking (|delta family score| per unit step)",
+        &["Family: parameter", "Magnitude"],
+    );
+    for (family, rank) in [(Family::Stream, &stream_rank), (Family::Latency, &latency_rank)] {
+        for effect in rank.iter().take(3) {
+            sense.push_row(
+                format!("{}: {}", family.key(), effect.param),
+                vec![Cell::num_with(effect.magnitude, 4)],
+            );
+        }
+    }
+
+    Ok(vec![summary, params, scores, sense])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra7_passes_its_own_invariants_quick() {
+        let sched = Scheduler::new(2);
+        let tables = extra7(Fidelity::Quick, &sched).unwrap();
+        assert_eq!(tables.len(), 4);
+        assert!(tables[0].value("evaluations", "Value").unwrap() <= 60.0);
+        assert!(tables[0].to_csv().contains("converged,yes"));
+        // The fitted point sits within 5% of shipped on every axis, so
+        // every ratio cell in the parameter table is close to one.
+        assert_eq!(tables[1].num_rows(), CalibParams::FIELDS.len());
+    }
+
+    #[test]
+    fn extra7_is_deterministic_across_job_counts() {
+        let a = extra7(Fidelity::Quick, &Scheduler::new(1)).unwrap();
+        let b = extra7(Fidelity::Quick, &Scheduler::new(4)).unwrap();
+        let fmt =
+            |tables: &[Table]| tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n");
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+
+    #[test]
+    fn warm_cache_rerun_needs_no_engine_runs() {
+        let sched = Scheduler::new(2);
+        let _ = extra7(Fidelity::Quick, &sched).unwrap();
+        let runs = sched.stats().engine_runs;
+        let _ = extra7(Fidelity::Quick, &sched).unwrap();
+        assert_eq!(sched.stats().engine_runs, runs, "second x7 pass must be pure cache hits");
+    }
+}

@@ -3,6 +3,7 @@
 pub mod amber;
 pub mod blas;
 pub mod bottleneck;
+pub mod calibration;
 pub mod hpcc;
 pub mod hybrid;
 pub mod imb;
@@ -28,14 +29,47 @@ pub struct UnknownArtifact {
     pub requested: String,
 }
 
+impl UnknownArtifact {
+    /// The valid id closest to the requested string by edit distance,
+    /// when it is close enough to plausibly be a typo.
+    pub fn nearest(&self) -> Option<&'static str> {
+        let requested = self.requested.to_lowercase();
+        Artifact::all()
+            .into_iter()
+            .map(|a| (edit_distance(&requested, a.id()), a.id()))
+            .min()
+            .filter(|(d, _)| *d <= 2)
+            .map(|(_, id)| id)
+    }
+}
+
+/// Levenshtein distance, small-string sized.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
 impl fmt::Display for UnknownArtifact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5; \
+            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7; \
              run with --list for the catalogue)",
             self.requested
-        )
+        )?;
+        if let Some(nearest) = self.nearest() {
+            write!(f, " — did you mean '{nearest}'?")?;
+        }
+        Ok(())
     }
 }
 
@@ -90,6 +124,10 @@ pub enum Artifact {
     /// faults, swept around the Young/Daly optimum with bounded-recovery
     /// and attribution-shift checks.
     X5,
+    /// Extra: auto-calibration — fit the model parameters back to the
+    /// paper targets from a perturbed start, with recovery, headline and
+    /// sensitivity invariants checked.
+    X7,
 }
 
 impl Artifact {
@@ -98,7 +136,7 @@ impl Artifact {
         use Artifact::*;
         vec![
             T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
-            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7,
         ]
     }
 
@@ -141,6 +179,7 @@ impl Artifact {
             X3 => "x3",
             X4 => "x4",
             X5 => "x5",
+            X7 => "x7",
         }
     }
 
@@ -197,6 +236,51 @@ impl Artifact {
             X3 => "Extra X3: fault-injection resilience campaign",
             X4 => "Extra X4: time-resolved bottleneck attribution",
             X5 => "Extra X5: recovery campaign (checkpoint/restart under rank kills)",
+            X7 => "Extra X7: auto-calibration against the paper-target registry",
+        }
+    }
+
+    /// One-line description for the `repro --list` catalogue: what the
+    /// artifact measures and which claim it carries.
+    pub fn describe(self) -> &'static str {
+        use Artifact::*;
+        match self {
+            T1 => "static system-configuration table (Tiger, DMZ, Longs)",
+            F2 => "STREAM aggregate bandwidth vs core count on all three systems",
+            F3 => "STREAM per-core bandwidth: second cores add nothing on Longs",
+            F4 => "DAXPY GFlop/s with the tuned (ACML-style) BLAS",
+            F5 => "DAXPY per-core GFlop/s with the vanilla BLAS",
+            F6 => "DGEMM GFlop/s with the tuned (ACML-style) BLAS",
+            F7 => "DGEMM per-core GFlop/s with the vanilla BLAS",
+            F8 => "HPL under the LAM/numactl placement options",
+            F9 => "compute-bound kernels are placement-insensitive",
+            F10 => "STREAM under the placement options: local alloc wins",
+            F11 => "HPCC RandomAccess under the placement options",
+            F12 => "HPCC PTRANS: placement moves communication bandwidth",
+            F13 => "PingPong latency on Longs: SysV vs spin-lock transports",
+            F14 => "intra-node PingPong latency across MPI implementations",
+            F15 => "intra-node Exchange across MPI implementations",
+            F16 => "OpenMPI PingPong with and without scheduler affinity",
+            F17 => "OpenMPI Exchange with and without scheduler affinity",
+            T2 => "numactl options vs NAS CG/FT on Longs (membind penalty)",
+            T3 => "numactl options vs NAS CG/FT on DMZ (smaller penalty)",
+            T4 => "NAS multi-core speedup: memory-bound codes stall at 8",
+            T5 => "static catalogue of the numactl option bundles",
+            T6 => "static catalogue of the AMBER benchmark inputs",
+            T7 => "FFT share of JAC: small transforms, cache-resident",
+            T8 => "AMBER PME/GB speedup: GB scales, PME saturates",
+            T9 => "JAC wall time under the placement options",
+            T10 => "LAMMPS speedup: neighbor-list traffic caps scaling",
+            T11 => "numactl options vs LAMMPS Lennard-Jones wall time",
+            T12 => "POP speedup: barotropic solver is latency-bound",
+            T13 => "numactl options vs POP baroclinic (bandwidth-bound) time",
+            T14 => "numactl options vs POP barotropic (latency-bound) time",
+            X1 => "hybrid OpenMP-in-socket vs pure MPI, as Section 3.4 proposes",
+            X2 => "analytic lmbench-style memory-latency plateaus per system",
+            X3 => "fault-injection campaign with bounded-degradation checks",
+            X4 => "time-resolved bottleneck attribution for STREAM/PingPong/CG",
+            X5 => "checkpoint/restart under rank kills, swept around Young/Daly",
+            X7 => "fit the calibration back to the paper targets from a perturbed start",
         }
     }
 
@@ -255,6 +339,7 @@ impl Artifact {
             X3 => crate::resilience::extra3(fidelity),
             X4 => bottleneck::extra4(fidelity),
             X5 => recovery::extra5(fidelity, sched),
+            X7 => calibration::extra7(fidelity, sched),
         }
     }
 }
@@ -272,11 +357,35 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 35, "30 paper artifacts + the X1-X5 extras");
+        assert_eq!(all.len(), 36, "30 paper artifacts + the X1-X5, X7 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 35);
+        assert_eq!(ids.len(), 36);
+    }
+
+    #[test]
+    fn unknown_artifacts_suggest_the_nearest_id() {
+        let err = Artifact::from_id("x8").unwrap_err();
+        assert!(err.nearest().is_some());
+        let rendered = err.to_string();
+        assert!(rendered.contains("did you mean"), "{rendered}");
+
+        let err = Artifact::from_id("x77").unwrap_err();
+        assert_eq!(err.nearest(), Some("x7"));
+
+        // Nothing close: no suggestion rather than a wild guess.
+        let err = Artifact::from_id("zzzzzzzz").unwrap_err();
+        assert_eq!(err.nearest(), None);
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn every_artifact_has_a_description() {
+        for a in Artifact::all() {
+            assert!(!a.describe().is_empty());
+            assert!(a.describe().len() < 80, "{}: keep --list one-line", a.id());
+        }
     }
 
     #[test]

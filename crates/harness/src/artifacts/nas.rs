@@ -86,8 +86,7 @@ pub fn table4(fidelity: Fidelity) -> Result<Vec<Table>> {
             [("DMZ", &systems.dmz), ("Longs", &systems.longs), ("Tiger", &systems.tiger)]
         {
             let t1 = {
-                let placements =
-                    Scheme::Default.resolve(machine, 1).expect("one rank always places");
+                let placements = Scheme::Default.resolve(machine, 1)?;
                 let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
                 build(&mut w, 1);
                 w.run()?.makespan
@@ -98,8 +97,7 @@ pub fn table4(fidelity: Fidelity) -> Result<Vec<Table>> {
                     cells.push(Cell::Dash);
                     continue;
                 }
-                let placements =
-                    Scheme::Default.resolve(machine, n).expect("counts fit the machine");
+                let placements = Scheme::Default.resolve(machine, n)?;
                 let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
                 build(&mut w, n);
                 let tn = w.run()?.makespan;

@@ -6,7 +6,7 @@ use crate::fidelity::Fidelity;
 use crate::report::{Cell, Table};
 use corescope_affinity::Scheme;
 use corescope_apps::ocean::PopModel;
-use corescope_machine::{Machine, Result};
+use corescope_machine::{Error, Machine, Result};
 use corescope_smpi::CommWorld;
 
 fn model(fidelity: Fidelity) -> PopModel {
@@ -40,6 +40,12 @@ fn phase_time(
     Ok(Some(w.run()?.makespan))
 }
 
+/// A rank count that does not fit the machine, as a typed error
+/// carrying the system and count instead of a panic.
+fn unplaceable(system: &str, nranks: usize) -> Error {
+    Error::InvalidSpec(format!("{nranks} rank(s) cannot be placed on {system}"))
+}
+
 /// Table 12: baroclinic/barotropic speedups across systems.
 pub fn table12(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
@@ -56,14 +62,15 @@ pub fn table12(fidelity: Fidelity) -> Result<Vec<Table>> {
         let base: Vec<f64> = [Phase::Baroclinic, Phase::Barotropic]
             .into_iter()
             .map(|ph| {
-                phase_time(machine, Scheme::Default, 1, &pop, ph)
-                    .map(|t| t.expect("one rank places"))
+                phase_time(machine, Scheme::Default, 1, &pop, ph)?
+                    .ok_or_else(|| unplaceable(sys_name, 1))
             })
             .collect::<Result<_>>()?;
         for &n in &counts {
             let mut cells = Vec::new();
             for (i, ph) in [Phase::Baroclinic, Phase::Barotropic].into_iter().enumerate() {
-                let tn = phase_time(machine, Scheme::Default, n, &pop, ph)?.expect("counts fit");
+                let tn = phase_time(machine, Scheme::Default, n, &pop, ph)?
+                    .ok_or_else(|| unplaceable(sys_name, n))?;
                 cells.push(Cell::num(base[i] / tn));
             }
             table.push_row(format!("{n} {sys_name}"), cells);

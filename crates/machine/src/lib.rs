@@ -40,6 +40,7 @@ pub mod flow;
 pub mod ids;
 pub mod memory;
 pub mod metrics;
+pub mod params;
 pub mod program;
 pub mod recovery;
 pub mod spec;
@@ -55,6 +56,7 @@ pub use flow::Bottleneck;
 pub use ids::{CoreId, LinkId, NumaNodeId, RankId, SocketId};
 pub use memory::MemoryLayout;
 pub use metrics::{RankSpans, ResourceTimeline, RunMetrics};
+pub use params::{CalibParams, ParamField};
 pub use program::{ComputePhase, Op, Program};
 pub use recovery::{young_daly_interval, CheckpointPolicy, CheckpointTarget, RetryPolicy};
 pub use spec::{CacheSpec, CoherenceSpec, CoreSpec, LinkSpec, MachineSpec, MemorySpec};

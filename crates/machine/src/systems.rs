@@ -7,6 +7,7 @@
 //! | dmz   | 275     | 2.2 | 2            | 2       | 4 GB node |
 //! | longs | 865     | 1.8 | 2            | 8       | 32 GB node|
 
+use crate::params::CalibParams;
 use crate::spec::{
     CacheSpec, CoherenceSpec, CoreSpec, LinkEdge, LinkSpec, MachineSpec, MemorySpec,
 };
@@ -62,31 +63,27 @@ pub mod calib {
     pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 }
 
-fn k8_cache() -> CacheSpec {
+fn k8_cache(p: &CalibParams) -> CacheSpec {
     CacheSpec {
-        l1_bytes: calib::L1_BYTES,
-        l2_bytes: calib::L2_BYTES,
-        line_bytes: calib::LINE_BYTES,
-        stream_mlp: calib::STREAM_MLP,
-        random_mlp: calib::RANDOM_MLP,
-        strided_mlp: calib::STRIDED_MLP,
+        l1_bytes: p.l1_bytes,
+        l2_bytes: p.l2_bytes,
+        line_bytes: p.line_bytes,
+        stream_mlp: p.stream_mlp,
+        random_mlp: p.random_mlp,
+        strided_mlp: p.strided_mlp,
     }
 }
 
-fn k8_memory() -> MemorySpec {
-    MemorySpec { controller_bw: calib::DDR400_SUSTAINED_BW, idle_latency: calib::DRAM_LATENCY }
+fn k8_memory(p: &CalibParams) -> MemorySpec {
+    MemorySpec { controller_bw: p.dram_bandwidth, idle_latency: p.dram_latency }
 }
 
-fn k8_link() -> LinkSpec {
-    LinkSpec { bandwidth: calib::HT_BANDWIDTH, hop_latency: calib::HT_HOP_LATENCY }
+fn k8_link(p: &CalibParams) -> LinkSpec {
+    LinkSpec { bandwidth: p.ht_bandwidth, hop_latency: p.ht_hop_latency }
 }
 
-fn k8_coherence(probe_capacity: f64) -> CoherenceSpec {
-    CoherenceSpec {
-        base_probe: calib::PROBE_BASE,
-        per_hop_probe: calib::PROBE_PER_HOP,
-        probe_capacity,
-    }
+fn k8_coherence(p: &CalibParams, probe_capacity: f64) -> CoherenceSpec {
+    CoherenceSpec { base_probe: p.probe_base, per_hop_probe: p.probe_per_hop, probe_capacity }
 }
 
 /// "Tiger": a Cray XD1 node — two single-core 2.2 GHz Opteron 248, 8 GB.
@@ -96,16 +93,21 @@ fn k8_coherence(probe_capacity: f64) -> CoherenceSpec {
 /// assert_eq!(spec.sockets.len() * spec.cores_per_socket, 2);
 /// ```
 pub fn tiger() -> MachineSpec {
+    tiger_with(&CalibParams::paper_2006())
+}
+
+/// [`tiger`] built from an arbitrary calibration point.
+pub fn tiger_with(p: &CalibParams) -> MachineSpec {
     MachineSpec {
         name: "tiger".into(),
         sockets: vec![4.0 * calib::GIB; 2],
         cores_per_socket: 1,
-        core: CoreSpec { frequency_hz: 2.2e9, flops_per_cycle: calib::FLOPS_PER_CYCLE },
-        cache: k8_cache(),
-        memory: k8_memory(),
-        link: k8_link(),
+        core: CoreSpec { frequency_hz: 2.2e9, flops_per_cycle: p.flops_per_cycle },
+        cache: k8_cache(p),
+        memory: k8_memory(p),
+        link: k8_link(p),
         edges: vec![LinkEdge::new(0, 1)],
-        coherence: k8_coherence(calib::PROBE_CAPACITY_SMALL),
+        coherence: k8_coherence(p, p.probe_capacity_small),
     }
 }
 
@@ -117,16 +119,21 @@ pub fn tiger() -> MachineSpec {
 /// assert_eq!(spec.sockets.len() * spec.cores_per_socket, 4);
 /// ```
 pub fn dmz() -> MachineSpec {
+    dmz_with(&CalibParams::paper_2006())
+}
+
+/// [`dmz`] built from an arbitrary calibration point.
+pub fn dmz_with(p: &CalibParams) -> MachineSpec {
     MachineSpec {
         name: "dmz".into(),
         sockets: vec![2.0 * calib::GIB; 2],
         cores_per_socket: 2,
-        core: CoreSpec { frequency_hz: 2.2e9, flops_per_cycle: calib::FLOPS_PER_CYCLE },
-        cache: k8_cache(),
-        memory: k8_memory(),
-        link: k8_link(),
+        core: CoreSpec { frequency_hz: 2.2e9, flops_per_cycle: p.flops_per_cycle },
+        cache: k8_cache(p),
+        memory: k8_memory(p),
+        link: k8_link(p),
         edges: vec![LinkEdge::new(0, 1)],
-        coherence: k8_coherence(calib::PROBE_CAPACITY_SMALL),
+        coherence: k8_coherence(p, p.probe_capacity_small),
     }
 }
 
@@ -144,6 +151,11 @@ pub fn dmz() -> MachineSpec {
 /// assert_eq!(m.topology().diameter(), 4);
 /// ```
 pub fn longs() -> MachineSpec {
+    longs_with(&CalibParams::paper_2006())
+}
+
+/// [`longs`] built from an arbitrary calibration point.
+pub fn longs_with(p: &CalibParams) -> MachineSpec {
     let mut edges = Vec::new();
     for r in 0..4 {
         edges.push(LinkEdge::new(r * 2, r * 2 + 1)); // rung
@@ -156,12 +168,12 @@ pub fn longs() -> MachineSpec {
         name: "longs".into(),
         sockets: vec![4.0 * calib::GIB; 8],
         cores_per_socket: 2,
-        core: CoreSpec { frequency_hz: 1.8e9, flops_per_cycle: calib::FLOPS_PER_CYCLE },
-        cache: k8_cache(),
-        memory: k8_memory(),
-        link: k8_link(),
+        core: CoreSpec { frequency_hz: 1.8e9, flops_per_cycle: p.flops_per_cycle },
+        cache: k8_cache(p),
+        memory: k8_memory(p),
+        link: k8_link(p),
         edges,
-        coherence: k8_coherence(calib::PROBE_CAPACITY_LADDER),
+        coherence: k8_coherence(p, p.probe_capacity_ladder),
     }
 }
 
@@ -211,6 +223,22 @@ mod tests {
                 hi / 1e9
             );
         }
+    }
+
+    #[test]
+    fn paper_point_reproduces_every_preset() {
+        let p = CalibParams::paper_2006();
+        assert_eq!(tiger_with(&p), tiger());
+        assert_eq!(dmz_with(&p), dmz());
+        assert_eq!(longs_with(&p), longs());
+    }
+
+    #[test]
+    fn perturbed_point_changes_the_spec() {
+        let mut p = CalibParams::paper_2006();
+        p.dram_latency *= 1.25;
+        assert_ne!(longs_with(&p), longs());
+        assert_eq!(longs_with(&p).memory.idle_latency, p.dram_latency);
     }
 
     #[test]

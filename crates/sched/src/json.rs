@@ -66,6 +66,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The object members in document order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
 }
 
 /// Escapes a string for embedding in a JSON string literal.

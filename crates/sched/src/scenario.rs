@@ -14,9 +14,14 @@ use crate::encode::{Digest, Encoder};
 use crate::fidelity::Fidelity;
 use crate::json::{self, Value};
 use corescope_affinity::{os_scatter, policy, Scheme};
-use corescope_kernels::blas::{append_dgemm_single, append_dgemm_star, BlasVariant, DgemmParams};
+use corescope_kernels::blas::{
+    append_daxpy_single, append_daxpy_star, append_dgemm_single, append_dgemm_star, BlasVariant,
+    DaxpyParams, DgemmParams,
+};
+use corescope_kernels::cg::{CgClass, NasCg as CgKernel};
 use corescope_kernels::fft::{append_single as fft_single, append_star as fft_star, FftParams};
 use corescope_kernels::hpl::{append_run as hpl_run, HplParams};
+use corescope_kernels::nasft::{FtClass, NasFt as FtKernel};
 use corescope_kernels::ptrans::{append_run as ptrans_run, PtransParams};
 use corescope_kernels::randomaccess::{
     append_mpi as ra_mpi, append_single as ra_single, append_star as ra_star, RaParams,
@@ -26,9 +31,9 @@ use corescope_kernels::stream::{
 };
 use corescope_machine::engine::RankPlacement;
 use corescope_machine::{
-    systems, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultEvent, FaultKind,
-    FaultPlan, LinkId, Machine, MachineSpec, NumaNodeId, RankId, Result, RetryPolicy, RunReport,
-    SocketId, TrafficProfile,
+    systems, CalibParams, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultEvent,
+    FaultKind, FaultPlan, LinkId, Machine, MachineSpec, NumaNodeId, RankId, Result, RetryPolicy,
+    RunReport, SocketId, TrafficProfile,
 };
 use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
 
@@ -65,16 +70,26 @@ impl System {
 
     /// The preset machine spec.
     pub fn spec(self) -> MachineSpec {
+        self.spec_with(&CalibParams::paper_2006())
+    }
+
+    /// The machine spec built from an arbitrary calibration point.
+    pub fn spec_with(self, params: &CalibParams) -> MachineSpec {
         match self {
-            System::Tiger => systems::tiger(),
-            System::Dmz => systems::dmz(),
-            System::Longs => systems::longs(),
+            System::Tiger => systems::tiger_with(params),
+            System::Dmz => systems::dmz_with(params),
+            System::Longs => systems::longs_with(params),
         }
     }
 
     /// Builds the machine.
     pub fn machine(self) -> Machine {
         Machine::new(self.spec())
+    }
+
+    /// Builds the machine from an arbitrary calibration point.
+    pub fn machine_with(self, params: &CalibParams) -> Machine {
+        Machine::new(self.spec_with(params))
     }
 }
 
@@ -113,8 +128,23 @@ impl Placement {
     /// Propagates mapping errors (typically [`Error::InvalidPlacement`]
     /// when the machine cannot host `nranks` under this placement).
     pub fn resolve(self, machine: &Machine, nranks: usize) -> Result<Vec<RankPlacement>> {
+        self.resolve_with(machine, nranks, policy::DEFAULT_MISPLACEMENT)
+    }
+
+    /// [`Placement::resolve`] with an explicit first-touch misplacement
+    /// fraction; only [`Scheme::Default`] placements are sensitive to it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Placement::resolve`].
+    pub fn resolve_with(
+        self,
+        machine: &Machine,
+        nranks: usize,
+        misplacement: f64,
+    ) -> Result<Vec<RankPlacement>> {
         match self {
-            Placement::Scheme(scheme) => scheme.resolve(machine, nranks),
+            Placement::Scheme(scheme) => scheme.resolve_with(machine, nranks, misplacement),
             Placement::ScatterLocal => Ok(os_scatter(machine, nranks)?
                 .into_iter()
                 .map(|core| RankPlacement::new(core, policy::local(machine, core)))
@@ -169,6 +199,32 @@ fn blas_key(variant: BlasVariant) -> &'static str {
 
 fn blas_parse(s: &str) -> Option<BlasVariant> {
     [BlasVariant::Acml, BlasVariant::Vanilla].into_iter().find(|&v| blas_key(v) == s)
+}
+
+fn cg_class_key(class: CgClass) -> &'static str {
+    match class {
+        CgClass::S => "s",
+        CgClass::A => "a",
+        CgClass::B => "b",
+        CgClass::C => "c",
+    }
+}
+
+fn cg_class_parse(s: &str) -> Option<CgClass> {
+    [CgClass::S, CgClass::A, CgClass::B, CgClass::C].into_iter().find(|&c| cg_class_key(c) == s)
+}
+
+fn ft_class_key(class: FtClass) -> &'static str {
+    match class {
+        FtClass::S => "s",
+        FtClass::A => "a",
+        FtClass::B => "b",
+        FtClass::C => "c",
+    }
+}
+
+fn ft_class_parse(s: &str) -> Option<FtClass> {
+    [FtClass::S, FtClass::A, FtClass::B, FtClass::C].into_iter().find(|&c| ft_class_key(c) == s)
 }
 
 /// The workload appended to the world — every parameter fully resolved
@@ -283,6 +339,34 @@ pub enum Workload {
         /// Round trips.
         reps: usize,
     },
+    /// NAS CG (conjugate gradient, irregular communication).
+    NasCg {
+        /// Problem class.
+        class: CgClass,
+    },
+    /// NAS FT (3-D FFT, all-to-all transposes).
+    NasFt {
+        /// Problem class.
+        class: FtClass,
+    },
+    /// HPCC "Single" DAXPY: rank 0 runs, the rest idle.
+    DaxpySingle {
+        /// Vector length per rank.
+        n: usize,
+        /// Repetitions.
+        reps: usize,
+        /// BLAS implementation.
+        variant: BlasVariant,
+    },
+    /// HPCC "Star" DAXPY: every rank runs concurrently.
+    DaxpyStar {
+        /// Vector length per rank.
+        n: usize,
+        /// Repetitions.
+        reps: usize,
+        /// BLAS implementation.
+        variant: BlasVariant,
+    },
 }
 
 impl Workload {
@@ -302,6 +386,10 @@ impl Workload {
             Workload::RandomAccessMpi { .. } => "randomaccess-mpi",
             Workload::Ptrans { .. } => "ptrans",
             Workload::PingPong { .. } => "pingpong",
+            Workload::NasCg { .. } => "nas-cg",
+            Workload::NasFt { .. } => "nas-ft",
+            Workload::DaxpySingle { .. } => "daxpy-single",
+            Workload::DaxpyStar { .. } => "daxpy-star",
         }
     }
 
@@ -367,6 +455,18 @@ impl Workload {
                     world.p2p(1, 0, bytes);
                 }
             }
+            Workload::NasCg { class } => {
+                CgKernel { class }.append_run(world);
+            }
+            Workload::NasFt { class } => {
+                FtKernel { class }.append_run(world);
+            }
+            Workload::DaxpySingle { n, reps, variant } => {
+                append_daxpy_single(world, &DaxpyParams { n, reps, variant });
+            }
+            Workload::DaxpyStar { n, reps, variant } => {
+                append_daxpy_star(world, &DaxpyParams { n, reps, variant });
+            }
         }
     }
 
@@ -407,6 +507,16 @@ impl Workload {
             }
             Workload::PingPong { bytes, reps } => {
                 enc.f64("bytes", bytes).usize("reps", reps);
+            }
+            Workload::NasCg { class } => {
+                enc.tag("class", cg_class_key(class));
+            }
+            Workload::NasFt { class } => {
+                enc.tag("class", ft_class_key(class));
+            }
+            Workload::DaxpySingle { n, reps, variant }
+            | Workload::DaxpyStar { n, reps, variant } => {
+                enc.usize("n", n).usize("reps", reps).tag("variant", blas_key(variant));
             }
         }
     }
@@ -454,6 +564,19 @@ impl Workload {
             ),
             Workload::PingPong { bytes, reps } => {
                 format!("{{\"kind\":\"{kind}\",\"bytes\":{},\"reps\":{reps}}}", json::num(bytes))
+            }
+            Workload::NasCg { class } => {
+                format!("{{\"kind\":\"{kind}\",\"class\":\"{}\"}}", cg_class_key(class))
+            }
+            Workload::NasFt { class } => {
+                format!("{{\"kind\":\"{kind}\",\"class\":\"{}\"}}", ft_class_key(class))
+            }
+            Workload::DaxpySingle { n, reps, variant }
+            | Workload::DaxpyStar { n, reps, variant } => {
+                format!(
+                    "{{\"kind\":\"{kind}\",\"n\":{n},\"reps\":{reps},\"variant\":\"{}\"}}",
+                    blas_key(variant),
+                )
             }
         }
     }
@@ -526,6 +649,33 @@ impl Workload {
                 Workload::Ptrans { n: u("n")?, reps: u("reps")?, block_bytes: f("block_bytes")? }
             }
             "pingpong" => Workload::PingPong { bytes: f("bytes")?, reps: u("reps")? },
+            "nas-cg" => Workload::NasCg {
+                class: v
+                    .get("class")
+                    .and_then(Value::as_str)
+                    .and_then(cg_class_parse)
+                    .ok_or("bad nas-cg \"class\" (s|a|b|c)")?,
+            },
+            "nas-ft" => Workload::NasFt {
+                class: v
+                    .get("class")
+                    .and_then(Value::as_str)
+                    .and_then(ft_class_parse)
+                    .ok_or("bad nas-ft \"class\" (s|a|b|c)")?,
+            },
+            "daxpy-single" | "daxpy-star" => {
+                let variant = v
+                    .get("variant")
+                    .and_then(Value::as_str)
+                    .and_then(blas_parse)
+                    .ok_or("bad daxpy \"variant\"")?;
+                let (n, reps) = (u("n")?, u("reps")?);
+                if kind == "daxpy-single" {
+                    Workload::DaxpySingle { n, reps, variant }
+                } else {
+                    Workload::DaxpyStar { n, reps, variant }
+                }
+            }
             other => return Err(format!("unknown workload kind '{other}'")),
         })
     }
@@ -652,6 +802,10 @@ pub struct Scenario {
     pub recovery: Option<CheckpointPolicy>,
     /// Transport retry policy, if any.
     pub retry: Option<RetryPolicy>,
+    /// The calibration point the machine and MPI substrate are built
+    /// from. Part of the identity: every field is folded into the digest,
+    /// so results can never alias across parameter points.
+    pub params: CalibParams,
 }
 
 impl Scenario {
@@ -670,7 +824,15 @@ impl Scenario {
             faults: FaultPlan::new(),
             recovery: None,
             retry: None,
+            params: CalibParams::paper_2006(),
         }
+    }
+
+    /// Sets the calibration point.
+    #[must_use]
+    pub fn with_params(mut self, params: CalibParams) -> Self {
+        self.params = params;
+        self
     }
 
     /// Sets the fidelity tag.
@@ -741,6 +903,11 @@ impl Scenario {
                 self.nranks
             )));
         }
+        if !self.params.in_bounds() {
+            return Err(Error::InvalidSpec(
+                "scenario calibration point is outside its documented bounds".to_string(),
+            ));
+        }
         Ok(())
     }
 
@@ -750,7 +917,15 @@ impl Scenario {
     pub fn digest(&self) -> Digest {
         let mut enc = Encoder::new();
         enc.str("engine", crate::ENGINE_TAG);
-        encode_machine_spec(&mut enc, &self.system.spec());
+        encode_machine_spec(&mut enc, &self.system.spec_with(&self.params));
+        // The spec covers the machine-side parameters; fold every calib
+        // field in explicitly as well so the MPI/placement parameters
+        // (and any future field the spec does not surface) are
+        // guaranteed to separate digests.
+        enc.list("calib", CalibParams::FIELDS.len());
+        for field in &CalibParams::FIELDS {
+            enc.f64(field.name, field.read(&self.params));
+        }
         enc.tag("system", self.system.key())
             .tag("fidelity", self.fidelity.key())
             .usize("nranks", self.nranks)
@@ -800,9 +975,11 @@ impl Scenario {
     /// Propagates placement and engine errors.
     pub fn run(&self) -> Result<ScenarioResult> {
         self.validate()?;
-        let machine = self.system.machine();
-        let placements = self.placement.resolve(&machine, self.nranks)?;
-        let mut world = CommWorld::new(&machine, placements, self.mpi.profile(), self.lock);
+        let machine = self.system.machine_with(&self.params);
+        let placements =
+            self.placement.resolve_with(&machine, self.nranks, self.params.misplacement)?;
+        let mut world =
+            CommWorld::new(&machine, placements, self.mpi.profile_with(&self.params), self.lock);
         self.workload.append(&mut world);
         if let Some(policy) = &self.recovery {
             world = world.with_recovery(policy.clone());
@@ -852,6 +1029,13 @@ impl Scenario {
                 json::num(r.backoff),
                 r.max_retries,
             ));
+        }
+        if self.params != CalibParams::paper_2006() {
+            let fields: Vec<String> = CalibParams::FIELDS
+                .iter()
+                .map(|f| format!("\"{}\":{}", f.name, json::num(f.read(&self.params))))
+                .collect();
+            out.push_str(&format!(",\"params\":{{{}}}", fields.join(",")));
         }
         out.push('}');
         out
@@ -947,6 +1131,17 @@ impl Scenario {
                 Some(policy)
             }
         };
+        let mut params = CalibParams::paper_2006();
+        if let Some(obj) = v.get("params") {
+            let entries = obj.as_obj().ok_or("\"params\" must be an object")?;
+            for (key, value) in entries {
+                let field = CalibParams::field(key)
+                    .ok_or_else(|| format!("unknown calibration parameter '{key}'"))?;
+                let value =
+                    value.as_f64().ok_or_else(|| format!("bad calibration value for '{key}'"))?;
+                field.write(&mut params, value);
+            }
+        }
         Ok(Scenario {
             system,
             fidelity,
@@ -958,6 +1153,7 @@ impl Scenario {
             faults,
             recovery,
             retry,
+            params,
         })
     }
 }
@@ -1173,10 +1369,103 @@ mod tests {
             Workload::RandomAccessMpi { table_words_per_rank: 512, updates_per_rank: 64 },
             Workload::Ptrans { n: 64, reps: 1, block_bytes: 1e5 },
             Workload::PingPong { bytes: 1024.0, reps: 3 },
+            Workload::NasCg { class: CgClass::A },
+            Workload::NasFt { class: FtClass::B },
+            Workload::DaxpySingle { n: 1000, reps: 2, variant: BlasVariant::Acml },
+            Workload::DaxpyStar { n: 1000, reps: 2, variant: BlasVariant::Vanilla },
         ];
         for w in workloads {
             let parsed = Workload::from_json(&json::parse(&w.to_json()).unwrap()).unwrap();
             assert_eq!(parsed, w, "{}", w.kind());
+        }
+    }
+
+    #[test]
+    fn digest_separates_every_calibration_field() {
+        let base = bsp(System::Dmz, 4);
+        let d0 = base.digest();
+        for (i, field) in CalibParams::FIELDS.iter().enumerate() {
+            let mut params = CalibParams::paper_2006();
+            // Nudge the field to a distinct in-bounds value.
+            let v = params.get(i);
+            let nudged =
+                if v < field.hi { (v + 0.25 * (field.hi - v)).min(field.hi) } else { field.lo };
+            params.set(i, nudged);
+            let other = base.clone().with_params(params);
+            assert_ne!(d0, other.digest(), "field '{}' must separate digests", field.name);
+        }
+    }
+
+    #[test]
+    fn default_params_leave_digest_and_json_unchanged() {
+        let base = bsp(System::Dmz, 4);
+        let explicit = base.clone().with_params(CalibParams::paper_2006());
+        assert_eq!(base.digest(), explicit.digest());
+        // Default-point scenarios keep the pre-params JSON shape.
+        assert!(!base.to_json().contains("\"params\""));
+    }
+
+    #[test]
+    fn params_json_round_trips_and_preserves_the_digest() {
+        let mut params = CalibParams::paper_2006();
+        params.dram_latency *= 1.25;
+        params.ht_bandwidth *= 0.75;
+        let s = bsp(System::Longs, 8).with_params(params);
+        let text = s.to_json();
+        assert!(text.contains("\"params\""), "{text}");
+        let parsed = Scenario::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.digest(), s.digest());
+        // Unknown parameter names are rejected, not ignored.
+        let bad = json::parse(
+            r#"{"system":"dmz","nranks":2,"workload":{"kind":"pingpong","bytes":8,"reps":1},
+                "params":{"warp_factor":9}}"#,
+        )
+        .unwrap();
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.contains("warp_factor"), "{err}");
+    }
+
+    #[test]
+    fn perturbed_params_change_the_outcome() {
+        let base = Scenario::new(
+            System::Dmz,
+            2,
+            Workload::StreamStar {
+                kernel: StreamKernel::Triad,
+                elements_per_rank: 100_000,
+                sweeps: 2,
+            },
+        );
+        let mut slow = CalibParams::paper_2006();
+        slow.dram_bandwidth *= 0.5;
+        let perturbed = base.clone().with_params(slow);
+        let t0 = base.run().unwrap().makespan;
+        let t1 = perturbed.run().unwrap().makespan;
+        assert!(t1 > 1.2 * t0, "halving DRAM bandwidth must slow STREAM: {t0} -> {t1}");
+    }
+
+    #[test]
+    fn out_of_bounds_params_fail_validation() {
+        let mut params = CalibParams::paper_2006();
+        params.dram_latency = 1.0;
+        let s = bsp(System::Dmz, 2).with_params(params);
+        assert!(s.validate().is_err());
+        assert!(s.run().is_err());
+    }
+
+    #[test]
+    fn nas_and_daxpy_workloads_run() {
+        let cg = Scenario::new(System::Dmz, 4, Workload::NasCg { class: CgClass::S });
+        let ft = Scenario::new(System::Dmz, 4, Workload::NasFt { class: FtClass::S });
+        let daxpy = Scenario::new(
+            System::Dmz,
+            4,
+            Workload::DaxpyStar { n: 10_000, reps: 2, variant: BlasVariant::Vanilla },
+        );
+        for s in [cg, ft, daxpy] {
+            let r = s.run().unwrap();
+            assert!(r.makespan > 0.0, "{}", s.workload.kind());
         }
     }
 

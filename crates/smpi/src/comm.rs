@@ -181,7 +181,7 @@ impl<'m> CommWorld<'m> {
     /// SysV semaphore sub-layer is so expensive per message.
     pub fn recv(&mut self, dst: usize, src: usize, tag: u64) -> &mut Self {
         self.programs[dst].recv(RankId::new(src), tag);
-        self.programs[dst].delay(self.lock.cost());
+        self.programs[dst].delay(self.profile.lock_cost(self.lock));
         self
     }
 

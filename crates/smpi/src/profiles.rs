@@ -11,6 +11,7 @@
 //!   high cost of the Linux implementation of the SystemV semaphore"),
 //!   while USysV spin locks cost ~100 ns.
 
+use corescope_machine::CalibParams;
 use std::fmt;
 
 /// Shared-memory lock sub-layer used by the MPI progress engine.
@@ -85,6 +86,9 @@ impl MpiImpl {
                 eager_threshold: 128.0 * 1024.0,
                 rendezvous_handshake: 1.0e-6,
                 default_lock: LockLayer::USysV,
+                lock_sysv: LockLayer::SysV.cost(),
+                lock_usysv: LockLayer::USysV.cost(),
+                same_socket_boost: MpiProfile::SAME_SOCKET_BW_BOOST,
             },
             // Lowest small-message overhead, weakest bulk copy.
             MpiImpl::Lam => MpiProfile {
@@ -96,6 +100,9 @@ impl MpiImpl {
                 // LAM's stock build used the SysV semaphore sub-layer;
                 // "usysv" was the tuning the paper evaluates.
                 default_lock: LockLayer::SysV,
+                lock_sysv: LockLayer::SysV.cost(),
+                lock_usysv: LockLayer::USysV.cost(),
+                same_socket_boost: MpiProfile::SAME_SOCKET_BW_BOOST,
             },
             // Middle overhead, good intermediate-size streaming.
             MpiImpl::OpenMpi => MpiProfile {
@@ -105,7 +112,23 @@ impl MpiImpl {
                 eager_threshold: 64.0 * 1024.0,
                 rendezvous_handshake: 1.2e-6,
                 default_lock: LockLayer::USysV,
+                lock_sysv: LockLayer::SysV.cost(),
+                lock_usysv: LockLayer::USysV.cost(),
+                same_socket_boost: MpiProfile::SAME_SOCKET_BW_BOOST,
             },
+        }
+    }
+
+    /// The implementation's profile with the lock costs and same-socket
+    /// boost taken from a calibration point instead of the shipped
+    /// constants. `CalibParams::paper_2006()` reproduces
+    /// [`MpiImpl::profile`] exactly.
+    pub fn profile_with(self, p: &CalibParams) -> MpiProfile {
+        MpiProfile {
+            lock_sysv: p.lock_sysv,
+            lock_usysv: p.lock_usysv,
+            same_socket_boost: p.same_socket_boost,
+            ..self.profile()
         }
     }
 }
@@ -133,6 +156,16 @@ pub struct MpiProfile {
     pub rendezvous_handshake: f64,
     /// Lock sub-layer used when the caller does not override it.
     pub default_lock: LockLayer,
+    /// Per-message [`LockLayer::SysV`] cost in seconds (calibratable;
+    /// defaults to [`LockLayer::cost`]).
+    pub lock_sysv: f64,
+    /// Per-message [`LockLayer::USysV`] cost in seconds (calibratable;
+    /// defaults to [`LockLayer::cost`]).
+    pub lock_usysv: f64,
+    /// Intra-socket copy bandwidth boost this profile applies
+    /// (calibratable; defaults to
+    /// [`MpiProfile::SAME_SOCKET_BW_BOOST`]).
+    pub same_socket_boost: f64,
 }
 
 impl MpiProfile {
@@ -141,6 +174,16 @@ impl MpiProfile {
     /// coherent HyperTransport). The paper measures "approximately 10 to
     /// 13%" — we use 12%.
     pub const SAME_SOCKET_BW_BOOST: f64 = 1.12;
+
+    /// Per-message cost of a lock sub-layer under this profile's
+    /// calibration. Equals [`LockLayer::cost`] for profiles built by
+    /// [`MpiImpl::profile`].
+    pub fn lock_cost(&self, lock: LockLayer) -> f64 {
+        match lock {
+            LockLayer::SysV => self.lock_sysv,
+            LockLayer::USysV => self.lock_usysv,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +224,36 @@ mod tests {
         assert!(bw(&o, 64.0 * 1024.0) > bw(&l, 64.0 * 1024.0));
         assert!(bw(&m, 4e6) > bw(&l, 4e6));
         assert!(bw(&m, 4e6) > bw(&o, 4e6));
+    }
+
+    #[test]
+    fn profiles_carry_the_shipped_calibration() {
+        for imp in MpiImpl::all() {
+            let p = imp.profile();
+            assert_eq!(p.lock_cost(LockLayer::SysV), LockLayer::SysV.cost());
+            assert_eq!(p.lock_cost(LockLayer::USysV), LockLayer::USysV.cost());
+            assert_eq!(p.same_socket_boost, MpiProfile::SAME_SOCKET_BW_BOOST);
+        }
+    }
+
+    #[test]
+    fn profile_with_paper_point_matches_profile() {
+        let point = CalibParams::paper_2006();
+        for imp in MpiImpl::all() {
+            assert_eq!(imp.profile_with(&point), imp.profile());
+        }
+    }
+
+    #[test]
+    fn profile_with_overrides_lock_costs() {
+        let mut point = CalibParams::paper_2006();
+        point.lock_sysv = 5.0e-6;
+        point.same_socket_boost = 1.25;
+        let p = MpiImpl::Lam.profile_with(&point);
+        assert_eq!(p.lock_cost(LockLayer::SysV), 5.0e-6);
+        assert_eq!(p.same_socket_boost, 1.25);
+        // Non-calibrated fields still come from the base profile.
+        assert_eq!(p.overhead, MpiImpl::Lam.profile().overhead);
     }
 
     #[test]

@@ -42,15 +42,15 @@ pub fn message_cost(
     let hop_latency = machine.spec().link.hop_latency;
 
     let rendezvous_sized = bytes > profile.eager_threshold;
-    let mut setup = profile.overhead + lock.cost() + hops * hop_latency;
+    let mut setup = profile.overhead + profile.lock_cost(lock) + hops * hop_latency;
     if rendezvous_sized {
         // Request-to-send / clear-to-send round trip plus a second lock.
-        setup += profile.rendezvous_handshake + lock.cost() + 2.0 * hops * hop_latency;
+        setup += profile.rendezvous_handshake + profile.lock_cost(lock) + 2.0 * hops * hop_latency;
     }
 
     let mut cap = profile.copy_bw;
     if s_src == s_dst {
-        cap *= MpiProfile::SAME_SOCKET_BW_BOOST;
+        cap *= profile.same_socket_boost;
     }
 
     // The copies read the source buffer and write the destination buffer:
