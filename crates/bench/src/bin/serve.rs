@@ -1,200 +1,150 @@
-//! `corescope-serve` — batch simulation service over NDJSON.
+//! `corescope-serve` — overload-safe batch simulation service over NDJSON.
 //!
 //! ```text
-//! corescope-serve                      # serve requests from stdin
-//! corescope-serve --jobs 8             # fan each batch out over 8 workers
-//! corescope-serve --cache results/.cache  # persistent result cache
-//! corescope-serve --listen 127.0.0.1:7777 # serve TCP clients instead
-//! corescope-serve --batch 16           # bounded queue: ≤16 requests held
+//! corescope-serve                       # serve requests from stdin
+//! corescope-serve --jobs 8              # fan each batch out over 8 workers
+//! corescope-serve --cache results/.cache   # persistent, cross-process-safe cache
+//! corescope-serve --listen 127.0.0.1:7777  # serve concurrent TCP clients
+//! corescope-serve --batch 16            # bounded queue: ≤16 requests held per client
+//! corescope-serve --max-inflight 256    # global admission bound
+//! corescope-serve --quota 32            # per-peer in-flight cap
+//! corescope-serve --default-deadline 5000  # shed work older than 5s
 //! ```
 //!
 //! One request per line, one response line per request, in input order.
 //! Two request shapes:
 //!
-//! - a [`Scenario`] object (the format `Scenario::to_json` emits), e.g.
+//! - a scenario object (the format `Scenario::to_json` emits), e.g.
 //!   `{"system":"dmz","nranks":2,"workload":{"kind":"bsp",...}}` — run
 //!   through the scheduler, answered with the engine result, the cache
-//!   tier that satisfied it and the wall-clock of the batch it ran in;
+//!   tier that satisfied it and the wall-clock of the batch it ran in.
+//!   An optional `"deadline_ms"` field sheds the request with a typed
+//!   `"kind":"deadline"` response if it cannot be dispatched in time;
 //! - an artifact request `{"artifact":"t2","fidelity":"quick"}` — the
 //!   harness regenerates the tables (scenario sweeps inside go through
 //!   the same scheduler/cache) and the response carries them as CSV.
 //!
-//! Requests are executed in bounded batches of up to `--batch` lines —
-//! the queue never holds more than that many requests, which is the
-//! service's backpressure: a client streaming thousands of scenarios is
-//! drained chunk by chunk. Responses for a chunk stream back before the
-//! next chunk is read. Use `--batch 1` for strictly request-by-request
-//! operation. A `sched: …` summary line lands on stderr at shutdown.
+//! Overload never queues unboundedly: past `--max-inflight` (globally)
+//! or `--quota` (per peer) a request is answered immediately with
+//! `{"ok":false,"kind":"overloaded"|"quota","retry_after_ms":…}`.
+//! Malformed lines get `"kind":"bad-request"`, lines past
+//! `--max-line-bytes` get `"kind":"too-large"`; the connection survives
+//! all of them. SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+//! finish or deadline-out in-flight work, flush every connection, then
+//! print the `serve:` and `sched:` summaries on stderr. The actual
+//! service lives in `corescope_sched::serve`; this binary only parses
+//! flags and wires signals.
 
-use corescope_bench::Fidelity;
-use corescope_harness::Artifact;
-use corescope_sched::{json, ResultCache, Scenario, Scheduler};
-use std::io::{BufRead, BufReader, Write};
+use corescope_harness::serve_artifact_runner;
+use corescope_sched::{ResultCache, Scheduler, ServeConfig, Server};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Arc;
 
 struct Options {
     jobs: usize,
-    batch: usize,
     cache_dir: Option<PathBuf>,
     listen: Option<String>,
+    config: ServeConfig,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut jobs = 1;
-    let mut batch = 32;
-    let mut cache_dir = None;
-    let mut listen = None;
+    let mut options =
+        Options { jobs: 1, cache_dir: None, listen: None, config: ServeConfig::default() };
     let mut args = std::env::args().skip(1);
+    fn count(flag: &str, value: Option<String>) -> Result<usize, String> {
+        value
+            .ok_or(format!("{flag} needs a count"))?
+            .parse::<usize>()
+            .map_err(|e| format!("{flag}: {e}"))
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--jobs" | "-j" => {
-                jobs = args
-                    .next()
-                    .ok_or("--jobs needs a count")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--jobs: {e}"))?
-                    .max(1);
+            "--jobs" | "-j" => options.jobs = count("--jobs", args.next())?.max(1),
+            "--batch" | "-b" => options.config.batch = count("--batch", args.next())?.max(1),
+            "--max-inflight" => {
+                options.config.max_inflight = count("--max-inflight", args.next())?.max(1);
             }
-            "--batch" | "-b" => {
-                batch = args
+            "--max-clients" => {
+                options.config.max_clients = count("--max-clients", args.next())?.max(1);
+            }
+            "--quota" => options.config.quota = count("--quota", args.next())?.max(1),
+            "--max-line-bytes" => {
+                options.config.max_line_bytes = count("--max-line-bytes", args.next())?.max(64);
+            }
+            "--default-deadline" => {
+                let ms = args
                     .next()
-                    .ok_or("--batch needs a count")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--batch: {e}"))?
-                    .max(1);
+                    .ok_or("--default-deadline needs milliseconds")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--default-deadline: {e}"))?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err("--default-deadline must be a non-negative number".to_string());
+                }
+                options.config.default_deadline_ms = Some(ms);
             }
             "--cache" => {
                 let dir = args.next().ok_or("--cache needs a directory")?;
-                cache_dir = Some(PathBuf::from(dir));
+                options.cache_dir = Some(PathBuf::from(dir));
             }
             "--listen" => {
-                listen = Some(args.next().ok_or("--listen needs an address (host:port)")?);
+                options.listen = Some(args.next().ok_or("--listen needs an address (host:port)")?);
             }
             "--help" | "-h" => {
                 println!(
                     "usage: corescope-serve [--jobs <n>] [--batch <n>] [--cache <dir>] \
-                     [--listen <host:port>]"
+                     [--listen <host:port>] [--max-inflight <n>] [--max-clients <n>] \
+                     [--quota <n>] [--default-deadline <ms>] [--max-line-bytes <n>]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
-    Ok(Options { jobs, batch, cache_dir, listen })
+    Ok(options)
 }
 
-/// A parsed request line.
-enum Request {
-    Scenario(Box<Scenario>),
-    Artifact { artifact: Artifact, fidelity: Fidelity },
-}
+/// Minimal SIGINT/SIGTERM hook: sets the server's shutdown flag so the
+/// accept loop drains instead of dying mid-response. No signal crate is
+/// vendored, so this declares `signal(2)` directly — the handler only
+/// touches an atomic and re-arms the default disposition (both
+/// async-signal-safe), so a second signal force-exits a stuck drain.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
 
-fn parse_request(line: &str) -> Result<Request, String> {
-    let value = json::parse(line)?;
-    if let Some(id) = value.get("artifact") {
-        let id = id.as_str().ok_or("'artifact' must be a string id such as \"t2\"")?;
-        let artifact = Artifact::from_id(id).map_err(|e| e.to_string())?;
-        let fidelity = match value.get("fidelity").and_then(|f| f.as_str()) {
-            None => Fidelity::Quick,
-            Some(key) => Fidelity::parse(key)
-                .ok_or_else(|| format!("unknown fidelity '{key}' (full or quick)"))?,
-        };
-        return Ok(Request::Artifact { artifact, fidelity });
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
     }
-    Scenario::from_json(&value).map(|s| Request::Scenario(Box::new(s)))
-}
 
-/// Runs one bounded chunk of request lines and writes one response line
-/// per request, in input order.
-///
-/// Scenario requests across the chunk are gathered into a single
-/// scheduler batch, so they share workers and in-flight dedup; artifact
-/// requests run one at a time (their internal sweeps already fan out
-/// through the same scheduler).
-fn handle_chunk(lines: &[String], sched: &Scheduler, out: &mut impl Write) -> std::io::Result<()> {
-    let requests: Vec<Result<Request, String>> = lines.iter().map(|l| parse_request(l)).collect();
-    let scenarios: Vec<Scenario> = requests
-        .iter()
-        .filter_map(|r| match r {
-            Ok(Request::Scenario(s)) => Some((**s).clone()),
-            _ => None,
-        })
-        .collect();
-    let started = Instant::now();
-    let mut outcomes = sched.run_batch(&scenarios).into_iter();
-    let batch_ms = started.elapsed().as_secs_f64() * 1e3;
-
-    for request in requests {
-        let line = match request {
-            Err(e) => error_line(&e),
-            Ok(Request::Scenario(scenario)) => {
-                let digest = scenario.digest();
-                match outcomes.next().expect("one batch outcome per scenario request") {
-                    Err(e) => error_line(&e.to_string()),
-                    Ok(completed) => format!(
-                        "{{\"ok\":true,\"digest\":\"{digest}\",\"cache\":\"{}\",\
-                         \"batch_ms\":{},\"result\":{}}}",
-                        completed.tier.key(),
-                        json::num(batch_ms),
-                        completed.result.to_json()
-                    ),
-                }
-            }
-            Ok(Request::Artifact { artifact, fidelity }) => {
-                let started = Instant::now();
-                match artifact.run_with(fidelity, sched) {
-                    Err(e) => error_line(&e.to_string()),
-                    Ok(tables) => {
-                        let csv: Vec<String> = tables
-                            .iter()
-                            .map(|t| format!("\"{}\"", json::escape(&t.to_csv())))
-                            .collect();
-                        format!(
-                            "{{\"ok\":true,\"artifact\":\"{}\",\"latency_ms\":{},\
-                             \"tables\":[{}]}}",
-                            artifact.id(),
-                            json::num(started.elapsed().as_secs_f64() * 1e3),
-                            csv.join(",")
-                        )
-                    }
-                }
-            }
-        };
-        writeln!(out, "{line}")?;
-    }
-    out.flush()
-}
-
-fn error_line(message: &str) -> String {
-    format!("{{\"ok\":false,\"error\":\"{}\"}}", json::escape(message))
-}
-
-/// Drains `input` in bounded chunks of at most `batch` non-empty lines.
-fn serve(
-    input: impl BufRead,
-    out: &mut impl Write,
-    sched: &Scheduler,
-    batch: usize,
-) -> std::io::Result<()> {
-    let mut lines = input.lines();
-    loop {
-        let mut chunk = Vec::new();
-        for line in lines.by_ref() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            chunk.push(line);
-            if chunk.len() >= batch {
-                break;
-            }
+    extern "C" fn on_signal(signum: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
         }
-        if chunk.is_empty() {
-            return Ok(());
-        }
-        handle_chunk(&chunk, sched, out)?;
+        unsafe { signal(signum, SIG_DFL) };
     }
+
+    pub fn install(flag: Arc<AtomicBool>) {
+        let _ = FLAG.set(flag);
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install(_flag: Arc<AtomicBool>) {}
 }
 
 fn main() {
@@ -210,39 +160,41 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(options.jobs, |n| n.get());
     let jobs = options.jobs.min(cores.max(1));
     let sched = match &options.cache_dir {
-        Some(dir) => Scheduler::with_cache(jobs, ResultCache::on_disk(dir)),
+        Some(dir) => match ResultCache::try_on_disk(dir) {
+            Ok(cache) => Scheduler::with_cache(jobs, cache),
+            Err(e) => {
+                eprintln!("corescope-serve: {e}");
+                std::process::exit(2);
+            }
+        },
         None => Scheduler::new(jobs),
     };
+    let sched = Arc::new(sched);
+    let server = Server::new(Arc::clone(&sched), options.config)
+        .with_artifact_runner(serve_artifact_runner(Arc::clone(&sched)));
+    signals::install(server.shutdown_flag());
 
     let outcome = match &options.listen {
         None => {
             let stdin = std::io::stdin().lock();
             let mut stdout = std::io::stdout().lock();
-            serve(stdin, &mut stdout, &sched, options.batch)
+            server.serve_io(stdin, &mut stdout, "stdin")
         }
-        Some(addr) => listen_loop(addr, &sched, options.batch),
+        Some(addr) => match std::net::TcpListener::bind(addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("corescope-serve: listening on {local}"),
+                    Err(_) => eprintln!("corescope-serve: listening on {addr}"),
+                }
+                server.listen(listener)
+            }
+            Err(e) => Err(e),
+        },
     };
+    eprintln!("{}", server.summary());
     eprintln!("{}", sched.summary());
     if let Err(e) = outcome {
         eprintln!("corescope-serve: {e}");
         std::process::exit(1);
     }
-}
-
-/// Accepts TCP clients one at a time; each connection speaks the same
-/// NDJSON protocol as stdin mode and is drained to EOF before the next
-/// client is accepted.
-fn listen_loop(addr: &str, sched: &Scheduler, batch: usize) -> std::io::Result<()> {
-    let listener = std::net::TcpListener::bind(addr)?;
-    eprintln!("corescope-serve: listening on {}", listener.local_addr()?);
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let peer = stream.peer_addr()?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        if let Err(e) = serve(reader, &mut writer, sched, batch) {
-            eprintln!("corescope-serve: client {peer}: {e}");
-        }
-    }
-    Ok(())
 }

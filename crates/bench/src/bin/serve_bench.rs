@@ -1,0 +1,383 @@
+//! `serve_bench` — concurrent load generator for the NDJSON service,
+//! emitting `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_bench                        # 4 clients × 24 requests → BENCH_serve.json
+//! serve_bench --clients 8 --requests 64
+//! serve_bench --max-inflight 4       # provoke the admission gate
+//! serve_bench --out bench/           # write the JSON elsewhere
+//! ```
+//!
+//! Starts an in-process [`Server`] on a loopback port and drives it with
+//! N concurrent clients, each pipelining M requests of an adversarial
+//! mix: tiny BSP scenarios (spread over distinct digests), periodic
+//! artifact requests (large CSV responses), deadline-storm requests
+//! (`"deadline_ms":1`), and outright garbage lines. Every client then
+//! validates the protocol invariants:
+//!
+//! - exactly one response line per request line, then EOF — no desync;
+//! - responses arrive in request order (checked via the scenario digest
+//!   echoed in each `ok` line);
+//! - every non-`ok` response is typed (`bad-request`, `overloaded`,
+//!   `quota`, `deadline`, …), and garbage lines are *always* answered
+//!   with `bad-request` — never silently dropped.
+//!
+//! Violations make the bench exit non-zero, so CI catches protocol
+//! regressions along with performance ones. The emitted JSON carries
+//! p50/p99 response latency, throughput, shed rate and the measured
+//! graceful-drain time (request in flight at SIGTERM-equivalent →
+//! listener fully joined).
+
+use corescope_harness::serve_artifact_runner;
+use corescope_sched::{json, Scenario, Scheduler, ServeConfig, Server, System, Workload};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    clients: usize,
+    requests: usize,
+    jobs: usize,
+    max_inflight: usize,
+    quota: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        clients: 4,
+        requests: 24,
+        jobs: 2,
+        max_inflight: 1024,
+        quota: 256,
+        out: std::path::PathBuf::from("BENCH_serve.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    fn count(flag: &str, value: Option<String>) -> Result<usize, String> {
+        value
+            .ok_or(format!("{flag} needs a count"))?
+            .parse::<usize>()
+            .map_err(|e| format!("{flag}: {e}"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" | "-c" => options.clients = count("--clients", args.next())?.max(1),
+            "--requests" | "-n" => options.requests = count("--requests", args.next())?.max(1),
+            "--jobs" | "-j" => options.jobs = count("--jobs", args.next())?.max(1),
+            "--max-inflight" => {
+                options.max_inflight = count("--max-inflight", args.next())?.max(1);
+            }
+            "--quota" => options.quota = count("--quota", args.next())?.max(1),
+            "--out" | "-o" => {
+                options.out = std::path::PathBuf::from(args.next().ok_or("--out needs a path")?);
+                if options.out.is_dir() {
+                    options.out = options.out.join("BENCH_serve.json");
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_bench [--clients <n>] [--requests <n>] [--jobs <n>] \
+                     [--max-inflight <n>] [--quota <n>] [--out <path>]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+/// One request in a client's script, with its acceptable responses.
+enum Planned {
+    /// A scenario; `ok` responses must echo this digest.
+    Scenario { line: String, digest: String, deadline: bool },
+    /// An artifact request (`t1`); `ok` responses must name it.
+    Artifact,
+    /// A garbage line; the only legal answer is `bad-request`.
+    Garbage,
+}
+
+fn bsp(steps: usize) -> Scenario {
+    Scenario::new(
+        System::Dmz,
+        2,
+        Workload::Bsp { steps, flops_per_step: 1e6, bytes_per_step: 1e6, sync_bytes: 8.0 },
+    )
+}
+
+fn plan(client: usize, i: usize) -> Planned {
+    if i % 8 == 7 {
+        return Planned::Artifact;
+    }
+    if i % 11 == 10 {
+        return Planned::Garbage;
+    }
+    let scenario = bsp(1 + (client * 31 + i * 7) % 16);
+    let digest = scenario.digest().hex();
+    let deadline = i % 5 == 4;
+    let line = if deadline {
+        scenario.to_json().replacen('{', "{\"deadline_ms\":1,", 1)
+    } else {
+        scenario.to_json()
+    };
+    Planned::Scenario { line, digest, deadline }
+}
+
+#[derive(Default)]
+struct ClientReport {
+    latencies_ms: Vec<f64>,
+    responses: usize,
+    sheds: usize,
+    violations: Vec<String>,
+}
+
+fn response_kind(value: &json::Value) -> Option<&str> {
+    value.get("kind").and_then(json::Value::as_str)
+}
+
+fn run_client(addr: SocketAddr, client: usize, requests: usize) -> ClientReport {
+    let mut report = ClientReport::default();
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            report.violations.push(format!("client {client}: connect failed: {e}"));
+            return report;
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(e) => {
+            report.violations.push(format!("client {client}: clone failed: {e}"));
+            return report;
+        }
+    };
+    let planned: Vec<Planned> = (0..requests).map(|i| plan(client, i)).collect();
+    let started = Instant::now();
+    for request in &planned {
+        let line = match request {
+            Planned::Scenario { line, .. } => line.clone(),
+            Planned::Artifact => "{\"artifact\":\"t1\",\"fidelity\":\"quick\"}".to_string(),
+            Planned::Garbage => format!("!!! not json {client} !!!"),
+        };
+        if let Err(e) = writeln!(writer, "{line}") {
+            report.violations.push(format!("client {client}: write failed: {e}"));
+            return report;
+        }
+    }
+    let _ = writer.flush();
+    let _ = stream.shutdown(Shutdown::Write);
+
+    let reader = BufReader::new(stream);
+    let mut lines = reader.lines();
+    for (i, request) in planned.iter().enumerate() {
+        let line = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(e)) => {
+                report.violations.push(format!("client {client}: read failed at {i}: {e}"));
+                return report;
+            }
+            None => {
+                report
+                    .violations
+                    .push(format!("client {client}: EOF after {i} of {requests} responses"));
+                return report;
+            }
+        };
+        report.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        report.responses += 1;
+        let value = match json::parse(&line) {
+            Ok(value) => value,
+            Err(e) => {
+                report.violations.push(format!("client {client}: unparseable response {i}: {e}"));
+                continue;
+            }
+        };
+        let ok = matches!(value.get("ok"), Some(json::Value::Bool(true)));
+        let kind = response_kind(&value).map(str::to_string);
+        match request {
+            Planned::Scenario { digest, deadline, .. } => {
+                if ok {
+                    let echoed = value.get("digest").and_then(json::Value::as_str);
+                    if echoed != Some(digest.as_str()) {
+                        report.violations.push(format!(
+                            "client {client}: response {i} out of order \
+                             (digest {echoed:?}, wanted {digest})"
+                        ));
+                    }
+                } else {
+                    let mut allowed = vec!["overloaded", "quota"];
+                    if *deadline {
+                        allowed.push("deadline");
+                    }
+                    match kind.as_deref() {
+                        Some(k) if allowed.contains(&k) => report.sheds += 1,
+                        other => report.violations.push(format!(
+                            "client {client}: response {i} unexpected kind {other:?}"
+                        )),
+                    }
+                }
+            }
+            Planned::Artifact => {
+                if ok {
+                    if value.get("artifact").and_then(json::Value::as_str) != Some("t1") {
+                        report
+                            .violations
+                            .push(format!("client {client}: response {i} is not artifact t1"));
+                    }
+                } else {
+                    match kind.as_deref() {
+                        Some("overloaded") | Some("quota") => report.sheds += 1,
+                        other => report.violations.push(format!(
+                            "client {client}: artifact {i} unexpected kind {other:?}"
+                        )),
+                    }
+                }
+            }
+            Planned::Garbage => {
+                if ok || kind.as_deref() != Some("bad-request") {
+                    report.violations.push(format!(
+                        "client {client}: garbage line {i} not answered bad-request"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(extra) = lines.next() {
+        report.violations.push(format!("client {client}: extra response after EOF: {extra:?}"));
+    }
+    report
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Measures graceful drain: a live connection sends one request, waits
+/// for its (intact) response — so the server is provably mid-connection —
+/// then shutdown is requested and the probe times how long until the
+/// server closes it with a clean EOF, with no torn trailing bytes.
+fn measure_drain(
+    addr: SocketAddr,
+    server: &Server,
+    violations: &mut Vec<String>,
+) -> Result<f64, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("drain probe connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("drain probe clone: {e}"))?;
+    writeln!(writer, "{}", bsp(3).to_json()).map_err(|e| format!("drain probe write: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(|e| format!("drain probe read: {e}"))?;
+    if json::parse(response.trim_end()).is_err() {
+        violations.push(format!("drain probe: torn response line: {response:?}"));
+    }
+    let started = Instant::now();
+    server.request_shutdown();
+    // The connection stays open with no pending request; the drain must
+    // close it cleanly (EOF, not reset) once every worker has joined.
+    for line in reader.lines() {
+        match line {
+            Ok(extra) => violations.push(format!("drain probe: unexpected line: {extra:?}")),
+            Err(e) => {
+                violations.push(format!("drain probe: unclean close: {e}"));
+                break;
+            }
+        }
+    }
+    Ok(started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args()?;
+    let sched = Arc::new(Scheduler::new(options.jobs));
+    let config = ServeConfig {
+        max_inflight: options.max_inflight,
+        quota: options.quota,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(Arc::clone(&sched), config)
+        .with_artifact_runner(serve_artifact_runner(Arc::clone(&sched)));
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let started = Instant::now();
+    let mut violations: Vec<String> = Vec::new();
+    let (reports, load_s, drain_ms, drain_violations) = std::thread::scope(|scope| {
+        let server = &server;
+        let listen = scope.spawn(move || server.listen(listener));
+        let clients: Vec<_> = (0..options.clients)
+            .map(|c| scope.spawn(move || run_client(addr, c, options.requests)))
+            .collect();
+        let reports: Vec<ClientReport> =
+            clients.into_iter().map(|h| h.join().expect("client thread panicked")).collect();
+        let load_s = started.elapsed().as_secs_f64();
+        let mut drain_violations = Vec::new();
+        let drain_ms = match measure_drain(addr, server, &mut drain_violations) {
+            Ok(ms) => ms,
+            Err(e) => {
+                drain_violations.push(e);
+                0.0
+            }
+        };
+        if let Err(e) = listen.join().expect("listener thread panicked") {
+            drain_violations.push(format!("listener failed: {e}"));
+        }
+        (reports, load_s, drain_ms, drain_violations)
+    });
+    violations.extend(drain_violations);
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut responses = 0usize;
+    let mut sheds = 0usize;
+    for report in reports {
+        latencies.extend(report.latencies_ms);
+        responses += report.responses;
+        sheds += report.sheds;
+        violations.extend(report.violations);
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let total_requests = options.clients * options.requests;
+    let shed_rate = if responses == 0 { 1.0 } else { sheds as f64 / responses as f64 };
+    if responses > 0 && shed_rate >= 0.9 {
+        violations.push(format!("shed rate {shed_rate:.2} — the service shed almost everything"));
+    }
+
+    let body = format!(
+        "{{\"bench\":\"serve\",\"clients\":{},\"requests_per_client\":{},\"requests\":{},\
+         \"responses\":{responses},\"p50_ms\":{},\"p99_ms\":{},\"throughput_rps\":{},\
+         \"shed_rate\":{},\"drain_ms\":{},\"protocol_violations\":{}}}\n",
+        options.clients,
+        options.requests,
+        total_requests,
+        json::num(percentile(&latencies, 50.0)),
+        json::num(percentile(&latencies, 99.0)),
+        json::num(if load_s > 0.0 { responses as f64 / load_s } else { 0.0 }),
+        json::num(shed_rate),
+        json::num(drain_ms),
+        violations.len(),
+    );
+    std::fs::write(&options.out, &body)
+        .map_err(|e| format!("writing {}: {e}", options.out.display()))?;
+    print!("{body}");
+    eprintln!("{}", server.summary());
+    eprintln!("{}", sched.summary());
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("serve_bench: VIOLATION: {v}");
+        }
+        return Err(format!("{} protocol violation(s)", violations.len()));
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve_bench: {e}");
+        std::process::exit(1);
+    }
+}

@@ -16,9 +16,78 @@ use crate::encode::Digest;
 use crate::json;
 use crate::scenario::ScenarioResult;
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A typed cache failure, surfaced where degrading to a miss would hide a
+/// configuration problem (e.g. `--cache` pointing at a read-only mount).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The cache directory cannot be created or written.
+    Unwritable {
+        /// The directory that failed the write probe.
+        dir: PathBuf,
+        /// The underlying OS error text.
+        reason: String,
+    },
+    /// An entry exists but cannot be decoded.
+    Corrupt {
+        /// The entry file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Unwritable { dir, reason } => {
+                write!(f, "cache directory {} is not writable: {reason}", dir.display())
+            }
+            CacheError::Corrupt { path, reason } => {
+                write!(f, "corrupt cache entry {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Outcome of [`ResultCache::claim_compute`]: either this caller owns the
+/// computation (holding the cross-process lock, if any), or another
+/// process published the entry while we waited.
+#[derive(Debug)]
+pub enum ComputeClaim {
+    /// We own the computation. `None` means no disk lock is held (cache
+    /// is memory-only, or locking failed and we fall back to computing —
+    /// the cache is an accelerator, never a correctness dependency).
+    Owner(Option<ComputeLock>),
+    /// Another process computed and published the entry while we waited.
+    Published(ScenarioResult),
+}
+
+/// An owned `.lock` sentinel next to a cache entry. Dropping it releases
+/// the lock; crashed owners are handled by stale-lock takeover in
+/// [`ResultCache::claim_compute`].
+#[derive(Debug)]
+pub struct ComputeLock {
+    path: PathBuf,
+}
+
+impl Drop for ComputeLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// How long a `.lock` may sit unmodified before waiters treat its owner
+/// as dead and take over. Engine runs are sub-second; two minutes is far
+/// outside any legitimate hold time.
+const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Where a cache lookup was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +122,7 @@ struct Counters {
     hits_disk: AtomicUsize,
     misses: AtomicUsize,
     disk_errors: AtomicUsize,
+    lock_takeovers: AtomicUsize,
 }
 
 /// A snapshot of cache activity.
@@ -66,6 +136,8 @@ pub struct CacheStats {
     pub misses: usize,
     /// Disk reads/writes that failed and were treated as misses.
     pub disk_errors: usize,
+    /// Stale cross-process locks reclaimed from crashed owners.
+    pub lock_takeovers: usize,
 }
 
 /// The two-tier result cache. All methods take `&self`; the cache is
@@ -74,13 +146,19 @@ pub struct CacheStats {
 pub struct ResultCache {
     memory: Mutex<HashMap<u128, ScenarioResult>>,
     disk_root: Option<PathBuf>,
+    lock_timeout: Duration,
     counters: Counters,
 }
 
 impl ResultCache {
     /// An in-memory-only cache.
     pub fn in_memory() -> Self {
-        Self { memory: Mutex::new(HashMap::new()), disk_root: None, counters: Counters::default() }
+        Self {
+            memory: Mutex::new(HashMap::new()),
+            disk_root: None,
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            counters: Counters::default(),
+        }
     }
 
     /// A cache backed by `root` (conventionally `results/.cache`).
@@ -90,8 +168,40 @@ impl ResultCache {
         Self {
             memory: Mutex::new(HashMap::new()),
             disk_root: Some(root.into()),
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
             counters: Counters::default(),
         }
+    }
+
+    /// Like [`ResultCache::on_disk`], but probes the directory up front:
+    /// creates the tag directory and round-trips a probe file, so a bad
+    /// `--cache` argument fails at startup with a typed error instead of
+    /// degrading every lookup into a counted disk error.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Unwritable`] when the directory cannot be created or
+    /// written.
+    pub fn try_on_disk(root: impl Into<PathBuf>) -> Result<Self, CacheError> {
+        let cache = Self::on_disk(root);
+        let dir = cache.tag_dir().expect("disk-backed cache always has a tag dir");
+        let unwritable = |reason: std::io::Error| CacheError::Unwritable {
+            dir: dir.clone(),
+            reason: reason.to_string(),
+        };
+        std::fs::create_dir_all(&dir).map_err(unwritable)?;
+        let probe = dir.join(format!(".probe.{}", std::process::id()));
+        std::fs::write(&probe, b"probe").map_err(unwritable)?;
+        std::fs::remove_file(&probe).map_err(unwritable)?;
+        Ok(cache)
+    }
+
+    /// Overrides how long a cross-process `.lock` may sit unmodified
+    /// before waiters assume its owner died and take it over. Tests use
+    /// tiny timeouts; production keeps the generous default.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout.max(Duration::from_millis(1));
+        self
     }
 
     /// The directory entries are stored in, if disk-backed.
@@ -143,6 +253,89 @@ impl ResultCache {
         }
     }
 
+    /// Claims the right to compute `digest`, single-flight **across
+    /// processes**. The protocol, per entry `<hex>.json`:
+    ///
+    /// 1. atomically create `<hex>.lock` (`O_CREAT|O_EXCL`); the winner
+    ///    re-checks the entry (the previous owner may have published
+    ///    between our miss and the lock) and becomes the owner;
+    /// 2. losers poll: entry appeared → return it; lock unmodified for
+    ///    longer than the lock timeout → the owner is presumed dead, and
+    ///    exactly one waiter takes over by *renaming* the stale lock to a
+    ///    unique tombstone (rename arbitrates racing waiters), deleting
+    ///    it, and retrying step 1.
+    ///
+    /// Publication itself stays tmp-file + atomic rename, so readers
+    /// never observe a torn entry, locked or not. Any locking I/O error
+    /// degrades to `Owner(None)` — worst case is a duplicated compute,
+    /// never a corrupt entry or a hang.
+    pub fn claim_compute(&self, digest: Digest) -> ComputeClaim {
+        let Some(path) = self.entry_path(digest) else {
+            return ComputeClaim::Owner(None);
+        };
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                return ComputeClaim::Owner(None);
+            }
+        }
+        let lock_path = path.with_extension("lock");
+        let poll =
+            (self.lock_timeout / 16).clamp(Duration::from_millis(2), Duration::from_millis(250));
+        // Absolute bail-out so a pathological filesystem (lock recreated
+        // faster than we can observe staleness) still cannot hang us.
+        let bail_out = Instant::now() + self.lock_timeout.saturating_mul(32);
+        loop {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+                Ok(mut file) => {
+                    // Owner identity, for humans inspecting a stuck dir.
+                    let _ = writeln!(file, "{} {}", std::process::id(), crate::ENGINE_TAG);
+                    if let Ok(Some(result)) = read_entry(&path) {
+                        // Published while we raced for the lock.
+                        drop(ComputeLock { path: lock_path });
+                        if let Ok(mut map) = self.memory.lock() {
+                            map.insert(digest.0, result.clone());
+                        }
+                        self.counters.hits_disk.fetch_add(1, Ordering::Relaxed);
+                        return ComputeClaim::Published(result);
+                    }
+                    return ComputeClaim::Owner(Some(ComputeLock { path: lock_path }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    std::thread::sleep(poll);
+                    match read_entry(&path) {
+                        Ok(Some(result)) => {
+                            if let Ok(mut map) = self.memory.lock() {
+                                map.insert(digest.0, result.clone());
+                            }
+                            self.counters.hits_disk.fetch_add(1, Ordering::Relaxed);
+                            return ComputeClaim::Published(result);
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            // Torn entry under a live lock: keep waiting
+                            // for the owner to republish or die.
+                        }
+                    }
+                    if lock_is_stale(&lock_path, self.lock_timeout)
+                        && takeover_stale_lock(&lock_path)
+                    {
+                        self.counters.lock_takeovers.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if Instant::now() > bail_out {
+                        self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                        return ComputeClaim::Owner(None);
+                    }
+                }
+                Err(_) => {
+                    self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    return ComputeClaim::Owner(None);
+                }
+            }
+        }
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -150,28 +343,60 @@ impl ResultCache {
             hits_disk: self.counters.hits_disk.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             disk_errors: self.counters.disk_errors.load(Ordering::Relaxed),
+            lock_takeovers: self.counters.lock_takeovers.load(Ordering::Relaxed),
         }
     }
 }
 
+/// True when the lock file exists and has not been modified within
+/// `timeout`. A vanished lock (owner released it) reports `false`; the
+/// caller's next `create_new` attempt will settle it.
+fn lock_is_stale(lock_path: &Path, timeout: Duration) -> bool {
+    let Ok(meta) = std::fs::metadata(lock_path) else { return false };
+    let Ok(modified) = meta.modified() else { return false };
+    match modified.elapsed() {
+        Ok(age) => age > timeout,
+        Err(_) => false, // clock skew: lock is from the future, not stale
+    }
+}
+
+/// Removes a stale lock such that exactly one of any number of racing
+/// waiters wins: rename the lock to a caller-unique tombstone (rename is
+/// atomic; a second renamer gets `NotFound`), then delete the tombstone.
+fn takeover_stale_lock(lock_path: &Path) -> bool {
+    let tomb = lock_path.with_extension(format!(
+        "tomb.{}.{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    if std::fs::rename(lock_path, &tomb).is_ok() {
+        let _ = std::fs::remove_file(&tomb);
+        true
+    } else {
+        false
+    }
+}
+
 /// `Ok(None)` means "no entry"; `Err` means "entry exists but is bad" (or
-/// IO failed), which the caller counts as a disk error.
-fn read_entry(path: &Path) -> Result<Option<ScenarioResult>, String> {
+/// IO failed), which [`ResultCache::get`] counts as a disk error and
+/// treats as a miss.
+fn read_entry(path: &Path) -> Result<Option<ScenarioResult>, CacheError> {
+    let corrupt = |reason: String| CacheError::Corrupt { path: path.to_path_buf(), reason };
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(e.to_string()),
+        Err(e) => return Err(corrupt(e.to_string())),
     };
-    let value = json::parse(&text)?;
+    let value = json::parse(&text).map_err(corrupt)?;
     let tag = value.get("engine").and_then(json::Value::as_str);
     if tag != Some(crate::ENGINE_TAG) {
         // A foreign tag in our own tag directory means someone moved
         // files around; refuse rather than serve numbers from another
         // engine version.
-        return Err(format!("engine tag mismatch in {}", path.display()));
+        return Err(corrupt("engine tag mismatch".to_string()));
     }
-    let result = value.get("result").ok_or("cache entry missing \"result\"")?;
-    ScenarioResult::from_json(result).map(Some)
+    let result = value.get("result").ok_or_else(|| corrupt("missing \"result\"".to_string()))?;
+    ScenarioResult::from_json(result).map(Some).map_err(corrupt)
 }
 
 fn write_entry(path: &Path, result: &ScenarioResult) -> Result<(), String> {
@@ -277,6 +502,116 @@ mod tests {
         assert!(cache.get(d).is_none());
         assert_eq!(cache.stats().disk_errors, 1);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_entries_degrade_and_recover_on_republish() {
+        let root = tmpdir("torn");
+        let cache = ResultCache::on_disk(&root);
+        let d = Digest(21);
+        cache.put(d, &result(4.0));
+        let path = cache.entry_path(d).unwrap();
+        // Simulate a writer killed mid-write *without* atomic rename: the
+        // entry is truncated in the middle of the JSON body.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let fresh = ResultCache::on_disk(&root);
+        assert!(fresh.get(d).is_none(), "torn entry must read as a miss");
+        assert_eq!(fresh.stats().disk_errors, 1);
+        // Republishing repairs it for every later reader.
+        fresh.put(d, &result(4.0));
+        let reader = ResultCache::on_disk(&root);
+        assert_eq!(reader.get(d).unwrap(), (result(4.0), CacheTier::Disk));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn try_on_disk_reports_unwritable_directories() {
+        // A regular file where the directory should be is unwritable on
+        // every platform, no permission bits needed.
+        let root = tmpdir("unwritable");
+        std::fs::create_dir_all(&root).unwrap();
+        let blocker = root.join("blocked");
+        std::fs::write(&blocker, b"i am a file").unwrap();
+        match ResultCache::try_on_disk(&blocker) {
+            Err(CacheError::Unwritable { dir, .. }) => {
+                assert!(dir.starts_with(&blocker), "{}", dir.display());
+            }
+            other => panic!("expected Unwritable, got {other:?}"),
+        }
+        assert!(ResultCache::try_on_disk(&root).is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn claim_compute_single_flights_across_cache_instances() {
+        // Two ResultCache instances over one directory stand in for two
+        // processes: only one claims ownership, the waiter gets the
+        // published result.
+        let root = tmpdir("claim");
+        let a = ResultCache::on_disk(&root);
+        let b = ResultCache::on_disk(&root).with_lock_timeout(Duration::from_secs(30));
+        let d = Digest(33);
+        let lock = match a.claim_compute(d) {
+            ComputeClaim::Owner(Some(lock)) => lock,
+            other => panic!("first claimant must own the compute, got {other:?}"),
+        };
+        let waiter = std::thread::spawn(move || b.claim_compute(d));
+        std::thread::sleep(Duration::from_millis(30));
+        a.put(d, &result(7.0));
+        drop(lock);
+        match waiter.join().unwrap() {
+            ComputeClaim::Published(res) => assert_eq!(res, result(7.0)),
+            other => panic!("waiter must see the published entry, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn claim_compute_returns_published_when_entry_already_exists() {
+        let root = tmpdir("claim-published");
+        let cache = ResultCache::on_disk(&root);
+        let d = Digest(34);
+        cache.put(d, &result(2.5));
+        // A second instance (fresh memory) that missed in get() but races
+        // the lock must find the published entry, not recompute.
+        let other = ResultCache::on_disk(&root);
+        match other.claim_compute(d) {
+            ComputeClaim::Published(res) => assert_eq!(res, result(2.5)),
+            other => panic!("expected Published, got {other:?}"),
+        }
+        // No lock file left behind.
+        let lock = cache.entry_path(d).unwrap().with_extension("lock");
+        assert!(!lock.exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_locks_are_taken_over_exactly_once() {
+        let root = tmpdir("stale");
+        let cache = ResultCache::on_disk(&root).with_lock_timeout(Duration::from_millis(10));
+        let d = Digest(55);
+        // Fake a crashed owner: a lock file nobody will ever release.
+        let lock_path = cache.entry_path(d).unwrap().with_extension("lock");
+        std::fs::create_dir_all(lock_path.parent().unwrap()).unwrap();
+        std::fs::write(&lock_path, "999999 dead-owner").unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        match cache.claim_compute(d) {
+            ComputeClaim::Owner(Some(lock)) => drop(lock),
+            other => panic!("stale lock must be taken over, got {other:?}"),
+        }
+        assert_eq!(cache.stats().lock_takeovers, 1);
+        assert!(!lock_path.exists(), "released lock must be gone");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn in_memory_caches_always_own_the_compute() {
+        let cache = ResultCache::in_memory();
+        match cache.claim_compute(Digest(1)) {
+            ComputeClaim::Owner(None) => {}
+            other => panic!("memory-only cache has no disk lock, got {other:?}"),
+        }
     }
 
     #[test]

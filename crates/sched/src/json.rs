@@ -108,6 +108,23 @@ pub fn num(v: f64) -> String {
     }
 }
 
+/// Parses one JSON document from raw bytes.
+///
+/// The service reads request lines as bytes (a TCP peer can send
+/// anything); this is the funnel that turns arbitrary byte noise into a
+/// typed one-line error instead of an `InvalidData` I/O error killing the
+/// connection loop.
+///
+/// # Errors
+///
+/// Returns a one-line description for invalid UTF-8 (with the offset of
+/// the first bad byte) or malformed JSON.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Value, String> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| format!("invalid UTF-8 at byte {}", e.valid_up_to()))?;
+    parse(text)
+}
+
 /// Parses one JSON document, requiring nothing but whitespace after it.
 ///
 /// # Errors

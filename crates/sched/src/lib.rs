@@ -38,12 +38,14 @@ pub mod fidelity;
 pub mod json;
 pub mod scenario;
 pub mod scheduler;
+pub mod serve;
 
-pub use cache::{CacheStats, CacheTier, ResultCache};
+pub use cache::{CacheError, CacheStats, CacheTier, ComputeClaim, ComputeLock, ResultCache};
 pub use encode::{Digest, Encoder};
 pub use fidelity::Fidelity;
 pub use scenario::{Placement, Scenario, ScenarioResult, System, Workload};
-pub use scheduler::{Completed, SchedStats, Scheduler};
+pub use scheduler::{BatchOutcome, Completed, SchedStats, Scheduler};
+pub use serve::{ArtifactRunner, ServeConfig, ServeStats, Server};
 
 /// Version tag mixed into every scenario digest and stamped on every
 /// on-disk cache entry.

@@ -14,7 +14,7 @@
 //! and results return in input order — so any table built from a batch
 //! is byte-identical no matter the job count or cache temperature.
 
-use crate::cache::{CacheTier, ResultCache};
+use crate::cache::{CacheTier, ComputeClaim, ResultCache};
 use crate::encode::Digest;
 use crate::executor;
 use crate::scenario::{Scenario, ScenarioResult};
@@ -30,6 +30,19 @@ pub struct Completed {
     pub result: ScenarioResult,
     /// Which tier satisfied the request.
     pub tier: CacheTier,
+}
+
+/// Outcome of one scenario in a shed-aware batch
+/// ([`Scheduler::run_batch_where`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// The scenario ran, or was served from a cache tier.
+    Done(Completed),
+    /// The shed predicate fired before the scenario was dispatched; no
+    /// engine time was spent on it.
+    Shed,
+    /// The engine rejected or failed the scenario.
+    Failed(Error),
 }
 
 /// Counters over a scheduler's lifetime.
@@ -51,6 +64,8 @@ pub struct SchedStats {
     pub errors: usize,
     /// Disk-cache operations that failed (degraded to misses).
     pub disk_errors: usize,
+    /// Requests shed before dispatch (deadline passed while queued).
+    pub shed: usize,
 }
 
 /// Cross-thread rendezvous for one in-flight digest.
@@ -131,6 +146,7 @@ pub struct Scheduler {
     deduped: AtomicUsize,
     in_flight_waits: AtomicUsize,
     errors: AtomicUsize,
+    shed: AtomicUsize,
 }
 
 impl Scheduler {
@@ -153,6 +169,7 @@ impl Scheduler {
             deduped: AtomicUsize::new(0),
             in_flight_waits: AtomicUsize::new(0),
             errors: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
         }
     }
 
@@ -164,6 +181,31 @@ impl Scheduler {
     /// Runs a batch, returning one outcome per input scenario, in input
     /// order. Identical scenarios (same digest) run once.
     pub fn run_batch(&self, scenarios: &[Scenario]) -> Vec<Result<Completed>> {
+        self.run_batch_where(scenarios, |_| false)
+            .into_iter()
+            .map(|outcome| match outcome {
+                BatchOutcome::Done(completed) => Ok(completed),
+                BatchOutcome::Failed(e) => Err(e),
+                BatchOutcome::Shed => unreachable!("constant-false predicate never sheds"),
+            })
+            .collect()
+    }
+
+    /// Like [`Scheduler::run_batch`], but each scenario's dispatch first
+    /// consults `shed(input_index)`: when it returns `true` the scenario
+    /// is dropped with [`BatchOutcome::Shed`] instead of running. This is
+    /// how `serve` sheds work whose deadline passed while it sat in the
+    /// queue — the predicate is evaluated at dispatch time, so a slow
+    /// batch ahead of a request converts into a typed shed, not a stall.
+    ///
+    /// Duplicate digests still collapse to one job; the job runs unless
+    /// *every* input folded into it sheds (a computed result is free to
+    /// deliver even to inputs whose own deadline has since passed).
+    pub fn run_batch_where(
+        &self,
+        scenarios: &[Scenario],
+        shed: impl Fn(usize) -> bool + Sync,
+    ) -> Vec<BatchOutcome> {
         self.scenarios.fetch_add(scenarios.len(), Ordering::Relaxed);
         let digests: Vec<Digest> = scenarios.iter().map(Scenario::digest).collect();
 
@@ -183,26 +225,39 @@ impl Scheduler {
         }
         self.deduped.fetch_add(scenarios.len() - unique.len(), Ordering::Relaxed);
 
-        let unique_outcomes = executor::run_ordered(self.jobs, unique, |&i| {
-            self.run_single(&scenarios[i], digests[i])
-        });
+        // `None` = shed before dispatch.
+        let unique_outcomes: Vec<Option<Result<Completed>>> =
+            executor::run_ordered(self.jobs, unique, |&first| {
+                let job = owner_of[first];
+                let all_shed = (0..scenarios.len()).filter(|&i| owner_of[i] == job).all(&shed);
+                if all_shed {
+                    None
+                } else {
+                    Some(self.run_single(&scenarios[first], digests[first]))
+                }
+            });
 
         owner_of
             .iter()
             .enumerate()
-            .map(|(i, &job)| {
-                let mut outcome = unique_outcomes[job].clone();
-                // Every input after the first with a given digest was
-                // folded into that first one's run.
-                if let Ok(completed) = &mut outcome {
+            .map(|(i, &job)| match &unique_outcomes[job] {
+                None => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    BatchOutcome::Shed
+                }
+                Some(Ok(completed)) => {
+                    let mut completed = completed.clone();
+                    // Every input after the first with a given digest was
+                    // folded into that first one's run.
                     if is_duplicate(&owner_of, i) {
                         completed.tier = CacheTier::InFlight;
                     }
+                    BatchOutcome::Done(completed)
                 }
-                if outcome.is_err() {
+                Some(Err(e)) => {
                     self.errors.fetch_add(1, Ordering::Relaxed);
+                    BatchOutcome::Failed(e.clone())
                 }
-                outcome
             })
             .collect()
     }
@@ -245,13 +300,27 @@ impl Scheduler {
         match claim {
             Ok(flight) => {
                 let guard = FlightGuard { sched: self, digest, flight, completed: false };
-                self.engine_runs.fetch_add(1, Ordering::Relaxed);
-                let outcome = scenario.run();
-                if let Ok(result) = &outcome {
-                    self.cache.put(digest, result);
+                // Single-flight across *processes* too: another scheduler
+                // sharing this disk cache may be computing this digest
+                // right now — wait for its entry instead of duplicating
+                // the run.
+                match self.cache.claim_compute(digest) {
+                    ComputeClaim::Published(result) => {
+                        self.hits_disk.fetch_add(1, Ordering::Relaxed);
+                        guard.complete(Ok(result.clone()));
+                        Ok(Completed { result, tier: CacheTier::Disk })
+                    }
+                    ComputeClaim::Owner(lock) => {
+                        self.engine_runs.fetch_add(1, Ordering::Relaxed);
+                        let outcome = scenario.run();
+                        if let Ok(result) = &outcome {
+                            self.cache.put(digest, result);
+                        }
+                        drop(lock); // release only after the entry is published
+                        guard.complete(outcome.clone());
+                        outcome.map(|result| Completed { result, tier: CacheTier::Miss })
+                    }
                 }
-                guard.complete(outcome.clone());
-                outcome.map(|result| Completed { result, tier: CacheTier::Miss })
             }
             Err(flight) => {
                 self.in_flight_waits.fetch_add(1, Ordering::Relaxed);
@@ -271,6 +340,7 @@ impl Scheduler {
             in_flight_waits: self.in_flight_waits.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             disk_errors: self.cache.stats().disk_errors,
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -280,7 +350,7 @@ impl Scheduler {
         let s = self.stats();
         format!(
             "sched: scenarios {}, engine runs {}, cache hits {} (memory {}, disk {}), \
-             deduped {}, in-flight waits {}, errors {}",
+             deduped {}, in-flight waits {}, errors {}, shed {}",
             s.scenarios,
             s.engine_runs,
             s.hits_memory + s.hits_disk,
@@ -289,6 +359,7 @@ impl Scheduler {
             s.deduped,
             s.in_flight_waits,
             s.errors,
+            s.shed,
         )
     }
 }
@@ -385,6 +456,47 @@ mod tests {
         assert_eq!(stats.scenarios, 4);
         // The other three were memory hits or in-flight waits.
         assert_eq!(stats.hits_memory + stats.in_flight_waits, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn run_batch_where_sheds_before_dispatch() {
+        let sched = Scheduler::new(1);
+        let batch = vec![bsp(2), bsp(4), bsp(6)];
+        let out = sched.run_batch_where(&batch, |i| i == 1);
+        assert!(matches!(out[0], BatchOutcome::Done(_)));
+        assert_eq!(out[1], BatchOutcome::Shed);
+        assert!(matches!(out[2], BatchOutcome::Done(_)));
+        let stats = sched.stats();
+        assert_eq!(stats.engine_runs, 2, "{stats:?}");
+        assert_eq!(stats.shed, 1);
+        assert!(sched.summary().contains("shed 1"), "{}", sched.summary());
+    }
+
+    #[test]
+    fn shed_duplicates_still_get_a_result_when_any_twin_runs() {
+        let sched = Scheduler::new(1);
+        let batch = vec![bsp(3), bsp(3)];
+        // Input 0 sheds, but its twin still wants the job: the result is
+        // computed once and delivered to both — a finished result costs
+        // nothing to hand to an expired request.
+        let out = sched.run_batch_where(&batch, |i| i == 0);
+        assert!(matches!(out[0], BatchOutcome::Done(_)));
+        assert!(matches!(out[1], BatchOutcome::Done(_)));
+        assert_eq!(sched.stats().engine_runs, 1);
+        assert_eq!(sched.stats().shed, 0);
+    }
+
+    #[test]
+    fn shedding_every_twin_skips_the_job_entirely() {
+        let sched = Scheduler::new(2);
+        let batch = vec![bsp(3), bsp(3), bsp(5)];
+        let out = sched.run_batch_where(&batch, |i| i <= 1);
+        assert_eq!(out[0], BatchOutcome::Shed);
+        assert_eq!(out[1], BatchOutcome::Shed);
+        assert!(matches!(out[2], BatchOutcome::Done(_)));
+        let stats = sched.stats();
+        assert_eq!(stats.engine_runs, 1, "{stats:?}");
+        assert_eq!(stats.shed, 2);
     }
 
     #[test]

@@ -11,9 +11,12 @@
 use corescope_machine::faults::FaultPlan;
 use corescope_machine::ids::RankId;
 use corescope_machine::recovery::{CheckpointPolicy, RetryPolicy};
-use corescope_sched::{json, Fidelity, Placement, Scenario, System, Workload};
+use corescope_sched::{
+    json, Fidelity, Placement, Scenario, Scheduler, ServeConfig, Server, System, Workload,
+};
 use corescope_smpi::MpiImpl;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Raw generated parts for one scenario: discriminants are taken modulo
 /// the variant count so every drawn value is valid.
@@ -141,5 +144,58 @@ proptest! {
         // only genuinely different scenarios must separate.
         prop_assume!(perturbed != scenario);
         prop_assert_ne!(perturbed.digest(), digest);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Protocol robustness: a line of arbitrary byte noise followed by a
+    /// valid scenario request always produces exactly two response
+    /// lines — one typed `ok:false` for the noise, one `ok:true` for the
+    /// scenario. The server never panics, never drops a response, and
+    /// never lets garbage desynchronise the request/response pairing.
+    #[test]
+    fn byte_noise_yields_one_typed_error_and_no_desync(
+        noise in proptest::collection::vec(0u8..=255, 1..300),
+    ) {
+        // Newlines would split the noise into several requests, and an
+        // all-whitespace line is skipped by design; both change the
+        // expected response count without testing anything new.
+        let noise: Vec<u8> = noise.into_iter().filter(|&b| b != b'\n').collect();
+        prop_assume!(!noise.iter().all(u8::is_ascii_whitespace));
+        // Random bytes that happen to spell a valid request would be
+        // answered ok:true; exclude the (astronomically unlikely) case
+        // explicitly so the property is exact.
+        if let Ok(value) = json::parse_bytes(&noise) {
+            prop_assume!(Scenario::from_json(&value).is_err());
+            prop_assume!(value.get("artifact").is_none());
+        }
+
+        let scenario = Scenario::new(
+            System::Dmz,
+            2,
+            Workload::Bsp { steps: 2, flops_per_step: 1.0e6, bytes_per_step: 1.0e4, sync_bytes: 8.0 },
+        );
+        let mut input = noise.clone();
+        input.push(b'\n');
+        input.extend_from_slice(scenario.to_json().as_bytes());
+        input.push(b'\n');
+
+        let server = Server::new(Arc::new(Scheduler::new(1)), ServeConfig::default());
+        let mut out = Vec::new();
+        server
+            .serve_io(std::io::Cursor::new(input), &mut out, "prop")
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        let lines: Vec<&[u8]> = out.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        prop_assert_eq!(lines.len(), 2, "one response line per request");
+        let first = json::parse_bytes(lines[0]).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(first.get("ok"), Some(&json::Value::Bool(false)));
+        prop_assert!(first.get("kind").and_then(json::Value::as_str).is_some());
+        let second = json::parse_bytes(lines[1]).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(second.get("ok"), Some(&json::Value::Bool(true)));
+        let digest = scenario.digest().hex();
+        prop_assert_eq!(second.get("digest").and_then(json::Value::as_str), Some(digest.as_str()));
     }
 }
