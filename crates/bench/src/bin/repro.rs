@@ -6,6 +6,7 @@
 //! repro --quick              # reduced step counts (fast sanity sweep)
 //! repro --jobs 8             # fan out: sweep scenarios run in parallel
 //! repro --cache results/.cache  # content-addressed result cache on disk
+//! repro --store campaign/    # crash-safe campaign store (resume on reopen)
 //! repro --csv out/           # also write one CSV per table
 //! repro --trace traces/      # also export engine traces + utilization
 //! repro --list               # list artifact ids
@@ -26,12 +27,22 @@
 //! Artifacts without a traced representative are skipped with a note.
 //! Traced runs bypass the scheduler deliberately: traces are observation
 //! artifacts, not cacheable results.
+//!
+//! `--store <dir>` attaches the crash-safe campaign store
+//! (`corescope-store`): every finished scenario is journaled as a
+//! columnar row, committed at batch boundaries. A rerun after a crash —
+//! even `kill -9` mid-write — recovers the store and completes the
+//! record: committed rows are preserved and duplicate appends fold
+//! away, so the final row set is byte-identical to an uninterrupted
+//! run's (pair with `--cache` to also skip the engine reruns). Inspect
+//! or repair the directory with `store_fsck`.
 
 use corescope_bench::write_tables_csv;
 use corescope_harness::{chrome_trace_json, representative_trace, utilization_csv};
 use corescope_harness::{Artifact, Fidelity};
-use corescope_sched::{executor, ResultCache, Scheduler};
+use corescope_sched::{executor, ResultCache, Scheduler, StoreSink};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Options {
@@ -40,6 +51,7 @@ struct Options {
     csv_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
+    store_dir: Option<PathBuf>,
     jobs: usize,
 }
 
@@ -49,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
     let mut csv_dir = None;
     let mut trace_dir = None;
     let mut cache_dir = None;
+    let mut store_dir = None;
     let mut jobs = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,6 +91,10 @@ fn parse_args() -> Result<Options, String> {
                 let dir = args.next().ok_or("--cache needs a directory")?;
                 cache_dir = Some(PathBuf::from(dir));
             }
+            "--store" => {
+                let dir = args.next().ok_or("--store needs a directory")?;
+                store_dir = Some(PathBuf::from(dir));
+            }
             "--list" | "-l" => {
                 // Ignore EPIPE so `repro --list | head` exits quietly.
                 use std::io::Write;
@@ -92,7 +109,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--artifact <id>]... [--quick] [--jobs <n>] \
-                     [--cache <dir>] [--csv <dir>] [--trace <dir>] [--list]"
+                     [--cache <dir>] [--store <dir>] [--csv <dir>] [--trace <dir>] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -102,7 +119,7 @@ fn parse_args() -> Result<Options, String> {
     if artifacts.is_empty() {
         artifacts = Artifact::all();
     }
-    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, cache_dir, jobs })
+    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, cache_dir, store_dir, jobs })
 }
 
 type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error>;
@@ -147,9 +164,35 @@ fn main() {
     if jobs < options.jobs {
         eprintln!("repro: capping --jobs {} at {jobs} available core(s)", options.jobs);
     }
-    let sched = match &options.cache_dir {
+    let mut sched = match &options.cache_dir {
         Some(dir) => Scheduler::with_cache(jobs, ResultCache::on_disk(dir)),
         None => Scheduler::new(jobs),
+    };
+    let sink = match &options.store_dir {
+        Some(dir) => match StoreSink::open(dir) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                if !sink.recovery_is_clean() {
+                    eprintln!("repro: {}", sink.recovery_summary());
+                }
+                if sink.resumed_rows() > 0 {
+                    eprintln!(
+                        "repro: store resume: {} row(s) already committed; \
+                         duplicate appends fold away",
+                        sink.resumed_rows()
+                    );
+                }
+                sched = sched.with_store(Arc::clone(&sink));
+                Some(sink)
+            }
+            Err(e) => {
+                // Opening the campaign record fails loudly: a sweep that
+                // silently dropped its record would defeat the point.
+                eprintln!("repro: cannot open store: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
     };
 
     let mut failures = 0;
@@ -180,6 +223,10 @@ fn main() {
         }
     }
     eprintln!("{}", sched.summary());
+    if let Some(sink) = &sink {
+        sink.flush();
+        eprintln!("{}", sink.summary());
+    }
     if failures > 0 {
         std::process::exit(1);
     }

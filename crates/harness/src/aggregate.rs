@@ -1,0 +1,182 @@
+//! Group-by / percentile aggregation over campaign-store rows.
+//!
+//! The crash-safe store ([`corescope_store::Store`]) journals one
+//! columnar [`Row`] per finished scenario; this module turns a pile of
+//! those rows back into paper-style summary tables. Everything here is
+//! deterministic: rows are canonically ordered (by digest) before any
+//! statistic is computed and groups are emitted in sorted-key order, so
+//! the same set of rows — regardless of the order crashes, resumes and
+//! segment scans produced them in — renders byte-identical output.
+//! That determinism is what the X9 artifact's kill-anywhere test
+//! byte-diffs against.
+
+use crate::report::{Cell, Table};
+use corescope_store::Row;
+use std::collections::BTreeMap;
+
+/// The axes a campaign summary groups by: one summary row per distinct
+/// (system, workload, nranks) combination, mirroring how the paper's
+/// tables slice their sweeps.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupKey {
+    /// System key (`"tiger"`, `"dmz"`, `"longs"`).
+    pub system: String,
+    /// Workload kind (`"bsp"`, `"stream"`, …).
+    pub workload: String,
+    /// World size.
+    pub nranks: u32,
+}
+
+/// Summary statistics for one group of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// The group's axes.
+    pub key: GroupKey,
+    /// Rows aggregated into this group.
+    pub count: usize,
+    /// Smallest makespan.
+    pub min: f64,
+    /// Median makespan (nearest-rank).
+    pub p50: f64,
+    /// 95th-percentile makespan (nearest-rank).
+    pub p95: f64,
+    /// Largest makespan.
+    pub max: f64,
+    /// Simulation events across the group.
+    pub events: u64,
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) over an **ascending**
+/// slice. Nearest-rank picks an actual sample — no interpolation — so
+/// the result is bit-exact reproducible, which aggregate byte-identity
+/// depends on. Empty input returns NaN.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Groups rows by [`GroupKey`] and computes per-group percentile
+/// statistics. Input order does not matter: rows are deduplicated by
+/// digest (last wins, matching the store's own scan semantics) and
+/// canonically ordered before aggregation, and groups come back sorted
+/// by key.
+pub fn group_rows(rows: &[Row]) -> Vec<GroupSummary> {
+    // Last-wins dedup, then canonical digest order.
+    let mut by_digest: BTreeMap<u128, &Row> = BTreeMap::new();
+    for row in rows {
+        by_digest.insert(row.digest, row);
+    }
+    let mut groups: BTreeMap<GroupKey, Vec<&Row>> = BTreeMap::new();
+    for row in by_digest.values() {
+        let key = GroupKey {
+            system: row.system.clone(),
+            workload: row.workload.clone(),
+            nranks: row.nranks,
+        };
+        groups.entry(key).or_default().push(row);
+    }
+    groups
+        .into_iter()
+        .map(|(key, members)| {
+            let mut makespans: Vec<f64> = members.iter().map(|r| r.makespan).collect();
+            makespans.sort_by(f64::total_cmp);
+            GroupSummary {
+                key,
+                count: members.len(),
+                min: makespans[0],
+                p50: percentile(&makespans, 50.0),
+                p95: percentile(&makespans, 95.0),
+                max: makespans[makespans.len() - 1],
+                events: members.iter().map(|r| r.events).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Renders grouped summaries as a [`Table`]: one row per group, labelled
+/// `"<system> <workload> x<nranks>"`, with count / min / p50 / p95 / max
+/// makespan columns (milliseconds, 6 decimals — enough to make any
+/// numeric drift visible) and the group's event total.
+pub fn campaign_table(title: &str, rows: &[Row]) -> Table {
+    let mut table = Table::with_columns(
+        title,
+        &["group", "runs", "min ms", "p50 ms", "p95 ms", "max ms", "events"],
+    );
+    for g in group_rows(rows) {
+        table.push_row(
+            format!("{} {} x{}", g.key.system, g.key.workload, g.key.nranks),
+            vec![
+                Cell::num_with(g.count as f64, 0),
+                Cell::num_with(g.min * 1e3, 6),
+                Cell::num_with(g.p50 * 1e3, 6),
+                Cell::num_with(g.p95 * 1e3, 6),
+                Cell::num_with(g.max * 1e3, 6),
+                Cell::num_with(g.events as f64, 0),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(digest: u128, system: &str, nranks: u32, makespan: f64) -> Row {
+        Row {
+            digest,
+            system: system.to_string(),
+            workload: "bsp".to_string(),
+            nranks,
+            makespan,
+            events: 10,
+            ..Row::default()
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 95.0), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn grouping_is_order_independent_and_dedups_by_digest() {
+        let rows = vec![
+            row(3, "dmz", 2, 0.3),
+            row(1, "dmz", 2, 0.1),
+            row(2, "longs", 4, 0.2),
+            row(1, "dmz", 2, 0.1), // duplicate digest: one sample
+        ];
+        let mut shuffled = rows.clone();
+        shuffled.reverse();
+        let a = group_rows(&rows);
+        let b = group_rows(&shuffled);
+        assert_eq!(a, b, "input order must not matter");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].key.system, "dmz");
+        assert_eq!(a[0].count, 2);
+        assert_eq!((a[0].min, a[0].max), (0.1, 0.3));
+        assert_eq!(a[1].key.system, "longs");
+        assert_eq!(a[1].count, 1);
+    }
+
+    #[test]
+    fn campaign_table_renders_identically_for_permuted_rows() {
+        let rows = vec![row(5, "dmz", 2, 0.5), row(6, "dmz", 2, 0.25), row(7, "longs", 8, 0.125)];
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        let a = campaign_table("t", &rows).to_csv();
+        let b = campaign_table("t", &reversed).to_csv();
+        assert_eq!(a, b);
+        assert!(a.contains("dmz bsp x2"), "{a}");
+    }
+}

@@ -4,6 +4,7 @@ pub mod amber;
 pub mod blas;
 pub mod bottleneck;
 pub mod calibration;
+pub mod campaign;
 pub mod hpcc;
 pub mod hybrid;
 pub mod imb;
@@ -62,7 +63,7 @@ impl fmt::Display for UnknownArtifact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7; \
+            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7, x9; \
              run with --list for the catalogue)",
             self.requested
         )?;
@@ -128,6 +129,10 @@ pub enum Artifact {
     /// paper targets from a perturbed start, with recovery, headline and
     /// sensitivity invariants checked.
     X7,
+    /// Extra: crash-safe campaign store — a sweep killed mid-write must
+    /// recover, resume past committed scenarios, and aggregate
+    /// byte-identically to an uninterrupted run.
+    X9,
 }
 
 impl Artifact {
@@ -136,7 +141,7 @@ impl Artifact {
         use Artifact::*;
         vec![
             T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
-            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7, X9,
         ]
     }
 
@@ -180,6 +185,7 @@ impl Artifact {
             X4 => "x4",
             X5 => "x5",
             X7 => "x7",
+            X9 => "x9",
         }
     }
 
@@ -237,6 +243,7 @@ impl Artifact {
             X4 => "Extra X4: time-resolved bottleneck attribution",
             X5 => "Extra X5: recovery campaign (checkpoint/restart under rank kills)",
             X7 => "Extra X7: auto-calibration against the paper-target registry",
+            X9 => "Extra X9: crash-safe campaign store (kill-anywhere resume)",
         }
     }
 
@@ -281,6 +288,7 @@ impl Artifact {
             X4 => "time-resolved bottleneck attribution for STREAM/PingPong/CG",
             X5 => "checkpoint/restart under rank kills, swept around Young/Daly",
             X7 => "fit the calibration back to the paper targets from a perturbed start",
+            X9 => "kill a store-backed sweep mid-write; resume must aggregate identically",
         }
     }
 
@@ -340,6 +348,7 @@ impl Artifact {
             X4 => bottleneck::extra4(fidelity),
             X5 => recovery::extra5(fidelity, sched),
             X7 => calibration::extra7(fidelity, sched),
+            X9 => campaign::extra9(fidelity, sched),
         }
     }
 }
@@ -357,11 +366,11 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 36, "30 paper artifacts + the X1-X5, X7 extras");
+        assert_eq!(all.len(), 37, "30 paper artifacts + the X1-X5, X7, X9 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 36);
+        assert_eq!(ids.len(), 37);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! ```
 
 pub mod ablation;
+pub mod aggregate;
 pub mod artifacts;
 pub mod context;
 pub mod fidelity;

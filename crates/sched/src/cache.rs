@@ -122,6 +122,8 @@ struct Counters {
     hits_disk: AtomicUsize,
     misses: AtomicUsize,
     disk_errors: AtomicUsize,
+    corrupt_entries: AtomicUsize,
+    unwritable: AtomicUsize,
     lock_takeovers: AtomicUsize,
 }
 
@@ -136,6 +138,12 @@ pub struct CacheStats {
     pub misses: usize,
     /// Disk reads/writes that failed and were treated as misses.
     pub disk_errors: usize,
+    /// Entries that existed but failed validation (CRC mismatch, bad
+    /// decode, foreign engine tag) — a subset of `disk_errors`.
+    pub corrupt_entries: usize,
+    /// Entry writes that failed (typically an unwritable directory) — a
+    /// subset of `disk_errors`.
+    pub unwritable: usize,
     /// Stale cross-process locks reclaimed from crashed owners.
     pub lock_takeovers: usize,
 }
@@ -233,7 +241,11 @@ impl ResultCache {
                 }
                 Ok(None) => {}
                 Err(_) => {
+                    // Every read_entry failure means bytes were present
+                    // but untrustworthy — count the corruption as well
+                    // as the degradation to a miss.
                     self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.corrupt_entries.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -249,6 +261,7 @@ impl ResultCache {
         if let Some(path) = self.entry_path(digest) {
             if write_entry(&path, result).is_err() {
                 self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.unwritable.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -343,6 +356,8 @@ impl ResultCache {
             hits_disk: self.counters.hits_disk.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             disk_errors: self.counters.disk_errors.load(Ordering::Relaxed),
+            corrupt_entries: self.counters.corrupt_entries.load(Ordering::Relaxed),
+            unwritable: self.counters.unwritable.load(Ordering::Relaxed),
             lock_takeovers: self.counters.lock_takeovers.load(Ordering::Relaxed),
         }
     }
@@ -384,7 +399,9 @@ fn read_entry(path: &Path) -> Result<Option<ScenarioResult>, CacheError> {
     let corrupt = |reason: String| CacheError::Corrupt { path: path.to_path_buf(), reason };
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        // `!exists()` catches ENOTDIR (a file blocking the tag dir) and
+        // friends: no entry bytes exist, so it is a miss, not corruption.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound || !path.exists() => return Ok(None),
         Err(e) => return Err(corrupt(e.to_string())),
     };
     let value = json::parse(&text).map_err(corrupt)?;
@@ -396,16 +413,33 @@ fn read_entry(path: &Path) -> Result<Option<ScenarioResult>, CacheError> {
         return Err(corrupt("engine tag mismatch".to_string()));
     }
     let result = value.get("result").ok_or_else(|| corrupt("missing \"result\"".to_string()))?;
-    ScenarioResult::from_json(result).map(Some).map_err(corrupt)
+    let decoded = ScenarioResult::from_json(result).map_err(&corrupt)?;
+    // CRC frame check: the stored checksum covers the canonical result
+    // JSON, so any flipped bit — even one that still parses — surfaces
+    // as typed corruption instead of silently wrong numbers. Entries
+    // written before the crc field are treated the same way (recomputed
+    // and rewritten with a checksum on the next put).
+    let crc = value
+        .get("crc")
+        .and_then(json::Value::as_f64)
+        .ok_or_else(|| corrupt("missing \"crc\" frame check".to_string()))?;
+    let expected = corescope_store::frame::crc32(decoded.to_json().as_bytes());
+    if crc != f64::from(expected) {
+        return Err(corrupt(format!(
+            "crc mismatch (stored {crc}, computed {expected}): flipped bit or tampered entry"
+        )));
+    }
+    Ok(Some(decoded))
 }
 
 fn write_entry(path: &Path, result: &ScenarioResult) -> Result<(), String> {
     let dir = path.parent().ok_or("cache entry path has no parent")?;
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let result_json = result.to_json();
     let body = format!(
-        "{{\"engine\":\"{}\",\"result\":{}}}\n",
+        "{{\"engine\":\"{}\",\"crc\":{},\"result\":{result_json}}}\n",
         json::escape(crate::ENGINE_TAG),
-        result.to_json()
+        corescope_store::frame::crc32(result_json.as_bytes()),
     );
     // Unique temp name per thread so concurrent writers of *different*
     // digests (or even the same one) never clobber each other's partial
@@ -479,7 +513,8 @@ mod tests {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, "not json at all").unwrap();
         assert!(cache.get(d).is_none());
-        assert_eq!(cache.stats().disk_errors, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.disk_errors, stats.corrupt_entries), (1, 1));
         // A put repairs the entry.
         cache.put(d, &result(2.0));
         let fresh = ResultCache::on_disk(&root);
@@ -522,6 +557,68 @@ mod tests {
         fresh.put(d, &result(4.0));
         let reader = ResultCache::on_disk(&root);
         assert_eq!(reader.get(d).unwrap(), (result(4.0), CacheTier::Disk));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crc_frame_check_catches_in_place_bit_flips() {
+        let root = tmpdir("crc");
+        let cache = ResultCache::on_disk(&root);
+        let d = Digest(77);
+        cache.put(d, &result(3.5));
+        let path = cache.entry_path(d).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Damage one digit inside the result payload. The JSON still
+        // parses and decodes — only the CRC frame check can tell.
+        let tampered = text.replace("\"events\":42", "\"events\":43");
+        assert_ne!(text, tampered, "test fixture must actually tamper");
+        std::fs::write(&path, tampered).unwrap();
+        let fresh = ResultCache::on_disk(&root);
+        assert!(fresh.get(d).is_none(), "tampered entry must not be served");
+        let stats = fresh.stats();
+        assert_eq!((stats.corrupt_entries, stats.disk_errors), (1, 1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn entries_without_a_crc_field_are_corrupt_and_repaired_by_put() {
+        let root = tmpdir("nocrc");
+        let cache = ResultCache::on_disk(&root);
+        let d = Digest(78);
+        let path = cache.entry_path(d).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        // An entry from before the crc field existed.
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"engine\":\"{}\",\"result\":{}}}\n",
+                json::escape(crate::ENGINE_TAG),
+                result(1.0).to_json()
+            ),
+        )
+        .unwrap();
+        assert!(cache.get(d).is_none());
+        assert_eq!(cache.stats().corrupt_entries, 1);
+        cache.put(d, &result(1.0));
+        let fresh = ResultCache::on_disk(&root);
+        assert_eq!(fresh.get(d).unwrap().1, CacheTier::Disk);
+        assert_eq!(fresh.stats().corrupt_entries, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unwritable_entry_writes_are_counted() {
+        let root = tmpdir("unwritable-count");
+        std::fs::create_dir_all(&root).unwrap();
+        // A file where the tag directory should be blocks every write,
+        // no permission bits needed (works as root too).
+        std::fs::write(root.join(crate::ENGINE_TAG), b"i am a file").unwrap();
+        let cache = ResultCache::on_disk(&root);
+        cache.put(Digest(9), &result(1.0));
+        let stats = cache.stats();
+        assert_eq!((stats.unwritable, stats.disk_errors), (1, 1));
+        // The memory tier still serves the result: degraded, not broken.
+        assert_eq!(cache.get(Digest(9)).unwrap().1, CacheTier::Memory);
         let _ = std::fs::remove_dir_all(&root);
     }
 

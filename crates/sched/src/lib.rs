@@ -39,6 +39,7 @@ pub mod json;
 pub mod scenario;
 pub mod scheduler;
 pub mod serve;
+pub mod sink;
 
 pub use cache::{CacheError, CacheStats, CacheTier, ComputeClaim, ComputeLock, ResultCache};
 pub use encode::{Digest, Encoder};
@@ -46,6 +47,7 @@ pub use fidelity::Fidelity;
 pub use scenario::{Placement, Scenario, ScenarioResult, System, Workload};
 pub use scheduler::{BatchOutcome, Completed, SchedStats, Scheduler};
 pub use serve::{ArtifactRunner, ServeConfig, ServeStats, Server};
+pub use sink::StoreSink;
 
 /// Version tag mixed into every scenario digest and stamped on every
 /// on-disk cache entry.

@@ -159,7 +159,7 @@ impl Placement {
     }
 }
 
-fn mpi_key(mpi: MpiImpl) -> &'static str {
+pub(crate) fn mpi_key(mpi: MpiImpl) -> &'static str {
     match mpi {
         MpiImpl::Mpich2 => "mpich2",
         MpiImpl::Lam => "lam",

@@ -14,10 +14,11 @@
 //! and results return in input order — so any table built from a batch
 //! is byte-identical no matter the job count or cache temperature.
 
-use crate::cache::{CacheTier, ComputeClaim, ResultCache};
+use crate::cache::{CacheStats, CacheTier, ComputeClaim, ResultCache};
 use crate::encode::Digest;
 use crate::executor;
 use crate::scenario::{Scenario, ScenarioResult};
+use crate::sink::StoreSink;
 use corescope_machine::{Error, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,8 +65,14 @@ pub struct SchedStats {
     pub errors: usize,
     /// Disk-cache operations that failed (degraded to misses).
     pub disk_errors: usize,
+    /// Disk-cache entries that failed validation (CRC mismatch, bad
+    /// decode) — a subset of `disk_errors`.
+    pub corrupt_entries: usize,
     /// Requests shed before dispatch (deadline passed while queued).
     pub shed: usize,
+    /// Campaign-store appends that failed and were dropped (counted by
+    /// the [`StoreSink`], zero when no store is attached).
+    pub store_errors: usize,
 }
 
 /// Cross-thread rendezvous for one in-flight digest.
@@ -138,6 +145,7 @@ impl Drop for FlightGuard<'_> {
 pub struct Scheduler {
     jobs: usize,
     cache: ResultCache,
+    store: Option<Arc<StoreSink>>,
     flights: Mutex<HashMap<u128, Arc<Flight>>>,
     scenarios: AtomicUsize,
     engine_runs: AtomicUsize,
@@ -161,6 +169,7 @@ impl Scheduler {
         Self {
             jobs: jobs.max(1),
             cache,
+            store: None,
             flights: Mutex::new(HashMap::new()),
             scenarios: AtomicUsize::new(0),
             engine_runs: AtomicUsize::new(0),
@@ -171,6 +180,27 @@ impl Scheduler {
             errors: AtomicUsize::new(0),
             shed: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches a crash-safe campaign store: every *fresh* engine result
+    /// (cache hits are already on record from the run that produced
+    /// them) is appended as a columnar row, flushed at batch
+    /// boundaries. The sink is shared, so a campaign driver can keep a
+    /// handle for resume checks and aggregation.
+    pub fn with_store(mut self, sink: Arc<StoreSink>) -> Self {
+        self.store = Some(sink);
+        self
+    }
+
+    /// The attached campaign-store sink, if any.
+    pub fn store(&self) -> Option<&Arc<StoreSink>> {
+        self.store.as_ref()
+    }
+
+    /// A snapshot of the underlying result cache's counters (the sched
+    /// summary folds in only the headline numbers).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The configured worker count.
@@ -237,6 +267,12 @@ impl Scheduler {
                 }
             });
 
+        // Batch boundary: commit buffered store rows so a crash between
+        // batches loses at most the batch in progress.
+        if let Some(sink) = &self.store {
+            sink.flush();
+        }
+
         owner_of
             .iter()
             .enumerate()
@@ -269,10 +305,26 @@ impl Scheduler {
         if outcome.is_err() {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(sink) = &self.store {
+            sink.flush();
+        }
         outcome
     }
 
+    /// [`Scheduler::run_single_inner`] plus the campaign-store commit
+    /// point: every successful outcome is offered to the sink, which
+    /// drops digests already committed — so a cache hit during a
+    /// *resumed* campaign still lands the row the killed run never got
+    /// to flush, while warm reruns append nothing.
     fn run_single(&self, scenario: &Scenario, digest: Digest) -> Result<Completed> {
+        let outcome = self.run_single_inner(scenario, digest);
+        if let (Some(sink), Ok(done)) = (&self.store, &outcome) {
+            sink.record(scenario, digest, &done.result);
+        }
+        outcome
+    }
+
+    fn run_single_inner(&self, scenario: &Scenario, digest: Digest) -> Result<Completed> {
         if let Some((result, tier)) = self.cache.get(digest) {
             match tier {
                 CacheTier::Memory => self.hits_memory.fetch_add(1, Ordering::Relaxed),
@@ -329,8 +381,10 @@ impl Scheduler {
         }
     }
 
-    /// A snapshot of the counters (plus the cache's disk-error count).
+    /// A snapshot of the counters (plus the cache's disk-error and
+    /// corruption counts, and the store sink's append errors).
     pub fn stats(&self) -> SchedStats {
+        let cache = self.cache.stats();
         SchedStats {
             scenarios: self.scenarios.load(Ordering::Relaxed),
             engine_runs: self.engine_runs.load(Ordering::Relaxed),
@@ -339,8 +393,10 @@ impl Scheduler {
             deduped: self.deduped.load(Ordering::Relaxed),
             in_flight_waits: self.in_flight_waits.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            disk_errors: self.cache.stats().disk_errors,
+            disk_errors: cache.disk_errors,
+            corrupt_entries: cache.corrupt_entries,
             shed: self.shed.load(Ordering::Relaxed),
+            store_errors: self.store.as_ref().map_or(0, |sink| sink.append_errors()),
         }
     }
 
@@ -348,9 +404,10 @@ impl Scheduler {
     /// warm-cache check.
     pub fn summary(&self) -> String {
         let s = self.stats();
-        format!(
+        let mut line = format!(
             "sched: scenarios {}, engine runs {}, cache hits {} (memory {}, disk {}), \
-             deduped {}, in-flight waits {}, errors {}, shed {}",
+             deduped {}, in-flight waits {}, errors {}, shed {}, disk errors {}, \
+             corrupt entries {}",
             s.scenarios,
             s.engine_runs,
             s.hits_memory + s.hits_disk,
@@ -360,7 +417,13 @@ impl Scheduler {
             s.in_flight_waits,
             s.errors,
             s.shed,
-        )
+            s.disk_errors,
+            s.corrupt_entries,
+        );
+        if self.store.is_some() {
+            line.push_str(&format!(", store errors {}", s.store_errors));
+        }
+        line
     }
 }
 
@@ -497,6 +560,33 @@ mod tests {
         let stats = sched.stats();
         assert_eq!(stats.engine_runs, 1, "{stats:?}");
         assert_eq!(stats.shed, 2);
+    }
+
+    #[test]
+    fn attached_store_records_unique_rows_and_skips_committed_on_resume() {
+        let dir = std::env::temp_dir()
+            .join(format!("corescope-sched-store-{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = Arc::new(crate::sink::StoreSink::open(&dir).unwrap());
+        let sched = Scheduler::new(2).with_store(Arc::clone(&sink));
+        sched.run_batch(&[bsp(2), bsp(4), bsp(2)]);
+        assert_eq!(sink.rows_recorded(), 2, "one row per unique digest");
+        assert_eq!(sink.rows().unwrap().len(), 2);
+        assert!(sched.summary().ends_with("store errors 0"), "{}", sched.summary());
+        // Warm rerun: cache hits are re-offered but already committed.
+        sched.run_batch(&[bsp(2), bsp(4)]);
+        assert_eq!(sink.rows_recorded(), 2);
+        drop(sched);
+        drop(sink);
+        // A fresh scheduler over the same store resumes: its cache is
+        // cold so the engine reruns, but committed digests append
+        // nothing — only the genuinely new scenario lands a row.
+        let sink = Arc::new(crate::sink::StoreSink::open(&dir).unwrap());
+        let sched = Scheduler::new(1).with_store(Arc::clone(&sink));
+        sched.run_batch(&[bsp(2), bsp(6)]);
+        assert_eq!(sink.rows_recorded(), 1, "{}", sink.summary());
+        assert_eq!(sink.rows().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,7 +45,10 @@ struct Rig {
 
 impl Rig {
     fn start(config: ServeConfig, jobs: usize) -> Rig {
-        let sched = Arc::new(Scheduler::new(jobs));
+        Rig::start_with_sched(config, Arc::new(Scheduler::new(jobs)))
+    }
+
+    fn start_with_sched(config: ServeConfig, sched: Arc<Scheduler>) -> Rig {
         let server = Arc::new(Server::new(sched, config));
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
         let addr = listener.local_addr().expect("local addr");
@@ -101,7 +104,42 @@ fn garbage_frames_get_typed_responses_and_the_connection_survives() {
         assert!(lines[0].contains("\"kind\":\"bad-request\""), "{}", lines[0]);
         assert!(lines[1].contains("\"kind\":\"bad-request\""), "{}", lines[1]);
         assert!(lines[2].starts_with("{\"ok\":true"), "{}", lines[2]);
+        // A healthy cache never trips the degradation warning.
+        assert_eq!(rig.server.stats().cache_unwritable, 0);
+        assert!(!rig.server.summary().contains("cache unwritable"), "{}", rig.server.summary());
         rig.stop();
+    });
+}
+
+#[test]
+fn unwritable_cache_is_a_counted_warning_not_a_failure() {
+    watchdog(30, || {
+        // A disk cache whose tag directory is blocked by a plain file:
+        // every entry write fails the way a read-only mount would, with
+        // no permission-bit games (works as root too).
+        let root = std::env::temp_dir()
+            .join(format!("corescope-serve-unwritable-{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join(corescope_sched::ENGINE_TAG), b"i am a file").unwrap();
+        let sched =
+            Arc::new(Scheduler::with_cache(1, corescope_sched::ResultCache::on_disk(&root)));
+        let rig = Rig::start_with_sched(ServeConfig::default(), sched);
+        // Requests still succeed: the cache is an accelerator, never a
+        // correctness dependency.
+        let lines = rig.roundtrip(&format!("{}\n{}\n", bsp(2).to_json(), bsp(3).to_json()));
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        for line in &lines {
+            assert!(line.starts_with("{\"ok\":true"), "{line}");
+        }
+        // …but the failed entry writes are counted and surfaced in the
+        // drain summary as a typed, greppable warning.
+        let stats = rig.server.stats();
+        assert_eq!(stats.cache_unwritable, 2, "one failed write per engine run: {stats:?}");
+        let summary = rig.server.summary();
+        assert!(summary.contains("cache unwritable 2 (degraded)"), "{summary}");
+        rig.stop();
+        let _ = std::fs::remove_dir_all(&root);
     });
 }
 

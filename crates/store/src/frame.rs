@@ -1,0 +1,426 @@
+//! CRC-framed columnar block codec — the unit of durability.
+//!
+//! A segment file is a fixed header followed by a sequence of frames.
+//! Each frame carries one *block*: a batch of rows encoded column-major
+//! (all digests contiguous, then all makespans, …) with a per-block
+//! string dictionary for the six scenario axes. The frame header carries
+//! the payload length and a CRC-32 of the payload, so a reader can tell
+//! a torn tail (frame runs past end of file) from a flipped bit (CRC
+//! mismatch) from foreign bytes (bad magic) — three different recovery
+//! actions.
+//!
+//! All integers are little-endian. Layout:
+//!
+//! ```text
+//! segment  := SEGMENT_MAGIC  version:u16  tag_len:u16  tag  frame*
+//! frame    := FRAME_MAGIC  payload_len:u32  crc32(payload):u32  payload
+//! payload  := nrows:u32  dict_len:u16  (entry_len:u16 entry)*  columns
+//! columns  := digest[nrows]:u128  nranks[nrows]:u32  makespan[nrows]:f64
+//!             events[nrows]:u64  faults[nrows]:u64  checkpoints[nrows]:u64
+//!             recoveries[nrows]:u64  retries[nrows]:u64
+//!             (system fidelity placement mpi lock workload)[nrows]:u16
+//! ```
+
+use crate::Row;
+
+/// Magic prefix of every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"CSSG";
+/// Magic prefix of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"CSB1";
+/// Segment format version written by this crate.
+pub const SEGMENT_VERSION: u16 = 1;
+/// Frame header size: magic + payload length + CRC.
+pub const FRAME_HEADER: usize = 12;
+/// Upper bound on a frame payload; a length field above this is treated
+/// as corruption rather than an instruction to allocate gigabytes.
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over a block payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(n).ok_or("length overflow")?;
+        if end > self.buf.len() {
+            return Err(format!("payload truncated at byte {} (wanted {n} more)", self.at));
+        }
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+}
+
+/// The segment file header for `tag`.
+pub fn segment_header(tag: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + tag.len());
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    put_u16(&mut out, SEGMENT_VERSION);
+    put_u16(&mut out, tag.len() as u16);
+    out.extend_from_slice(tag.as_bytes());
+    out
+}
+
+/// Parses a segment header, returning `(engine_tag, data_start)`.
+///
+/// # Errors
+///
+/// A one-line reason when the magic, version or tag bytes are damaged.
+pub fn parse_segment_header(buf: &[u8]) -> Result<(String, usize), String> {
+    let mut c = Cursor { buf, at: 0 };
+    let magic = c.take(4)?;
+    if magic != SEGMENT_MAGIC {
+        return Err(format!("bad segment magic {magic:02x?}"));
+    }
+    let version = c.u16()?;
+    if version != SEGMENT_VERSION {
+        return Err(format!("unsupported segment version {version}"));
+    }
+    let tag_len = c.u16()? as usize;
+    let tag =
+        std::str::from_utf8(c.take(tag_len)?).map_err(|_| "engine tag is not UTF-8".to_string())?;
+    Ok((tag.to_string(), c.at))
+}
+
+/// One step of a frame walk at byte `at` of a segment buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A CRC-valid frame; `payload` is its block bytes, `end` the offset
+    /// just past it.
+    Frame { payload: Vec<u8>, end: usize },
+    /// The buffer ends mid-frame: at the file tail this is a torn append.
+    Truncated,
+    /// A complete frame whose CRC does not match — a flipped bit.
+    /// `end` is the offset just past it, usable for resync.
+    BadCrc { end: usize },
+    /// The bytes at `at` are not a frame at all.
+    BadMagic,
+}
+
+/// Classifies the bytes at `at` without panicking on any input.
+pub fn parse_frame(buf: &[u8], at: usize) -> Parsed {
+    if at >= buf.len() {
+        return Parsed::Truncated;
+    }
+    let rest = &buf[at..];
+    if rest.len() < 4 {
+        return if FRAME_MAGIC.starts_with(rest) { Parsed::Truncated } else { Parsed::BadMagic };
+    }
+    if rest[..4] != FRAME_MAGIC {
+        return Parsed::BadMagic;
+    }
+    if rest.len() < FRAME_HEADER {
+        return Parsed::Truncated;
+    }
+    let len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        // A plausible header with an absurd length is corruption, not a
+        // torn tail: resync past the magic rather than truncating here.
+        return Parsed::BadCrc { end: at + FRAME_HEADER };
+    }
+    let crc = u32::from_le_bytes(rest[8..12].try_into().unwrap());
+    if rest.len() < FRAME_HEADER + len {
+        return Parsed::Truncated;
+    }
+    let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+    if crc32(payload) != crc {
+        return Parsed::BadCrc { end: at + FRAME_HEADER + len };
+    }
+    Parsed::Frame { payload: payload.to_vec(), end: at + FRAME_HEADER + len }
+}
+
+/// Finds the next possible frame start strictly after `from`.
+pub fn resync(buf: &[u8], from: usize) -> Option<usize> {
+    let start = from.checked_add(1)?;
+    if start >= buf.len() {
+        return None;
+    }
+    buf[start..].windows(4).position(|w| w == FRAME_MAGIC).map(|i| start + i)
+}
+
+/// Wraps a block payload in a CRC frame.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+fn dict_index(dict: &mut Vec<String>, value: &str) -> u16 {
+    if let Some(i) = dict.iter().position(|d| d == value) {
+        return i as u16;
+    }
+    dict.push(value.to_string());
+    (dict.len() - 1) as u16
+}
+
+/// Encodes `rows` as one columnar block payload.
+///
+/// Deterministic: the dictionary is built in first-occurrence order over
+/// the fixed axis sequence, so identical rows always produce identical
+/// bytes (the property the resume byte-diff and the cache both lean on).
+pub fn encode_block(rows: &[Row]) -> Vec<u8> {
+    let mut dict: Vec<String> = Vec::new();
+    let mut axes = vec![[0u16; 6]; rows.len()];
+    for (i, row) in rows.iter().enumerate() {
+        axes[i] = [
+            dict_index(&mut dict, &row.system),
+            dict_index(&mut dict, &row.fidelity),
+            dict_index(&mut dict, &row.placement),
+            dict_index(&mut dict, &row.mpi),
+            dict_index(&mut dict, &row.lock),
+            dict_index(&mut dict, &row.workload),
+        ];
+    }
+    let mut out = Vec::new();
+    put_u32(&mut out, rows.len() as u32);
+    put_u16(&mut out, dict.len() as u16);
+    for entry in &dict {
+        put_u16(&mut out, entry.len() as u16);
+        out.extend_from_slice(entry.as_bytes());
+    }
+    for row in rows {
+        out.extend_from_slice(&row.digest.to_le_bytes());
+    }
+    for row in rows {
+        put_u32(&mut out, row.nranks);
+    }
+    for row in rows {
+        put_u64(&mut out, row.makespan.to_bits());
+    }
+    for pick in [
+        |r: &Row| r.events,
+        |r: &Row| r.faults_applied,
+        |r: &Row| r.checkpoints_taken,
+        |r: &Row| r.recoveries,
+        |r: &Row| r.retries,
+    ] {
+        for row in rows {
+            put_u64(&mut out, pick(row));
+        }
+    }
+    for col in 0..6 {
+        for idx in &axes {
+            put_u16(&mut out, idx[col]);
+        }
+    }
+    out
+}
+
+/// Decodes a block payload back into rows.
+///
+/// # Errors
+///
+/// A one-line reason on any structural damage; never panics, whatever
+/// the bytes (the CRC already passed, so this only fires on encoder
+/// bugs or hash collisions — but recovery treats it as corruption).
+pub fn decode_block(payload: &[u8]) -> Result<Vec<Row>, String> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    let nrows = c.u32()? as usize;
+    if nrows > MAX_PAYLOAD / 16 {
+        return Err(format!("implausible row count {nrows}"));
+    }
+    let dict_len = c.u16()? as usize;
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let len = c.u16()? as usize;
+        let entry = std::str::from_utf8(c.take(len)?)
+            .map_err(|_| "dictionary entry is not UTF-8".to_string())?;
+        dict.push(entry.to_string());
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        rows.push(Row { digest: c.u128()?, ..Row::default() });
+    }
+    for row in &mut rows {
+        row.nranks = c.u32()?;
+    }
+    for row in &mut rows {
+        row.makespan = f64::from_bits(c.u64()?);
+    }
+    for pick in [
+        (|r: &mut Row| &mut r.events) as fn(&mut Row) -> &mut u64,
+        |r| &mut r.faults_applied,
+        |r| &mut r.checkpoints_taken,
+        |r| &mut r.recoveries,
+        |r| &mut r.retries,
+    ] {
+        for row in rows.iter_mut() {
+            *pick(row) = c.u64()?;
+        }
+    }
+    for col in 0..6usize {
+        for row in rows.iter_mut() {
+            let idx = c.u16()? as usize;
+            let value = dict
+                .get(idx)
+                .ok_or_else(|| format!("dictionary index {idx} out of range"))?
+                .clone();
+            match col {
+                0 => row.system = value,
+                1 => row.fidelity = value,
+                2 => row.placement = value,
+                3 => row.mpi = value,
+                4 => row.lock = value,
+                _ => row.workload = value,
+            }
+        }
+    }
+    if c.at != payload.len() {
+        return Err(format!("{} trailing bytes after columns", payload.len() - c.at));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: u64) -> Row {
+        Row {
+            digest: u128::from(i) << 64 | 0xDEAD,
+            system: if i.is_multiple_of(2) { "dmz" } else { "longs" }.to_string(),
+            fidelity: "quick".to_string(),
+            placement: "scheme-a".to_string(),
+            mpi: "mpich2".to_string(),
+            lock: "sysv".to_string(),
+            workload: "bsp".to_string(),
+            nranks: 2 + i as u32,
+            makespan: 1.5 * i as f64,
+            events: 10 * i,
+            faults_applied: i % 3,
+            checkpoints_taken: i % 5,
+            recoveries: i % 2,
+            retries: i % 7,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn block_round_trips() {
+        let rows: Vec<Row> = (0..17).map(row).collect();
+        let payload = encode_block(&rows);
+        assert_eq!(decode_block(&payload).unwrap(), rows);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let rows: Vec<Row> = (0..9).map(row).collect();
+        assert_eq!(encode_block(&rows), encode_block(&rows));
+    }
+
+    #[test]
+    fn frame_round_trips_and_catches_flips() {
+        let payload = encode_block(&[row(1), row(2)]);
+        let framed = frame_bytes(&payload);
+        match parse_frame(&framed, 0) {
+            Parsed::Frame { payload: p, end } => {
+                assert_eq!(p, payload);
+                assert_eq!(end, framed.len());
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        for at in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[at] ^= 0x40;
+            match parse_frame(&bad, 0) {
+                Parsed::Frame { .. } => panic!("flipped bit at {at} went undetected"),
+                Parsed::Truncated | Parsed::BadCrc { .. } | Parsed::BadMagic => {}
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_corruption() {
+        let framed = frame_bytes(&encode_block(&[row(3)]));
+        for cut in 0..framed.len() {
+            match parse_frame(&framed[..cut], 0) {
+                Parsed::Truncated => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resync_finds_the_next_frame_after_garbage() {
+        let mut buf = b"garbage bytes here".to_vec();
+        let framed = frame_bytes(&encode_block(&[row(4)]));
+        let at = buf.len();
+        buf.extend_from_slice(&framed);
+        assert_eq!(resync(&buf, 0), Some(at));
+    }
+
+    #[test]
+    fn segment_header_round_trips() {
+        let header = segment_header("corescope-engine-test");
+        let (tag, start) = parse_segment_header(&header).unwrap();
+        assert_eq!(tag, "corescope-engine-test");
+        assert_eq!(start, header.len());
+        assert!(parse_segment_header(b"NOPE").is_err());
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        let payload = encode_block(&[]);
+        assert_eq!(decode_block(&payload).unwrap(), Vec::<Row>::new());
+    }
+}
