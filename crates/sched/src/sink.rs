@@ -53,6 +53,10 @@ pub struct StoreSink {
     store: Mutex<Store>,
     append_errors: AtomicUsize,
     rows_recorded: AtomicUsize,
+    /// Rows already committed when the store was opened — fixed at
+    /// open so mid-campaign summaries don't mix it up with counters
+    /// that advance at different times (appends vs. flushes).
+    resumed_rows: usize,
 }
 
 impl StoreSink {
@@ -75,10 +79,12 @@ impl StoreSink {
     /// segment roll threshold).
     pub fn open_with(dir: impl AsRef<Path>, options: Options) -> Result<Self, StoreError> {
         let store = Store::open_with(dir.as_ref(), crate::ENGINE_TAG, options)?;
+        let resumed_rows = store.recovery().rows;
         Ok(Self {
             store: Mutex::new(store),
             append_errors: AtomicUsize::new(0),
             rows_recorded: AtomicUsize::new(0),
+            resumed_rows,
         })
     }
 
@@ -146,13 +152,11 @@ impl StoreSink {
         self.rows_recorded.load(Ordering::Relaxed)
     }
 
-    /// Digests committed before this sink opened — what a resumed
-    /// campaign can skip.
+    /// Rows committed before this sink opened — what a resumed
+    /// campaign can skip. Fixed at open, so it stays correct while
+    /// new appends are still buffered.
     pub fn resumed_rows(&self) -> usize {
-        match self.store.lock() {
-            Ok(store) => store.rows_committed().saturating_sub(store.appended()) as usize,
-            Err(_) => 0,
-        }
+        self.resumed_rows
     }
 
     /// True when opening the store found nothing to recover — no torn
@@ -241,6 +245,11 @@ mod tests {
         let rows = sink.rows().unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].digest, digest.0);
+        // Mid-campaign: new appends sitting in the buffer must not
+        // erode the resumed count.
+        let fresh = bsp(7);
+        sink.record(&fresh, fresh.digest(), &fresh.run().unwrap());
+        assert_eq!(sink.resumed_rows(), 1);
         assert!(sink.summary().contains("resumed 1"), "{}", sink.summary());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -190,7 +190,18 @@ pub fn resync(buf: &[u8], from: usize) -> Option<usize> {
 }
 
 /// Wraps a block payload in a CRC frame.
+///
+/// # Panics
+///
+/// When `payload` exceeds [`MAX_PAYLOAD`]: every reader classifies such
+/// a frame as corruption, so writing one is a bug at the call site
+/// ([`encode_block`] / [`encode_blocks`] never produce one).
 pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "frame payload of {} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})",
+        payload.len()
+    );
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     out.extend_from_slice(&FRAME_MAGIC);
     put_u32(&mut out, payload.len() as u32);
@@ -199,12 +210,43 @@ pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn dict_index(dict: &mut Vec<String>, value: &str) -> u16 {
-    if let Some(i) = dict.iter().position(|d| d == value) {
-        return i as u16;
+/// Most dictionary entries one block may hold: the count is stored as a
+/// u16 and every index must fit a u16.
+pub const MAX_DICT: usize = u16::MAX as usize;
+/// Longest dictionary entry: the length prefix is a u16.
+pub const MAX_DICT_ENTRY: usize = u16::MAX as usize;
+/// Encoded payload bytes one row contributes beyond its dictionary
+/// entries: digest + nranks + makespan + five u64 counters + six u16
+/// axis indices.
+const ROW_FIXED_BYTES: usize = 16 + 4 + 8 + 5 * 8 + 6 * 2;
+/// Payload bytes before any row: the nrows and dict_len fields.
+const BLOCK_HEADER_BYTES: usize = 4 + 2;
+
+fn dict_index(
+    dict: &mut Vec<String>,
+    map: &mut std::collections::HashMap<String, u16>,
+    value: &str,
+) -> Result<u16, String> {
+    if let Some(&i) = map.get(value) {
+        return Ok(i);
     }
+    if value.len() > MAX_DICT_ENTRY {
+        return Err(format!(
+            "axis string of {} bytes exceeds the {MAX_DICT_ENTRY}-byte dictionary entry limit",
+            value.len()
+        ));
+    }
+    if dict.len() >= MAX_DICT {
+        return Err(format!("more than {MAX_DICT} distinct axis strings in one block"));
+    }
+    let i = dict.len() as u16;
     dict.push(value.to_string());
-    (dict.len() - 1) as u16
+    map.insert(value.to_string(), i);
+    Ok(i)
+}
+
+fn axis_values(row: &Row) -> [&str; 6] {
+    [&row.system, &row.fidelity, &row.placement, &row.mpi, &row.lock, &row.workload]
 }
 
 /// Encodes `rows` as one columnar block payload.
@@ -212,18 +254,22 @@ fn dict_index(dict: &mut Vec<String>, value: &str) -> u16 {
 /// Deterministic: the dictionary is built in first-occurrence order over
 /// the fixed axis sequence, so identical rows always produce identical
 /// bytes (the property the resume byte-diff and the cache both lean on).
-pub fn encode_block(rows: &[Row]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// A one-line reason when the rows exceed what one block can hold —
+/// more than [`MAX_DICT`] distinct axis strings, an axis string longer
+/// than [`MAX_DICT_ENTRY`] bytes, or a payload past [`MAX_PAYLOAD`].
+/// Writers that buffer arbitrary batches should use [`encode_blocks`],
+/// which splits instead of failing.
+pub fn encode_block(rows: &[Row]) -> Result<Vec<u8>, String> {
     let mut dict: Vec<String> = Vec::new();
+    let mut map = std::collections::HashMap::new();
     let mut axes = vec![[0u16; 6]; rows.len()];
     for (i, row) in rows.iter().enumerate() {
-        axes[i] = [
-            dict_index(&mut dict, &row.system),
-            dict_index(&mut dict, &row.fidelity),
-            dict_index(&mut dict, &row.placement),
-            dict_index(&mut dict, &row.mpi),
-            dict_index(&mut dict, &row.lock),
-            dict_index(&mut dict, &row.workload),
-        ];
+        for (slot, value) in axes[i].iter_mut().zip(axis_values(row)) {
+            *slot = dict_index(&mut dict, &mut map, value)?;
+        }
     }
     let mut out = Vec::new();
     put_u32(&mut out, rows.len() as u32);
@@ -257,7 +303,61 @@ pub fn encode_block(rows: &[Row]) -> Vec<u8> {
             put_u16(&mut out, idx[col]);
         }
     }
-    out
+    if out.len() > MAX_PAYLOAD {
+        return Err(format!(
+            "block payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame limit",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// Encodes `rows` as one or more block payloads, splitting wherever a
+/// single block would overflow an encoder limit ([`MAX_DICT`] distinct
+/// strings or [`MAX_PAYLOAD`] bytes). The split points depend only on
+/// the rows, so the output stays deterministic.
+///
+/// # Errors
+///
+/// Only when a single row cannot be encoded at all: an axis string
+/// longer than [`MAX_DICT_ENTRY`] bytes.
+pub fn encode_blocks(rows: &[Row]) -> Result<Vec<Vec<u8>>, String> {
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    while start < rows.len() {
+        let mut dict: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut payload = BLOCK_HEADER_BYTES;
+        let mut end = start;
+        while end < rows.len() {
+            let mut new_bytes = 0usize;
+            for value in axis_values(&rows[end]) {
+                if value.len() > MAX_DICT_ENTRY {
+                    return Err(format!(
+                        "axis string of {} bytes exceeds the {MAX_DICT_ENTRY}-byte \
+                         dictionary entry limit",
+                        value.len()
+                    ));
+                }
+                // Insert as we project so a value repeated within this
+                // row's own six axes is only counted once.
+                if dict.insert(value) {
+                    new_bytes += 2 + value.len();
+                }
+            }
+            let fits =
+                dict.len() <= MAX_DICT && payload + new_bytes + ROW_FIXED_BYTES <= MAX_PAYLOAD;
+            if !fits && end > start {
+                break;
+            }
+            // A lone row always fits: at most 6 entries of <= 65535
+            // bytes each plus the fixed columns is far under MAX_PAYLOAD.
+            payload += new_bytes + ROW_FIXED_BYTES;
+            end += 1;
+        }
+        blocks.push(encode_block(&rows[start..end])?);
+        start = end;
+    }
+    Ok(blocks)
 }
 
 /// Decodes a block payload back into rows.
@@ -358,19 +458,19 @@ mod tests {
     #[test]
     fn block_round_trips() {
         let rows: Vec<Row> = (0..17).map(row).collect();
-        let payload = encode_block(&rows);
+        let payload = encode_block(&rows).unwrap();
         assert_eq!(decode_block(&payload).unwrap(), rows);
     }
 
     #[test]
     fn encoding_is_deterministic() {
         let rows: Vec<Row> = (0..9).map(row).collect();
-        assert_eq!(encode_block(&rows), encode_block(&rows));
+        assert_eq!(encode_block(&rows).unwrap(), encode_block(&rows).unwrap());
     }
 
     #[test]
     fn frame_round_trips_and_catches_flips() {
-        let payload = encode_block(&[row(1), row(2)]);
+        let payload = encode_block(&[row(1), row(2)]).unwrap();
         let framed = frame_bytes(&payload);
         match parse_frame(&framed, 0) {
             Parsed::Frame { payload: p, end } => {
@@ -391,7 +491,7 @@ mod tests {
 
     #[test]
     fn truncation_is_distinguished_from_corruption() {
-        let framed = frame_bytes(&encode_block(&[row(3)]));
+        let framed = frame_bytes(&encode_block(&[row(3)]).unwrap());
         for cut in 0..framed.len() {
             match parse_frame(&framed[..cut], 0) {
                 Parsed::Truncated => {}
@@ -403,7 +503,7 @@ mod tests {
     #[test]
     fn resync_finds_the_next_frame_after_garbage() {
         let mut buf = b"garbage bytes here".to_vec();
-        let framed = frame_bytes(&encode_block(&[row(4)]));
+        let framed = frame_bytes(&encode_block(&[row(4)]).unwrap());
         let at = buf.len();
         buf.extend_from_slice(&framed);
         assert_eq!(resync(&buf, 0), Some(at));
@@ -420,7 +520,38 @@ mod tests {
 
     #[test]
     fn empty_block_round_trips() {
-        let payload = encode_block(&[]);
+        let payload = encode_block(&[]).unwrap();
         assert_eq!(decode_block(&payload).unwrap(), Vec::<Row>::new());
+    }
+
+    #[test]
+    fn oversized_axis_string_is_an_encode_error() {
+        let mut bad = row(1);
+        bad.system = "x".repeat(MAX_DICT_ENTRY + 1);
+        assert!(encode_block(std::slice::from_ref(&bad)).is_err());
+        assert!(encode_blocks(&[bad]).is_err());
+    }
+
+    #[test]
+    fn encode_blocks_splits_at_the_dictionary_limit() {
+        // All-distinct axis strings overflow the u16 dictionary after
+        // 65535 entries; the packer must split, never wrap indices.
+        let rows: Vec<Row> = (0..11_000u64)
+            .map(|i| {
+                let mut r = row(i);
+                r.system = format!("sys-{i}");
+                r.fidelity = format!("fid-{i}");
+                r.placement = format!("pl-{i}");
+                r.mpi = format!("mpi-{i}");
+                r.lock = format!("lk-{i}");
+                r.workload = format!("wl-{i}");
+                r
+            })
+            .collect();
+        assert!(encode_block(&rows).is_err(), "66000 dict entries must not fit one block");
+        let blocks = encode_blocks(&rows).unwrap();
+        assert!(blocks.len() >= 2, "expected a split, got {} block(s)", blocks.len());
+        let decoded: Vec<Row> = blocks.iter().flat_map(|b| decode_block(b).unwrap()).collect();
+        assert_eq!(decoded, rows);
     }
 }

@@ -439,7 +439,13 @@ pub fn compact(dir: &Path) -> Result<CompactReport, StoreError> {
     let path = dir.join(&name);
     let mut out = frame::segment_header(&manifest.tag);
     for chunk in rows.chunks(512) {
-        out.extend_from_slice(&frame::frame_bytes(&frame::encode_block(chunk)));
+        // Decoded rows always satisfy the encoder limits, but a chunk
+        // could in principle overflow a block; split rather than fail.
+        let blocks = frame::encode_blocks(chunk)
+            .map_err(|reason| io_err(&path, std::io::Error::other(format!("encode: {reason}"))))?;
+        for block in &blocks {
+            out.extend_from_slice(&frame::frame_bytes(block));
+        }
     }
     let mut file = std::fs::File::create(&path).map_err(|e| io_err(&path, e))?;
     file.write_all(&out).map_err(|e| io_err(&path, e))?;

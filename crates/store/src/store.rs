@@ -57,8 +57,12 @@ pub struct Options {
     /// Auto-flush the row buffer at this size (a flush is one frame,
     /// one fsync and one manifest commit — the durability quantum).
     pub flush_rows: usize,
-    /// Age after which a writer lock with a dead or unknown owner may
-    /// be taken over.
+    /// Age after which a writer lock whose owner's liveness cannot be
+    /// checked may be taken over. On Linux the lock file's pid is
+    /// checked against `/proc` instead: a dead owner is taken over
+    /// immediately and a live owner is never timed out. The writer
+    /// refreshes the lock mtime on every flush, so this fallback only
+    /// fires on owners that stopped making progress.
     pub lock_timeout: Duration,
 }
 
@@ -202,10 +206,12 @@ pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> 
 }
 
 /// The single-writer lock: `writer.lock` created with `create_new`,
-/// holding the owner's pid. Stale locks (owner dead, or older than the
-/// configured timeout) are taken over by renaming them to a tombstone
-/// first, so two contenders cannot both "win" by deleting the same file
-/// — the same arbitration the result cache's `.lock` protocol uses.
+/// holding the owner's pid. Stale locks (owner provably dead via
+/// `/proc`, or — where no liveness oracle exists — unrefreshed for
+/// longer than the configured timeout) are taken over by renaming them
+/// to a tombstone first, so two contenders cannot both "win" by
+/// deleting the same file — the same arbitration the result cache's
+/// `.lock` protocol uses. A provably live owner is never stolen from.
 #[derive(Debug)]
 pub(crate) struct WriterLock {
     path: PathBuf,
@@ -250,17 +256,36 @@ impl WriterLock {
 
     fn is_stale(path: &Path, owner: &str, timeout: Duration) -> bool {
         // A SIGKILLed campaign leaves its lock behind; resume must not
-        // wait out the timeout for an owner that is provably gone.
+        // wait out the timeout for an owner that is provably gone. The
+        // converse matters even more: an owner that is provably ALIVE
+        // is never stale, however old its lock — stealing a live
+        // writer's lock yields two writers, the one corruption this
+        // lock exists to prevent.
         #[cfg(target_os = "linux")]
         if let Ok(pid) = owner.parse::<u32>() {
-            if pid != std::process::id() && !Path::new(&format!("/proc/{pid}")).exists() {
-                return true;
-            }
+            return !Path::new(&format!("/proc/{pid}")).exists();
         }
         let _ = owner;
+        // No liveness oracle (non-Linux, or an unparseable owner):
+        // fall back to the heartbeat age. Live writers refresh the
+        // lock mtime on every flush, so a lock older than the timeout
+        // belongs to a dead or wedged owner.
         match std::fs::metadata(path).and_then(|m| m.modified()) {
             Ok(modified) => modified.elapsed().map(|age| age > timeout).unwrap_or(false),
             Err(_) => false,
+        }
+    }
+
+    /// Refreshes the lock file mtime. Called on every flush so the
+    /// age-based takeover fallback in [`WriterLock::is_stale`] (used
+    /// where no pid liveness oracle exists) never fires against a
+    /// writer that is still making progress.
+    fn heartbeat(&self) {
+        if !self.held {
+            return;
+        }
+        if let Ok(file) = OpenOptions::new().write(true).open(&self.path) {
+            let _ = file.set_modified(std::time::SystemTime::now());
         }
     }
 }
@@ -292,7 +317,7 @@ pub struct Store {
     recovery: RecoveryReport,
     rows_committed: u64,
     appended: u64,
-    _lock: Option<WriterLock>,
+    lock: Option<WriterLock>,
     /// Fault injection for the chaos suite: remaining bytes the store
     /// may write before every write fails ENOSPC-style, tearing the
     /// frame mid-append exactly like a full disk would.
@@ -361,7 +386,7 @@ impl Store {
             recovery: RecoveryReport::default(),
             rows_committed: 0,
             appended: 0,
-            _lock: Some(lock),
+            lock: Some(lock),
             write_budget: None,
         };
         store.recover(true)?;
@@ -405,7 +430,7 @@ impl Store {
             recovery: RecoveryReport::default(),
             rows_committed: 0,
             appended: 0,
-            _lock: None,
+            lock: None,
             write_budget: None,
         };
         store.recover(false)?;
@@ -591,8 +616,11 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on write failure — buffered rows are kept and
-    /// the next flush first truncates any torn bytes back to the
+    /// [`StoreError::Io`] on write failure — at any failure point,
+    /// including a failed manifest commit after the data write, the
+    /// buffered rows are kept and the in-memory committed state is
+    /// left exactly as before the call, so a retry re-commits them.
+    /// The next flush first truncates any torn bytes back to the
     /// committed length, so an in-process retry cannot corrupt the
     /// segment.
     pub fn flush(&mut self) -> Result<(), StoreError> {
@@ -611,21 +639,43 @@ impl Store {
         if len > committed_len {
             file.set_len(committed_len).map_err(|e| io_err(&path, e))?;
         }
-        let payload = frame::encode_block(&self.buffered);
-        let framed = frame::frame_bytes(&payload);
+        let payloads = frame::encode_blocks(&self.buffered)
+            .map_err(|reason| io_err(&path, std::io::Error::other(format!("encode: {reason}"))))?;
+        let mut framed = Vec::new();
+        for payload in &payloads {
+            framed.extend_from_slice(&frame::frame_bytes(payload));
+        }
         self.write_all_budgeted(&file, &path, &framed)?;
         file.sync_all().map_err(|e| io_err(&path, e))?;
         drop(file);
 
-        let seg = &mut self.segments[seg_index];
-        seg.committed_len += framed.len() as u64;
-        seg.rows += self.buffered.len() as u64;
-        self.rows_committed += self.buffered.len() as u64;
+        // Stage the commit: bump the manifest image, attempt the rename
+        // commit, and only then advance the in-memory row state. On a
+        // failed commit the frame bytes stay on disk past the committed
+        // length — the retry's self-heal truncates them — and the rows
+        // stay buffered so the retry re-commits them.
+        let frame_len = framed.len() as u64;
+        let frame_rows = self.buffered.len() as u64;
+        {
+            let seg = &mut self.segments[seg_index];
+            seg.committed_len += frame_len;
+            seg.rows += frame_rows;
+        }
+        if let Err(e) = self.commit_manifest() {
+            let seg = &mut self.segments[seg_index];
+            seg.committed_len -= frame_len;
+            seg.rows -= frame_rows;
+            return Err(e);
+        }
+        self.rows_committed += frame_rows;
         for row in self.buffered.drain(..) {
             self.committed.insert(row.digest);
         }
         self.buffered_digests.clear();
-        self.commit_manifest()
+        if let Some(lock) = &self.lock {
+            lock.heartbeat();
+        }
+        Ok(())
     }
 
     /// Budget-aware append that tears the write mid-frame when the

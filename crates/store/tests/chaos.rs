@@ -456,7 +456,7 @@ proptest! {
     #[test]
     fn prop_frames_never_lie(seed in 0u64..10_000, n in 0usize..9) {
         let rows: Vec<Row> = (0..n as u64).map(|j| mixed_row(seed, j)).collect();
-        let framed = frame::frame_bytes(&frame::encode_block(&rows));
+        let framed = frame::frame_bytes(&frame::encode_block(&rows).unwrap());
         let cut = (seed as usize * 31) % framed.len();
         prop_assert!(matches!(frame::parse_frame(&framed[..cut], 0), frame::Parsed::Truncated));
         let mut bad = framed.clone();
