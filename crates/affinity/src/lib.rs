@@ -34,5 +34,7 @@ pub mod policy;
 pub mod scheme;
 
 pub use mapping::{central_socket_order, one_per_socket, os_scatter, packed};
-pub use policy::{default_first_touch, interleave_all, local, membind_packed};
+pub use policy::{
+    default_first_touch, first_touch_spill, interleave_all, local, membind_packed, membind_spill,
+};
 pub use scheme::Scheme;

@@ -11,6 +11,12 @@
 //!   substrate (9-point stencils, conjugate-gradient barotropic solver on
 //!   a 5-point Laplacian) plus the x1-configuration workload model with
 //!   its baroclinic and barotropic phases.
+//! * [`xs`] — an XSBench-style cross-section lookup proxy: the
+//!   irregular-memory workload family. The kernel crate provides the
+//!   real unionized-grid lookup; this module decides where the
+//!   replicated table's pages land (first-touch with nearest-node
+//!   spill, interleave, membind) and exposes the modeled lookup latency
+//!   whose NUMA crossover the x10 artifact certifies.
 //!
 //! As in [`corescope_kernels`], every application couples real numerics
 //! (unit- and property-tested) with a simulator model whose
@@ -22,3 +28,4 @@
 
 pub mod md;
 pub mod ocean;
+pub mod xs;

@@ -1,0 +1,371 @@
+//! XSBench-style cross-section lookup proxy application.
+//!
+//! The kernel crate models one rank's lookup stream
+//! ([`corescope_kernels::xslookup`]); this module adds the part that
+//! makes the workload interesting on a NUMA machine: **where the
+//! unionized table's pages land**. Each rank replicates the table, and
+//! the table is large — often larger than one node's usable DIMM share —
+//! so the page-placement policy decides whether lookups are local,
+//! remote, or spread:
+//!
+//! * **first-touch** (`localalloc` / the OS default): each rank touches
+//!   its own copy, so pages fill the local node first and spill to the
+//!   nearest nodes once it is full ([`first_touch_spill`]). Early ranks
+//!   stay local; late ranks land remote.
+//! * **interleave**: pages round-robin over every node. Every lookup
+//!   pays the machine-average latency — worse than first-touch while
+//!   tables fit, better than first-touch's worst rank once they spill.
+//! * **membind**: pages forced onto the listed nodes in order,
+//!   regardless of rank locality ([`membind_spill`]).
+//!
+//! The crossover between first-touch and interleave is the x10
+//! artifact's headline result: first-touch wins while per-rank tables
+//! fit one node's usable share, and loses once its slowest rank goes
+//! mostly remote.
+
+use corescope_affinity::policy::TABLE_USABLE_FRACTION;
+use corescope_affinity::{
+    central_socket_order, first_touch_spill, interleave_all, membind_spill, Scheme,
+};
+use corescope_kernels::xslookup::XsParams;
+use corescope_machine::{CoreId, Machine, MemoryLayout, NumaNodeId, Result};
+use corescope_smpi::CommWorld;
+
+/// Where the replicated cross-section table's pages land, independent of
+/// where the rank's *other* memory (stack, buffers) lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TablePlacement {
+    /// First-touch: local node first, nearest-node spill when full. A
+    /// `misplacement` fraction of pages is spread machine-wide (the
+    /// unbound-run imperfection; bound schemes use `0.0`).
+    FirstTouch {
+        /// Fraction of table pages spread uniformly over the machine.
+        misplacement: f64,
+    },
+    /// `--interleave=all`: pages round-robin over every node.
+    Interleave,
+    /// `--membind`: pages fill the listed (centrality-ordered) nodes
+    /// first-come-first-served, ignoring rank locality.
+    Membind,
+}
+
+impl TablePlacement {
+    /// The table placement a Table-5 scheme implies: membind schemes
+    /// force the table onto the listed nodes, interleave spreads it, and
+    /// everything else first-touches it (with `misplacement` only for
+    /// the unbound `Default` scheme).
+    pub fn from_scheme(scheme: Scheme, misplacement: f64) -> Self {
+        match scheme {
+            Scheme::Default => TablePlacement::FirstTouch { misplacement },
+            Scheme::OneMpiLocalAlloc | Scheme::TwoMpiLocalAlloc => {
+                TablePlacement::FirstTouch { misplacement: 0.0 }
+            }
+            Scheme::Interleave => TablePlacement::Interleave,
+            Scheme::OneMpiMembind | Scheme::TwoMpiMembind => TablePlacement::Membind,
+        }
+    }
+
+    /// Short identifier for CSV columns.
+    pub fn key(self) -> &'static str {
+        match self {
+            TablePlacement::FirstTouch { .. } => "first_touch",
+            TablePlacement::Interleave => "interleave",
+            TablePlacement::Membind => "membind",
+        }
+    }
+}
+
+/// Per-rank page layouts for one `bytes`-byte table copy per rank, under
+/// `placement`, for ranks running on `cores` (allocation happens in rank
+/// order).
+///
+/// # Errors
+///
+/// Mirrors the affinity policies; never fails for a valid machine and a
+/// non-empty core list.
+pub fn table_layouts(
+    machine: &Machine,
+    cores: &[CoreId],
+    placement: TablePlacement,
+    bytes: f64,
+) -> Result<Vec<MemoryLayout>> {
+    match placement {
+        TablePlacement::FirstTouch { misplacement } => {
+            let layouts = first_touch_spill(machine, cores, bytes, TABLE_USABLE_FRACTION)?;
+            if machine.num_sockets() <= 1 || misplacement <= 0.0 {
+                return Ok(layouts);
+            }
+            let spread = interleave_all(machine)?;
+            Ok(layouts.into_iter().map(|l| l.mix(&spread, misplacement)).collect())
+        }
+        TablePlacement::Interleave => {
+            let layout = interleave_all(machine)?;
+            Ok(vec![layout; cores.len()])
+        }
+        TablePlacement::Membind => {
+            let order: Vec<NumaNodeId> = central_socket_order(machine)
+                .into_iter()
+                .map(|s| machine.node_of_socket(s))
+                .collect();
+            membind_spill(machine, &order, cores.len(), bytes, TABLE_USABLE_FRACTION)
+        }
+    }
+}
+
+/// Appends a star-mode run: every rank streams lookups through its own
+/// table copy, placed per `placement` (overriding the rank's base memory
+/// layout for the lookup phase only).
+///
+/// # Errors
+///
+/// Mirrors [`table_layouts`].
+pub fn append_star(
+    world: &mut CommWorld<'_>,
+    params: &XsParams,
+    placement: TablePlacement,
+) -> Result<()> {
+    let cores: Vec<CoreId> = world.placements().iter().map(|p| p.core).collect();
+    let layouts = table_layouts(world.machine(), &cores, placement, params.table_bytes())?;
+    let phase = params.phase();
+    for (rank, layout) in layouts.into_iter().enumerate() {
+        world.compute(rank, phase.clone().with_layout(layout));
+    }
+    Ok(())
+}
+
+/// Appends a single-rank run: rank 0 streams lookups, the rest idle.
+///
+/// # Errors
+///
+/// Mirrors [`table_layouts`].
+pub fn append_single(
+    world: &mut CommWorld<'_>,
+    params: &XsParams,
+    placement: TablePlacement,
+) -> Result<()> {
+    let core = world.placements()[0].core;
+    let layouts = table_layouts(world.machine(), &[core], placement, params.table_bytes())?;
+    let phase = params.phase();
+    world.compute(0, phase.with_layout(layouts.into_iter().next().expect("one rank")));
+    Ok(())
+}
+
+/// The modeled per-lookup DRAM latency of the slowest rank: its table
+/// layout's placement-weighted memory latency plus the machine's
+/// row-buffer-miss/TLB surcharge for dependent lookups. This is the
+/// closed-form quantity the crossover tests reason about — the engine's
+/// lookup phases are latency-bound, so makespan ordering follows it.
+///
+/// # Errors
+///
+/// Mirrors [`table_layouts`].
+pub fn modeled_lookup_latency(
+    machine: &Machine,
+    cores: &[CoreId],
+    placement: TablePlacement,
+    bytes: f64,
+) -> Result<f64> {
+    let layouts = table_layouts(machine, cores, placement, bytes)?;
+    let mut worst: f64 = 0.0;
+    for (&core, layout) in cores.iter().zip(&layouts) {
+        let mut latency = 0.0;
+        for (node, frac) in layout.shares() {
+            latency += frac * machine.memory_latency(core, node);
+        }
+        worst = worst.max(latency);
+    }
+    Ok(worst + machine.spec().memory.lookup_latency)
+}
+
+/// The per-rank table size at which first-touch starts spilling on the
+/// fullest node: the smallest `capacity × usable / ranks-on-node` over
+/// the nodes that host ranks. Below ~half this size first-touch is fully
+/// local and beats interleaving; a few times above it the slowest rank
+/// is mostly remote and interleaving wins.
+pub fn first_touch_crossover_bytes(machine: &Machine, cores: &[CoreId]) -> f64 {
+    let mut counts = vec![0usize; machine.num_sockets()];
+    for &core in cores {
+        counts[machine.socket_of(core).index()] += 1;
+    }
+    machine
+        .spec()
+        .sockets
+        .iter()
+        .zip(&counts)
+        .filter(|&(_, &ranks)| ranks > 0)
+        .map(|(&cap, &ranks)| cap * TABLE_USABLE_FRACTION / ranks as f64)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_machine::systems;
+    use corescope_smpi::{LockLayer, MpiImpl};
+    use proptest::prelude::*;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    fn dmz() -> Machine {
+        Machine::new(systems::dmz())
+    }
+
+    /// All four DMZ cores, packed two per socket.
+    fn dmz_cores() -> Vec<CoreId> {
+        (0..4).map(CoreId::new).collect()
+    }
+
+    /// XsParams whose replicated table is close to `bytes` (within one
+    /// grid point's footprint).
+    fn params_for_bytes(bytes: f64) -> XsParams {
+        let nuclides = 64u64;
+        let per_point = 8.0 * (1.0 + 5.0 * nuclides as f64);
+        XsParams {
+            grid_points: (bytes / per_point).round() as u64,
+            nuclides,
+            lookups_per_rank: 1 << 18,
+        }
+    }
+
+    #[test]
+    fn from_scheme_maps_table5_columns() {
+        assert_eq!(
+            TablePlacement::from_scheme(Scheme::Default, 0.1),
+            TablePlacement::FirstTouch { misplacement: 0.1 }
+        );
+        assert_eq!(
+            TablePlacement::from_scheme(Scheme::TwoMpiLocalAlloc, 0.1),
+            TablePlacement::FirstTouch { misplacement: 0.0 }
+        );
+        assert_eq!(
+            TablePlacement::from_scheme(Scheme::Interleave, 0.1),
+            TablePlacement::Interleave
+        );
+        assert_eq!(
+            TablePlacement::from_scheme(Scheme::OneMpiMembind, 0.1),
+            TablePlacement::Membind
+        );
+    }
+
+    #[test]
+    fn crossover_boundary_matches_dmz_capacity() {
+        // DMZ: 2 GiB/node × 0.75 usable / 2 ranks per node = 0.75 GiB.
+        let m = dmz();
+        let boundary = first_touch_crossover_bytes(&m, &dmz_cores());
+        assert!((boundary - 0.75 * GIB).abs() < 1.0, "boundary {boundary}");
+        // A single rank gets the whole node's usable share.
+        let single = first_touch_crossover_bytes(&m, &[CoreId::new(0)]);
+        assert!((single - 1.5 * GIB).abs() < 1.0);
+    }
+
+    #[test]
+    fn first_touch_beats_interleave_below_the_boundary() {
+        let m = dmz();
+        let cores = dmz_cores();
+        let bytes = 0.5 * first_touch_crossover_bytes(&m, &cores);
+        let ft = modeled_lookup_latency(
+            &m,
+            &cores,
+            TablePlacement::FirstTouch { misplacement: 0.0 },
+            bytes,
+        )
+        .unwrap();
+        let il = modeled_lookup_latency(&m, &cores, TablePlacement::Interleave, bytes).unwrap();
+        assert!(ft < il, "small tables: first-touch {ft:.3e} must beat interleave {il:.3e}");
+    }
+
+    #[test]
+    fn interleave_beats_first_touch_above_the_boundary() {
+        let m = dmz();
+        let cores = dmz_cores();
+        let bytes = 2.0 * first_touch_crossover_bytes(&m, &cores);
+        let ft = modeled_lookup_latency(
+            &m,
+            &cores,
+            TablePlacement::FirstTouch { misplacement: 0.0 },
+            bytes,
+        )
+        .unwrap();
+        let il = modeled_lookup_latency(&m, &cores, TablePlacement::Interleave, bytes).unwrap();
+        assert!(il < ft, "spilled tables: interleave {il:.3e} must beat first-touch {ft:.3e}");
+    }
+
+    #[test]
+    fn engine_makespan_flips_with_the_modeled_latency() {
+        // The whole point: the closed-form crossover shows up in actual
+        // simulated runtimes, not just the latency formula.
+        let m = dmz();
+        let cores = dmz_cores();
+        let boundary = first_touch_crossover_bytes(&m, &cores);
+        let run = |placement: TablePlacement, bytes: f64| -> f64 {
+            let p = Scheme::TwoMpiLocalAlloc.resolve(&m, 4).unwrap();
+            let mut w = CommWorld::new(&m, p, MpiImpl::Lam.profile(), LockLayer::USysV);
+            append_star(&mut w, &params_for_bytes(bytes), placement).unwrap();
+            w.run().unwrap().makespan
+        };
+        let ft = TablePlacement::FirstTouch { misplacement: 0.0 };
+        let small = 0.5 * boundary;
+        let large = 2.0 * boundary;
+        assert!(
+            run(ft, small) < run(TablePlacement::Interleave, small),
+            "small tables must favour first-touch"
+        );
+        assert!(
+            run(TablePlacement::Interleave, large) < run(ft, large),
+            "spilled tables must favour interleave"
+        );
+    }
+
+    #[test]
+    fn membind_concentrates_then_spills_in_listed_order() {
+        let m = dmz();
+        let cores = dmz_cores();
+        // Small tables: every rank's table on the first central node.
+        let layouts = table_layouts(&m, &cores, TablePlacement::Membind, 0.25 * GIB).unwrap();
+        let first = central_socket_order(&m)[0];
+        let node = m.node_of_socket(first);
+        for (rank, l) in layouts.iter().enumerate() {
+            assert_eq!(l.fraction(node), 1.0, "rank {rank} must land on the first listed node");
+        }
+    }
+
+    #[test]
+    fn single_rank_append_places_only_rank_zero() {
+        let m = dmz();
+        let p = Scheme::TwoMpiLocalAlloc.resolve(&m, 2).unwrap();
+        let mut w = CommWorld::new(&m, p, MpiImpl::Lam.profile(), LockLayer::USysV);
+        append_single(&mut w, &params_for_bytes(0.25 * GIB), TablePlacement::Interleave).unwrap();
+        assert_eq!(w.programs()[0].len(), 1);
+        assert!(w.programs()[1].is_empty());
+    }
+
+    proptest! {
+        /// Under membind within machine capacity, growing the table can
+        /// only push more pages onto farther zonelist nodes: the modeled
+        /// lookup latency never decreases. (Beyond capacity the uniform
+        /// OS fallback can *reduce* the worst rank's latency, which is
+        /// why the property is stated within the usable capacity.)
+        #[test]
+        fn membind_latency_is_monotone_in_table_bytes(
+            base_gib in 0.05f64..1.4,
+            factor in 1.0f64..2.0,
+            nranks in 1usize..3,
+        ) {
+            let m = dmz();
+            let cores: Vec<CoreId> = (0..nranks).map(CoreId::new).collect();
+            let total_usable = 2.0 * 2.0 * GIB * TABLE_USABLE_FRACTION; // 3 GiB
+            let small = base_gib * GIB;
+            let large = (small * factor).min(total_usable / nranks as f64);
+            let small = small.min(large);
+            let lat_small =
+                modeled_lookup_latency(&m, &cores, TablePlacement::Membind, small).unwrap();
+            let lat_large =
+                modeled_lookup_latency(&m, &cores, TablePlacement::Membind, large).unwrap();
+            prop_assert!(
+                lat_large >= lat_small - 1e-12,
+                "membind latency shrank: {lat_small:.4e} -> {lat_large:.4e} \
+                 (bytes {small:.3e} -> {large:.3e}, {nranks} ranks)"
+            );
+        }
+    }
+}

@@ -35,19 +35,24 @@ pub enum Family {
     Latency,
     /// NAS CG/FT scheme ratios (Table 2).
     Nas,
+    /// XSBench-style cross-section lookup rates (Extra X10): the
+    /// latency-bound irregular-read anchors that pin the lookup
+    /// concurrency and row-buffer-miss surcharge.
+    Lookup,
     /// The paper's headline inequalities.
     Headline,
 }
 
 impl Family {
     /// All families, in registry order.
-    pub fn all() -> [Family; 6] {
+    pub fn all() -> [Family; 7] {
         [
             Family::Stream,
             Family::Blas,
             Family::PingPong,
             Family::Latency,
             Family::Nas,
+            Family::Lookup,
             Family::Headline,
         ]
     }
@@ -60,6 +65,7 @@ impl Family {
             Family::PingPong => "pingpong",
             Family::Latency => "latency",
             Family::Nas => "nas",
+            Family::Lookup => "lookup",
             Family::Headline => "headline",
         }
     }
@@ -262,7 +268,27 @@ pub enum Probe {
         /// Placement scheme.
         placement: Placement,
     },
+    /// Single-core XSBench-style lookup rate in Mlookups/s with a local
+    /// (first-touch) table. Latency-bound dependent reads: the rate is
+    /// `lookup_mlp`-proportional and `1/(base latency + lookup_latency)`-
+    /// proportional, so the DMZ (140 ns base) / Longs (275 ns base) pair
+    /// gives two independent equations that identify both new axes.
+    XsLookupRate {
+        /// System under test.
+        system: System,
+    },
 }
+
+/// Unionized grid points of the lookup-rate probe's table: ~1.35 GiB at
+/// 64 nuclides — far out of cache, yet within one node's usable share on
+/// both DMZ and Longs, so a single rank's table stays fully local.
+pub const XS_PROBE_GRID: u64 = 1 << 19;
+/// Nuclides of the lookup-rate probe's material.
+pub const XS_PROBE_NUCLIDES: u64 = 64;
+/// Lookups the probe's rank performs. The modeled rate is independent of
+/// this count (one fluid phase either way), so it needs no fidelity
+/// scaling.
+pub const XS_PROBE_LOOKUPS: u64 = 1 << 20;
 
 /// The NAS workloads a [`Probe::NasSchemeRatio`] can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -396,6 +422,22 @@ impl Probe {
                 ]
             }
             Probe::MemoryLatencyNs { .. } => Vec::new(),
+            Probe::XsLookupRate { system } => {
+                vec![at(
+                    Scenario::new(
+                        system,
+                        1,
+                        Workload::XsLookupSingle {
+                            grid_points: XS_PROBE_GRID,
+                            nuclides: XS_PROBE_NUCLIDES,
+                            lookups_per_rank: XS_PROBE_LOOKUPS,
+                        },
+                    )
+                    .with_placement(Placement::Scheme(corescope_affinity::Scheme::TwoMpiLocalAlloc))
+                    .with_mpi(MpiImpl::Lam),
+                    Reduction::Makespan,
+                )]
+            }
             Probe::NasSchemeRatio { workload, nranks, num, den } => {
                 let scenario = |placement| {
                     at(
@@ -460,6 +502,7 @@ impl Probe {
                 let (num, den) = two()?;
                 Ok(num / den)
             }
+            Probe::XsLookupRate { .. } => Ok(XS_PROBE_LOOKUPS as f64 / one()? / 1e6),
         }
     }
 }
@@ -859,6 +902,28 @@ pub fn registry() -> Vec<Target> {
         "ratio",
     );
 
+    // --- Lookup-rate anchors (Extra X10): single-core XSBench-style
+    // rates recorded from the shipped calibration. Latency-bound, so the
+    // DMZ/Longs pair identifies (lookup_mlp, lookup_latency).
+    push(
+        "lookup.dmz.1.rate",
+        Family::Lookup,
+        equal(ANCHOR_XS_DMZ_RATE, 0.05),
+        2.0,
+        Provenance::Model,
+        Probe::XsLookupRate { system: System::Dmz },
+        "Ml/s",
+    );
+    push(
+        "lookup.longs.1.rate",
+        Family::Lookup,
+        equal(ANCHOR_XS_LONGS_RATE, 0.05),
+        2.0,
+        Provenance::Model,
+        Probe::XsLookupRate { system: System::Longs },
+        "Ml/s",
+    );
+
     // --- Headline inequalities.
     // "best achievable single core bandwidth on the 8 socket system is
     // less than half of the more than 4 GB/s expected".
@@ -892,6 +957,16 @@ pub fn registry() -> Vec<Target> {
 /// IS the `ht_bandwidth` cap — which is what makes this target identify
 /// that axis during fitting.
 pub const ANCHOR_DMZ_MEMBIND2: f64 = 2.0;
+
+/// Single-core DMZ lookup rate (Mlookups/s), recorded from the shipped
+/// calibration: local table, so the per-lookup DRAM latency is the
+/// 140 ns local plateau plus the 60 ns `lookup_latency` surcharge.
+pub const ANCHOR_XS_DMZ_RATE: f64 = 0.1516;
+/// Single-core Longs lookup rate (Mlookups/s), recorded from the shipped
+/// calibration: the 275 ns probe-limited local plateau plus the same
+/// 60 ns surcharge — the pair of base latencies is what separates
+/// `lookup_mlp` from `lookup_latency` during fitting.
+pub const ANCHOR_XS_LONGS_RATE: f64 = 0.0905;
 
 #[cfg(test)]
 mod tests {
@@ -952,6 +1027,31 @@ mod tests {
         assert_eq!(p.observables(&params, Fidelity::Quick).len(), 2);
         assert!(p.predict(&params, &[1.0]).is_err());
         assert!(p.predict(&params, &[1.2e9, 1.0e9]).is_ok());
+    }
+
+    #[test]
+    fn lookup_anchors_match_the_shipped_point() {
+        let reg = registry();
+        let params = CalibParams::paper_2006();
+        for id in ["lookup.dmz.1.rate", "lookup.longs.1.rate"] {
+            let t = reg.iter().find(|t| t.id == id).unwrap();
+            let obs = t.probe.observables(&params, Fidelity::Full);
+            assert_eq!(obs.len(), 1, "{id}");
+            let reduced: Vec<f64> =
+                obs.iter().map(|o| o.reduce.apply(o.scenario.run().unwrap().makespan)).collect();
+            let v = t.probe.predict(&params, &reduced).unwrap();
+            assert!(t.satisfied(v), "{id}: predicted {v} vs anchor {}", t.nominal());
+        }
+    }
+
+    #[test]
+    fn dmz_looks_up_faster_than_longs() {
+        // The probe pair is only identifying because the two systems'
+        // base latencies differ; the anchors must preserve that order.
+        let nominal = |id: &str| {
+            registry().into_iter().find(|t| t.id == id).map(|t| t.nominal()).unwrap()
+        };
+        assert!(nominal("lookup.dmz.1.rate") > 1.3 * nominal("lookup.longs.1.rate"));
     }
 
     #[test]

@@ -121,6 +121,27 @@ pub fn campaign_table(title: &str, rows: &[Row]) -> Table {
     table
 }
 
+/// Renders a pivot-style sweep view: one labelled row per entry, one
+/// value column per pivot-axis value, with `None` cells rendered as the
+/// paper's em-dash (impossible or unplaceable configurations). Values
+/// use [`Cell::num`]'s two-decimal formatting — exactly the cells the
+/// figure artifacts used to assemble by hand, so tables migrated onto
+/// this view stay byte-identical.
+///
+/// `columns` lists every column including the leading label column;
+/// each row's value vector therefore has `columns.len() - 1` entries.
+pub fn pivot_table(title: &str, columns: &[&str], rows: &[(String, Vec<Option<f64>>)]) -> Table {
+    let mut table = Table::with_columns(title, columns);
+    for (label, values) in rows {
+        debug_assert_eq!(values.len() + 1, columns.len(), "one value per non-label column");
+        table.push_row(
+            label.clone(),
+            values.iter().map(|v| v.map_or(Cell::Dash, Cell::num)).collect(),
+        );
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +199,23 @@ mod tests {
         let b = campaign_table("t", &reversed).to_csv();
         assert_eq!(a, b);
         assert!(a.contains("dmz bsp x2"), "{a}");
+    }
+
+    #[test]
+    fn pivot_table_matches_the_hand_rolled_construction() {
+        // The byte-identity contract the stream-figure migration leans
+        // on: Some -> Cell::num, None -> Cell::Dash, nothing else.
+        let rows = vec![
+            ("1".to_string(), vec![Some(1.234), Some(5.678)]),
+            ("16".to_string(), vec![None, Some(9.0)]),
+        ];
+        let view = pivot_table("t", &["Cores", "a", "b"], &rows);
+
+        let mut hand = Table::with_columns("t", &["Cores", "a", "b"]);
+        hand.push_row("1", vec![Cell::num(1.234), Cell::num(5.678)]);
+        hand.push_row("16", vec![Cell::Dash, Cell::num(9.0)]);
+        assert_eq!(view.to_csv(), hand.to_csv());
+        assert_eq!(view.value("16", "a"), None, "dash cells read back as missing");
+        assert_eq!(view.value("16", "b"), Some(9.0));
     }
 }

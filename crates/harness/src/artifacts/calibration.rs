@@ -1,14 +1,15 @@
 //! Extra X7: the auto-calibration loop, run end-to-end and *checked*.
 //!
 //! The artifact perturbs the shipped calibration (+25% DRAM latency,
-//! −25% HyperTransport bandwidth), hands the perturbed point to
-//! [`corescope_calib::search::fit`] over the stream and latency target
-//! families, and then treats the outcome as a set of invariants rather
-//! than a report — any violation fails the run:
+//! −25% HyperTransport bandwidth, +25% lookup latency, −25% lookup
+//! concurrency), hands the perturbed point to
+//! [`corescope_calib::search::fit`] over the stream, latency, and lookup
+//! target families, and then treats the outcome as a set of invariants
+//! rather than a report — any violation fails the run:
 //!
 //! 1. **recovery** — every one of the [`CalibParams::FIELDS`] must come
 //!    back within [`RECOVERY_TOLERANCE`] of `CalibParams::paper_2006()`
-//!    (the unfitted axes are pinned by construction; the two fitted
+//!    (the unfitted axes are pinned by construction; the four fitted
 //!    axes must be pulled home by the targets alone);
 //! 2. **headline claims at the fitted point** — grading the fitted
 //!    point against the *full* registry, both paper headline
@@ -38,14 +39,17 @@ use corescope_sched::Scheduler;
 /// of the shipped calibration.
 pub const RECOVERY_TOLERANCE: f64 = 0.05;
 
-/// Relative perturbation applied to `dram_latency` (up) and
-/// `ht_bandwidth` (down) before the fit.
+/// Relative perturbation applied to `dram_latency` and `lookup_latency`
+/// (up) and `ht_bandwidth` and `lookup_mlp` (down) before the fit.
 pub const PERTURBATION: f64 = 0.25;
 
 /// Axes the fit is allowed to move; everything else stays pinned at the
 /// (perturbed) start, which for the unperturbed fields *is* the shipped
-/// value.
-pub const FITTED_AXES: [&str; 2] = ["dram_latency", "ht_bandwidth"];
+/// value. The lookup pair is identified by the X10 rate anchors: the
+/// rate is proportional to `lookup_mlp / (base latency + lookup_latency)`
+/// and the DMZ/Longs base latencies differ, giving two independent
+/// equations.
+pub const FITTED_AXES: [&str; 4] = ["dram_latency", "ht_bandwidth", "lookup_mlp", "lookup_latency"];
 
 /// Fraction of the normalized parameter box stepped by the sensitivity
 /// pass.
@@ -53,13 +57,15 @@ const SENSITIVITY_STEP: f64 = 0.1;
 
 /// Axes the sensitivity pass probes: the fitted pair plus the knobs the
 /// retired hand-rolled ablations used to sweep.
-const SENSITIVITY_AXES: [&str; 6] = [
+const SENSITIVITY_AXES: [&str; 8] = [
     "dram_latency",
     "ht_bandwidth",
     "probe_capacity_ladder",
     "lock_usysv",
     "same_socket_boost",
     "misplacement",
+    "lookup_mlp",
+    "lookup_latency",
 ];
 
 fn calibration_violation(what: impl std::fmt::Display) -> Error {
@@ -78,15 +84,19 @@ pub fn perturbed_start() -> CalibParams {
     let mut p = CalibParams::paper_2006();
     p.dram_latency *= 1.0 + PERTURBATION;
     p.ht_bandwidth *= 1.0 - PERTURBATION;
+    p.lookup_latency *= 1.0 + PERTURBATION;
+    p.lookup_mlp *= 1.0 - PERTURBATION;
     p
 }
 
 /// The fit configuration the artifact (and the CI smoke) runs: quick
-/// fidelity keeps the 60-evaluation CI budget, full fidelity doubles it.
+/// fidelity keeps a 150-evaluation CI budget (the four-axis simplex
+/// needs its 70% Nelder–Mead share uncut to converge; the old two-axis
+/// fit managed in 60), full fidelity doubles it.
 pub fn fit_config(fidelity: Fidelity) -> FitConfig {
     let budget = match fidelity {
-        Fidelity::Full => 120,
-        Fidelity::Quick => 60,
+        Fidelity::Full => 300,
+        Fidelity::Quick => 150,
     };
     FitConfig::new(FITTED_AXES.iter().map(|n| axis(n)).collect()).with_budget(budget)
 }
@@ -101,8 +111,12 @@ pub fn extra7(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     let shipped = CalibParams::paper_2006();
     let start = perturbed_start();
 
-    // --- The fit itself, over the families that identify the two axes.
-    let fit_eval = Evaluator::with_families(sched, fidelity, &[Family::Stream, Family::Latency]);
+    // --- The fit itself, over the families that identify the four axes.
+    let fit_eval = Evaluator::with_families(
+        sched,
+        fidelity,
+        &[Family::Stream, Family::Latency, Family::Lookup],
+    );
     let config = fit_config(fidelity);
     let outcome = fit(&fit_eval, start, &config)?;
     if !outcome.converged {
@@ -159,6 +173,14 @@ pub fn extra7(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
             "ht_bandwidth has no measurable effect on the stream family",
         ));
     }
+    let lookup_rank = ranking(&effects, Family::Lookup);
+    for param in ["lookup_mlp", "lookup_latency"] {
+        if !lookup_rank.iter().any(|e| e.param == param) {
+            return Err(calibration_violation(format!(
+                "{param} has no measurable effect on the lookup family"
+            )));
+        }
+    }
 
     // --- Tables. Values only — no scheduler statistics, so the bytes
     // are identical at any job count or cache temperature.
@@ -202,7 +224,11 @@ pub fn extra7(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
         "Extra X7: sensitivity ranking (|delta family score| per unit step)",
         &["Family: parameter", "Magnitude"],
     );
-    for (family, rank) in [(Family::Stream, &stream_rank), (Family::Latency, &latency_rank)] {
+    for (family, rank) in [
+        (Family::Stream, &stream_rank),
+        (Family::Latency, &latency_rank),
+        (Family::Lookup, &lookup_rank),
+    ] {
         for effect in rank.iter().take(3) {
             sense.push_row(
                 format!("{}: {}", family.key(), effect.param),
@@ -223,7 +249,7 @@ mod tests {
         let sched = Scheduler::new(2);
         let tables = extra7(Fidelity::Quick, &sched).unwrap();
         assert_eq!(tables.len(), 4);
-        assert!(tables[0].value("evaluations", "Value").unwrap() <= 60.0);
+        assert!(tables[0].value("evaluations", "Value").unwrap() <= 150.0);
         assert!(tables[0].to_csv().contains("converged,yes"));
         // The fitted point sits within 5% of shipped on every axis, so
         // every ratio cell in the parameter table is close to one.

@@ -14,6 +14,7 @@ pub mod pop;
 pub mod recovery;
 pub mod statics;
 pub mod stream;
+pub mod xs;
 
 use crate::fidelity::Fidelity;
 use crate::report::Table;
@@ -63,7 +64,7 @@ impl fmt::Display for UnknownArtifact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7, x9; \
+            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7, x9, x10; \
              run with --list for the catalogue)",
             self.requested
         )?;
@@ -133,6 +134,10 @@ pub enum Artifact {
     /// recover, resume past committed scenarios, and aggregate
     /// byte-identically to an uninterrupted run.
     X9,
+    /// Extra: the XSBench-style cross-section lookup family — table
+    /// size × placement sweep with a checked first-touch/interleave
+    /// NUMA crossover.
+    X10,
 }
 
 impl Artifact {
@@ -141,7 +146,7 @@ impl Artifact {
         use Artifact::*;
         vec![
             T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
-            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7, X9,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7, X9, X10,
         ]
     }
 
@@ -186,6 +191,7 @@ impl Artifact {
             X5 => "x5",
             X7 => "x7",
             X9 => "x9",
+            X10 => "x10",
         }
     }
 
@@ -244,6 +250,7 @@ impl Artifact {
             X5 => "Extra X5: recovery campaign (checkpoint/restart under rank kills)",
             X7 => "Extra X7: auto-calibration against the paper-target registry",
             X9 => "Extra X9: crash-safe campaign store (kill-anywhere resume)",
+            X10 => "Extra X10: cross-section lookup NUMA crossover (XSBench-style)",
         }
     }
 
@@ -289,6 +296,7 @@ impl Artifact {
             X5 => "checkpoint/restart under rank kills, swept around Young/Daly",
             X7 => "fit the calibration back to the paper targets from a perturbed start",
             X9 => "kill a store-backed sweep mid-write; resume must aggregate identically",
+            X10 => "table size x placement sweep; first-touch/interleave crossover checked",
         }
     }
 
@@ -349,6 +357,7 @@ impl Artifact {
             X5 => recovery::extra5(fidelity, sched),
             X7 => calibration::extra7(fidelity, sched),
             X9 => campaign::extra9(fidelity, sched),
+            X10 => xs::extra10(fidelity, sched),
         }
     }
 }
@@ -366,11 +375,11 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 37, "30 paper artifacts + the X1-X5, X7, X9 extras");
+        assert_eq!(all.len(), 38, "30 paper artifacts + the X1-X5, X7, X9, X10 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 37);
+        assert_eq!(ids.len(), 38);
     }
 
     #[test]
@@ -382,6 +391,9 @@ mod tests {
 
         let err = Artifact::from_id("x77").unwrap_err();
         assert_eq!(err.nearest(), Some("x7"));
+
+        let err = Artifact::from_id("x100").unwrap_err();
+        assert_eq!(err.nearest(), Some("x10"));
 
         // Nothing close: no suggestion rather than a wild guess.
         let err = Artifact::from_id("zzzzzzzz").unwrap_err();

@@ -3,11 +3,14 @@
 //!
 //! These sweeps *enumerate* [`Scenario`]s and hand the whole batch to
 //! the [`Scheduler`], which fans out over workers, dedups and caches;
-//! the functions here only do the post-processing arithmetic. Results
-//! are byte-identical to the old serial loops at any job count.
+//! the functions here only do the post-processing arithmetic and render
+//! through [`crate::aggregate::pivot_table`] (impossible cells are
+//! `None`, which the view draws as the paper's dashes). Results are
+//! byte-identical to the old hand-assembled tables at any job count.
 
+use crate::aggregate::pivot_table;
 use crate::fidelity::Fidelity;
-use crate::report::{Cell, Table};
+use crate::report::Table;
 use crate::runtime::RuntimeOption;
 use corescope_kernels::stream::StreamParams;
 use corescope_machine::Result;
@@ -58,22 +61,22 @@ fn bandwidth_scaling(fidelity: Fidelity, per_core: bool, sched: &Scheduler) -> R
     let mut outcomes = sched.run_batch(&batch).into_iter();
 
     let p = params(fidelity);
-    let mut table = Table::with_columns(title, &["Active cores", "tiger", "dmz", "longs"]);
+    let mut rows = Vec::new();
     for &n in &counts {
-        let mut cells = Vec::new();
+        let mut values = Vec::new();
         for &num_cores in &cores {
             if n > num_cores {
-                cells.push(Cell::Dash);
+                values.push(None);
             } else {
                 let completed = outcomes.next().expect("one outcome per enumerated cell")?;
                 let bw = n as f64 * p.bytes_per_rank() / completed.result.makespan;
                 let value = if per_core { bw / n as f64 } else { bw };
-                cells.push(Cell::num(value / 1e9));
+                values.push(Some(value / 1e9));
             }
         }
-        table.push_row(n.to_string(), cells);
+        rows.push((n.to_string(), values));
     }
-    Ok(table)
+    Ok(pivot_table(title, &["Active cores", "tiger", "dmz", "longs"], &rows))
 }
 
 /// Figure 2: aggregate triad bandwidth vs active cores.
@@ -118,23 +121,24 @@ pub fn figure10(fidelity: Fidelity, sched: &Scheduler) -> Result<Vec<Table>> {
     }
     let mut outcomes = sched.run_batch(&batch).into_iter();
 
-    let mut table = Table::with_columns(
-        "Figure 10: STREAM triad on Longs, 16 ranks (GB/s)",
-        &["Option", "Single", "Star per-core", "Single:Star"],
-    );
+    let mut rows = Vec::new();
     for (option, ok) in RuntimeOption::all().into_iter().zip(&placeable) {
         if !*ok {
-            table.push_row(option.name(), vec![Cell::Dash, Cell::Dash, Cell::Dash]);
+            rows.push((option.name().to_string(), vec![None, None, None]));
             continue;
         }
         let single = p.bytes_per_rank() / outcomes.next().expect("single outcome")?.result.makespan;
         let star = p.bytes_per_rank() / outcomes.next().expect("star outcome")?.result.makespan;
-        table.push_row(
-            option.name(),
-            vec![Cell::num(single / 1e9), Cell::num(star / 1e9), Cell::num(single / star)],
-        );
+        rows.push((
+            option.name().to_string(),
+            vec![Some(single / 1e9), Some(star / 1e9), Some(single / star)],
+        ));
     }
-    Ok(vec![table])
+    Ok(vec![pivot_table(
+        "Figure 10: STREAM triad on Longs, 16 ranks (GB/s)",
+        &["Option", "Single", "Star per-core", "Single:Star"],
+        &rows,
+    )])
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ pub mod nasft;
 pub mod ptrans;
 pub mod randomaccess;
 pub mod stream;
+pub mod xslookup;
 
 /// Bytes per `f64`.
 pub const F64: f64 = 8.0;

@@ -51,6 +51,7 @@ pub fn dram_demand(cache: &CacheSpec, profile: &TrafficProfile, latency: f64) ->
     let stream_cap = cache.stream_mlp * line / latency;
     let random_cap = cache.random_mlp * line / latency;
     let strided_cap = cache.strided_mlp * line / latency;
+    let lookup_cap = cache.lookup_mlp * line / latency;
 
     if profile.bytes <= 0.0 {
         return DramDemand { bytes: 0.0, self_cap: stream_cap };
@@ -75,6 +76,13 @@ pub fn dram_demand(cache: &CacheSpec, profile: &TrafficProfile, latency: f64) ->
         AccessPattern::Blocked => {
             DramDemand { bytes: profile.bytes / profile.reuse, self_cap: stream_cap }
         }
+        AccessPattern::Lookup => {
+            // The profile's bytes are already whole lines (the workload
+            // model counts lines per lookup), so only cache residency
+            // filters them; no ×(line/word) amplification.
+            let hit = (cache.l2_bytes / profile.working_set).min(1.0);
+            DramDemand { bytes: profile.bytes * (1.0 - hit), self_cap: lookup_cap }
+        }
     }
 }
 
@@ -92,6 +100,7 @@ mod tests {
             stream_mlp: calib::STREAM_MLP,
             random_mlp: calib::RANDOM_MLP,
             strided_mlp: calib::STRIDED_MLP,
+            lookup_mlp: calib::LOOKUP_MLP,
         }
     }
 
@@ -140,6 +149,18 @@ mod tests {
     fn zero_traffic_has_zero_bytes() {
         let d = dram_demand(&k8(), &TrafficProfile::none(), LAT);
         assert_eq!(d.bytes, 0.0);
+    }
+
+    #[test]
+    fn lookup_is_line_granular_and_between_random_and_stream() {
+        let p = TrafficProfile::lookup(1e8, 1e9);
+        let d = dram_demand(&k8(), &p, LAT);
+        // No ×8 amplification: bytes shrink only by the resident slice.
+        let hit = calib::L2_BYTES / 1e9;
+        assert!((d.bytes - 1e8 * (1.0 - hit)).abs() < 1.0);
+        let random = dram_demand(&k8(), &TrafficProfile::random(1e8, 1e9), LAT);
+        let stream = dram_demand(&k8(), &TrafficProfile::stream(1e8), LAT);
+        assert!(d.self_cap > random.self_cap && d.self_cap < stream.self_cap);
     }
 
     #[test]

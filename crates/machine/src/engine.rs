@@ -20,7 +20,7 @@ use crate::recovery::{CheckpointPolicy, CheckpointTarget, RetryPolicy};
 use crate::trace::{
     FaultStamp, OpSpan, RankState, RecoveryStamp, RunTrace, SolverInterval, SpanKind, TraceConfig,
 };
-use crate::traffic::TrafficProfile;
+use crate::traffic::{AccessPattern, TrafficProfile};
 use crate::Machine;
 
 pub use crate::metrics::{RunMetrics, RunReport};
@@ -990,17 +990,24 @@ impl<'a, 'm> Sim<'a, 'm> {
         };
         self.metrics.compute_time[rank] += cpu_time;
 
-        // Average access latency over the rank's page distribution.
+        // Average access latency over the phase's page distribution (the
+        // rank's placement layout unless the phase pins its own).
+        let layout = phase.layout.as_ref().unwrap_or(&placement.layout);
         let mut avg_latency = 0.0;
-        for (node, frac) in placement.layout.shares() {
+        for (node, frac) in layout.shares() {
             avg_latency += frac * machine.memory_latency(core, node);
+        }
+        if phase.traffic.pattern == AccessPattern::Lookup {
+            // Dependent lookups miss the open DRAM row and walk the TLB;
+            // the streaming latency above assumes a row-hit mix.
+            avg_latency += spec.memory.lookup_latency;
         }
         let demand = cache::dram_demand(&spec.cache, &phase.traffic, avg_latency);
         self.metrics.dram_bytes[rank] += demand.bytes;
 
         let mut pending = 0;
         if demand.bytes > EPS_BYTES {
-            for (node, frac) in placement.layout.shares() {
+            for (node, frac) in layout.shares() {
                 let bytes = demand.bytes * frac;
                 if bytes <= EPS_BYTES {
                     continue;

@@ -72,6 +72,12 @@ pub struct CalibParams {
     /// Fraction of pages the default first-touch policy leaves on the
     /// wrong node (0.10). Bounds [0, 0.5].
     pub misplacement: f64,
+    /// Outstanding line fills for dependent table lookups (3).
+    /// Bounds [1, 8].
+    pub lookup_mlp: f64,
+    /// Extra row-buffer-miss/TLB latency per dependent table lookup,
+    /// seconds (60 ns). Bounds [0, 200 ns].
+    pub lookup_latency: f64,
 }
 
 /// One axis of the calibration box: name, bounds, and typed accessors
@@ -131,7 +137,7 @@ impl CalibParams {
     /// Every field with its bounds, in declaration order. The stable
     /// index of a field in this table is its axis id throughout the
     /// calibration subsystem.
-    pub const FIELDS: [ParamField; 19] = [
+    pub const FIELDS: [ParamField; 21] = [
         param_field!(flops_per_cycle, 1.0, 4.0),
         param_field!(l1_bytes, 16.0 * 1024.0, 256.0 * 1024.0),
         param_field!(l2_bytes, 256.0 * 1024.0, 8.0 * 1024.0 * 1024.0),
@@ -151,6 +157,8 @@ impl CalibParams {
         param_field!(lock_usysv, 0.01e-6, 1e-6),
         param_field!(same_socket_boost, 1.0, 1.5),
         param_field!(misplacement, 0.0, 0.5),
+        param_field!(lookup_mlp, 1.0, 8.0),
+        param_field!(lookup_latency, 0.0, 200e-9),
     ];
 
     /// The shipped 2006 calibration: every field equals the constant it
@@ -181,6 +189,8 @@ impl CalibParams {
             // affinity: policy::DEFAULT_MISPLACEMENT (cross-checked by a
             // corescope-calib test).
             misplacement: 0.10,
+            lookup_mlp: calib::LOOKUP_MLP,
+            lookup_latency: calib::LOOKUP_LATENCY,
         }
     }
 

@@ -8,6 +8,7 @@
 //! them.
 
 use crate::ids::RankId;
+use crate::memory::MemoryLayout;
 use crate::traffic::TrafficProfile;
 
 /// One compute phase on one rank.
@@ -23,17 +24,29 @@ pub struct ComputePhase {
     pub efficiency: f64,
     /// Memory traffic the phase generates.
     pub traffic: TrafficProfile,
+    /// Page distribution of the data this phase touches. `None` (the
+    /// default) uses the rank's own placement layout; workloads whose hot
+    /// structure lives elsewhere (a shared lookup table spilled across
+    /// nodes) override it per phase.
+    pub layout: Option<MemoryLayout>,
 }
 
 impl ComputePhase {
     /// Creates a phase; efficiency defaults to 1.0 via [`Self::with_efficiency`].
     pub fn new(label: &'static str, flops: f64, traffic: TrafficProfile) -> Self {
-        Self { label, flops, efficiency: 1.0, traffic }
+        Self { label, flops, efficiency: 1.0, traffic, layout: None }
     }
 
     /// Sets the sustained-fraction-of-peak efficiency.
     pub fn with_efficiency(mut self, efficiency: f64) -> Self {
         self.efficiency = efficiency.clamp(1e-6, 1.0);
+        self
+    }
+
+    /// Pins the phase's data to an explicit page distribution instead of
+    /// the rank's placement layout.
+    pub fn with_layout(mut self, layout: MemoryLayout) -> Self {
+        self.layout = Some(layout);
         self
     }
 }

@@ -45,6 +45,11 @@ pub struct CacheSpec {
     /// hardware prefetcher but is not dependent (FFT butterflies,
     /// transposes). Between the other two.
     pub strided_mlp: f64,
+    /// Outstanding line fills for dependent table lookups (XSBench-style
+    /// cross-section search): each lookup is a short independent chain, so
+    /// a core overlaps a few of them — more than pure pointer chasing,
+    /// less than prefetched streams.
+    pub lookup_mlp: f64,
 }
 
 /// Per-socket memory controller parameters.
@@ -56,6 +61,11 @@ pub struct MemorySpec {
     pub controller_bw: f64,
     /// Idle (uncontended, local, no-probe) DRAM access latency in seconds.
     pub idle_latency: f64,
+    /// Extra latency a dependent table lookup pays on top of the routed
+    /// access latency, in seconds: random addresses miss the open DRAM row
+    /// almost every time and walk the TLB for a huge table, where the
+    /// streaming numbers above assume a row-hit mix. May be zero.
+    pub lookup_latency: f64,
 }
 
 /// A bidirectional HyperTransport link between two sockets.
@@ -173,10 +183,14 @@ impl MachineSpec {
         if !positive(self.memory.controller_bw) || !positive(self.memory.idle_latency) {
             return Err(Error::InvalidSpec("memory spec must be positive".into()));
         }
+        if !(self.memory.lookup_latency.is_finite() && self.memory.lookup_latency >= 0.0) {
+            return Err(Error::InvalidSpec("lookup latency must be finite and >= 0".into()));
+        }
         if !positive(self.cache.line_bytes)
             || !positive(self.cache.stream_mlp)
             || !positive(self.cache.random_mlp)
             || !positive(self.cache.strided_mlp)
+            || !positive(self.cache.lookup_mlp)
             || !positive(self.cache.l1_bytes)
             || self.cache.l2_bytes < self.cache.l1_bytes
             || self.cache.l2_bytes.is_nan()
@@ -272,6 +286,19 @@ mod tests {
         let c = CoherenceSpec { base_probe: 1e-8, per_hop_probe: 1e-8, probe_capacity: 1e12 };
         assert_eq!(c.probe_latency(1, 0), 0.0);
         assert!(c.probe_latency(8, 4) > c.probe_latency(2, 1));
+    }
+
+    #[test]
+    fn rejects_bad_lookup_fields() {
+        let mut spec = systems::dmz();
+        spec.cache.lookup_mlp = 0.0;
+        assert!(spec.validate().is_err());
+        let mut spec = systems::dmz();
+        spec.memory.lookup_latency = -1e-9;
+        assert!(spec.validate().is_err());
+        let mut spec = systems::dmz();
+        spec.memory.lookup_latency = 0.0; // zero extra cost is legal
+        assert!(spec.validate().is_ok());
     }
 
     #[test]

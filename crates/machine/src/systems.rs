@@ -33,6 +33,16 @@ pub mod calib {
     /// Outstanding line fills for prefetch-defeating strided access
     /// (FFT butterflies, transposes).
     pub const STRIDED_MLP: f64 = 2.0;
+    /// Outstanding line fills for dependent table lookups (XSBench-style
+    /// cross-section search). Each lookup is a short independent binary-
+    /// search chain, so a K8 overlaps a few across lookups — above pure
+    /// pointer chasing, far below prefetched streams.
+    pub const LOOKUP_MLP: f64 = 3.0;
+    /// Extra latency per dependent table lookup on top of the routed
+    /// access latency: row-buffer misses (random addresses almost never
+    /// hit the open DRAM row) plus TLB walks over a multi-GiB table.
+    /// ~60 ns against the ~70 ns row-hit idle latency.
+    pub const LOOKUP_LATENCY: f64 = 60e-9;
     /// Dual-channel DDR-400 *sustained* bandwidth per controller. The
     /// interface peak is 6.4 GB/s; real streaming on a 2006 Opteron tops
     /// out near 4.2 GB/s (bank conflicts, refresh, read/write turnaround).
@@ -71,11 +81,16 @@ fn k8_cache(p: &CalibParams) -> CacheSpec {
         stream_mlp: p.stream_mlp,
         random_mlp: p.random_mlp,
         strided_mlp: p.strided_mlp,
+        lookup_mlp: p.lookup_mlp,
     }
 }
 
 fn k8_memory(p: &CalibParams) -> MemorySpec {
-    MemorySpec { controller_bw: p.dram_bandwidth, idle_latency: p.dram_latency }
+    MemorySpec {
+        controller_bw: p.dram_bandwidth,
+        idle_latency: p.dram_latency,
+        lookup_latency: p.lookup_latency,
+    }
 }
 
 fn k8_link(p: &CalibParams) -> LinkSpec {

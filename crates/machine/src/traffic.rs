@@ -20,6 +20,13 @@ pub enum AccessPattern {
     /// Cache-blocked access with high reuse (DGEMM, FFT butterflies); the
     /// reuse factor is carried in [`TrafficProfile::reuse`].
     Blocked,
+    /// Dependent table lookups over a large shared structure (XSBench-style
+    /// cross-section search): each lookup chases a short pointer chain
+    /// through lines it *needs whole*, so — unlike [`AccessPattern::Random`]
+    /// — the byte count is already line-granular and is not amplified
+    /// further. Sustains modest MLP and pays an extra row-buffer-miss/TLB
+    /// latency on every access.
+    Lookup,
 }
 
 /// Memory traffic description of one compute phase on one rank.
@@ -67,6 +74,13 @@ impl TrafficProfile {
         Self { bytes, working_set, pattern: AccessPattern::Strided, reuse: 1.0 }
     }
 
+    /// A dependent-lookup profile over a `working_set`-byte table touching
+    /// `bytes` of whole cache lines (the caller accounts line granularity;
+    /// no further amplification is applied).
+    pub fn lookup(bytes: f64, working_set: f64) -> Self {
+        Self { bytes, working_set, pattern: AccessPattern::Lookup, reuse: 1.0 }
+    }
+
     /// A profile that generates no memory traffic (pure compute, e.g. the
     /// Generalized Born inner loops once data is cache-resident).
     pub fn none() -> Self {
@@ -83,6 +97,7 @@ mod tests {
         assert_eq!(TrafficProfile::stream(8.0).pattern, AccessPattern::Stream);
         assert_eq!(TrafficProfile::random(8.0, 64.0).pattern, AccessPattern::Random);
         assert_eq!(TrafficProfile::blocked(8.0, 64.0, 16.0).pattern, AccessPattern::Blocked);
+        assert_eq!(TrafficProfile::lookup(8.0, 64.0).pattern, AccessPattern::Lookup);
     }
 
     #[test]

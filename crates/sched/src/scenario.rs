@@ -14,6 +14,7 @@ use crate::encode::{Digest, Encoder};
 use crate::fidelity::Fidelity;
 use crate::json::{self, Value};
 use corescope_affinity::{os_scatter, policy, Scheme};
+use corescope_apps::xs::{self, TablePlacement};
 use corescope_kernels::blas::{
     append_daxpy_single, append_daxpy_star, append_dgemm_single, append_dgemm_star, BlasVariant,
     DaxpyParams, DgemmParams,
@@ -29,6 +30,7 @@ use corescope_kernels::randomaccess::{
 use corescope_kernels::stream::{
     append_single as stream_single, append_star as stream_star, StreamKernel, StreamParams,
 };
+use corescope_kernels::xslookup::XsParams;
 use corescope_machine::engine::RankPlacement;
 use corescope_machine::{
     systems, CalibParams, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultEvent,
@@ -156,6 +158,17 @@ impl Placement {
     /// "—" cells enumerate the ones that cannot).
     pub fn placeable(self, system: System, nranks: usize) -> bool {
         self.resolve(&system.machine(), nranks).is_ok()
+    }
+}
+
+/// The table-page placement a scenario placement implies for the
+/// xslookup workloads: scheme placements map per Table 5
+/// ([`TablePlacement::from_scheme`]); scatter-local pins memory
+/// explicitly, so its tables first-touch with no misplacement.
+fn table_placement(placement: Placement, misplacement: f64) -> TablePlacement {
+    match placement {
+        Placement::Scheme(scheme) => TablePlacement::from_scheme(scheme, misplacement),
+        Placement::ScatterLocal => TablePlacement::FirstTouch { misplacement: 0.0 },
     }
 }
 
@@ -367,6 +380,28 @@ pub enum Workload {
         /// BLAS implementation.
         variant: BlasVariant,
     },
+    /// XSBench-style "Single" cross-section lookup: rank 0 streams
+    /// lookups through its replicated unionized table, the rest idle.
+    /// The table's pages are placed per the scenario's placement scheme
+    /// (first-touch with nearest-node spill, interleave, or membind).
+    XsLookupSingle {
+        /// Unionized energy grid points.
+        grid_points: u64,
+        /// Nuclides in the material.
+        nuclides: u64,
+        /// Lookups the rank performs.
+        lookups_per_rank: u64,
+    },
+    /// XSBench-style "Star" cross-section lookup: every rank streams
+    /// lookups through its own replicated table concurrently.
+    XsLookupStar {
+        /// Unionized energy grid points.
+        grid_points: u64,
+        /// Nuclides in the material.
+        nuclides: u64,
+        /// Lookups each rank performs.
+        lookups_per_rank: u64,
+    },
 }
 
 impl Workload {
@@ -390,6 +425,8 @@ impl Workload {
             Workload::NasFt { .. } => "nas-ft",
             Workload::DaxpySingle { .. } => "daxpy-single",
             Workload::DaxpyStar { .. } => "daxpy-star",
+            Workload::XsLookupSingle { .. } => "xslookup-single",
+            Workload::XsLookupStar { .. } => "xslookup-star",
         }
     }
 
@@ -402,8 +439,16 @@ impl Workload {
     }
 
     /// Appends the workload's operations to a world, mirroring the
-    /// artifact code it replaces byte-for-byte.
-    fn append(&self, world: &mut CommWorld<'_>) {
+    /// artifact code it replaces byte-for-byte. The scenario's placement
+    /// (and first-touch misplacement fraction) ride along because the
+    /// xslookup workloads place their *table* pages per scheme, on top
+    /// of the rank placements the world was built with.
+    fn append(
+        &self,
+        world: &mut CommWorld<'_>,
+        placement: Placement,
+        misplacement: f64,
+    ) -> Result<()> {
         match *self {
             Workload::Bsp { steps, flops_per_step, bytes_per_step, sync_bytes } => {
                 let phase = ComputePhase::new(
@@ -467,7 +512,16 @@ impl Workload {
             Workload::DaxpyStar { n, reps, variant } => {
                 append_daxpy_star(world, &DaxpyParams { n, reps, variant });
             }
+            Workload::XsLookupSingle { grid_points, nuclides, lookups_per_rank } => {
+                let params = XsParams { grid_points, nuclides, lookups_per_rank };
+                xs::append_single(world, &params, table_placement(placement, misplacement))?;
+            }
+            Workload::XsLookupStar { grid_points, nuclides, lookups_per_rank } => {
+                let params = XsParams { grid_points, nuclides, lookups_per_rank };
+                xs::append_star(world, &params, table_placement(placement, misplacement))?;
+            }
         }
+        Ok(())
     }
 
     fn encode(&self, enc: &mut Encoder) {
@@ -517,6 +571,12 @@ impl Workload {
             Workload::DaxpySingle { n, reps, variant }
             | Workload::DaxpyStar { n, reps, variant } => {
                 enc.usize("n", n).usize("reps", reps).tag("variant", blas_key(variant));
+            }
+            Workload::XsLookupSingle { grid_points, nuclides, lookups_per_rank }
+            | Workload::XsLookupStar { grid_points, nuclides, lookups_per_rank } => {
+                enc.u64("grid_points", grid_points)
+                    .u64("nuclides", nuclides)
+                    .u64("lookups_per_rank", lookups_per_rank);
             }
         }
     }
@@ -578,6 +638,11 @@ impl Workload {
                     blas_key(variant),
                 )
             }
+            Workload::XsLookupSingle { grid_points, nuclides, lookups_per_rank }
+            | Workload::XsLookupStar { grid_points, nuclides, lookups_per_rank } => format!(
+                "{{\"kind\":\"{kind}\",\"grid_points\":{grid_points},\"nuclides\":{nuclides},\
+                 \"lookups_per_rank\":{lookups_per_rank}}}"
+            ),
         }
     }
 
@@ -663,6 +728,16 @@ impl Workload {
                     .and_then(ft_class_parse)
                     .ok_or("bad nas-ft \"class\" (s|a|b|c)")?,
             },
+            "xslookup-single" | "xslookup-star" => {
+                let grid_points = u("grid_points")? as u64;
+                let nuclides = u("nuclides")? as u64;
+                let lookups_per_rank = u("lookups_per_rank")? as u64;
+                if kind == "xslookup-single" {
+                    Workload::XsLookupSingle { grid_points, nuclides, lookups_per_rank }
+                } else {
+                    Workload::XsLookupStar { grid_points, nuclides, lookups_per_rank }
+                }
+            }
             "daxpy-single" | "daxpy-star" => {
                 let variant = v
                     .get("variant")
@@ -980,7 +1055,7 @@ impl Scenario {
             self.placement.resolve_with(&machine, self.nranks, self.params.misplacement)?;
         let mut world =
             CommWorld::new(&machine, placements, self.mpi.profile_with(&self.params), self.lock);
-        self.workload.append(&mut world);
+        self.workload.append(&mut world, self.placement, self.params.misplacement)?;
         if let Some(policy) = &self.recovery {
             world = world.with_recovery(policy.clone());
         }
@@ -1173,8 +1248,10 @@ fn encode_machine_spec(enc: &mut Encoder, spec: &MachineSpec) {
         .f64("cache.stream_mlp", spec.cache.stream_mlp)
         .f64("cache.random_mlp", spec.cache.random_mlp)
         .f64("cache.strided_mlp", spec.cache.strided_mlp)
+        .f64("cache.lookup_mlp", spec.cache.lookup_mlp)
         .f64("memory.controller_bw", spec.memory.controller_bw)
         .f64("memory.idle_latency", spec.memory.idle_latency)
+        .f64("memory.lookup_latency", spec.memory.lookup_latency)
         .f64("link.bandwidth", spec.link.bandwidth)
         .f64("link.hop_latency", spec.link.hop_latency)
         .f64("coherence.base_probe", spec.coherence.base_probe)
@@ -1373,6 +1450,8 @@ mod tests {
             Workload::NasFt { class: FtClass::B },
             Workload::DaxpySingle { n: 1000, reps: 2, variant: BlasVariant::Acml },
             Workload::DaxpyStar { n: 1000, reps: 2, variant: BlasVariant::Vanilla },
+            Workload::XsLookupSingle { grid_points: 4096, nuclides: 16, lookups_per_rank: 1024 },
+            Workload::XsLookupStar { grid_points: 4096, nuclides: 16, lookups_per_rank: 1024 },
         ];
         for w in workloads {
             let parsed = Workload::from_json(&json::parse(&w.to_json()).unwrap()).unwrap();
@@ -1467,6 +1546,29 @@ mod tests {
             let r = s.run().unwrap();
             assert!(r.makespan > 0.0, "{}", s.workload.kind());
         }
+    }
+
+    #[test]
+    fn xslookup_placement_decides_the_winner() {
+        // The scenario-level view of the x10 crossover: the same star
+        // workload flips winners between localalloc and interleave as
+        // the table outgrows one DMZ node's usable share.
+        let run = |scheme: Scheme, grid_points: u64| {
+            let s = Scenario::new(
+                System::Dmz,
+                4,
+                Workload::XsLookupStar { grid_points, nuclides: 64, lookups_per_rank: 1 << 16 },
+            )
+            .with_placement(Placement::Scheme(scheme));
+            s.run().unwrap().makespan
+        };
+        // ~0.37 GiB/rank vs ~1.5 GiB/rank around the 0.75 GiB boundary.
+        let (small, large) = (156_000, 624_000);
+        assert!(run(Scheme::TwoMpiLocalAlloc, small) < run(Scheme::Interleave, small));
+        assert!(run(Scheme::Interleave, large) < run(Scheme::TwoMpiLocalAlloc, large));
+        // Membind packs all four tables onto the central node list and
+        // never beats interleave at the large size.
+        assert!(run(Scheme::Interleave, large) <= run(Scheme::TwoMpiMembind, large));
     }
 
     #[test]
