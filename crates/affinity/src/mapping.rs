@@ -49,8 +49,11 @@ fn check_capacity(machine: &Machine, nranks: usize, limit: usize) -> Result<()> 
 /// sockets, and [`Error::InvalidPlacement`] for a machine whose sockets
 /// hold no cores.
 pub fn one_per_socket(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
-    check_capacity(machine, nranks, machine.num_sockets())?;
-    let order = central_socket_order(machine);
+    check_capacity(machine, nranks, machine.num_compute_sockets())?;
+    let order: Vec<SocketId> = central_socket_order(machine)
+        .into_iter()
+        .filter(|s| s.index() < machine.num_compute_sockets())
+        .collect();
     order[..nranks]
         .iter()
         .map(|&s| {
@@ -96,7 +99,7 @@ pub fn os_scatter(machine: &Machine, nranks: usize) -> Result<Vec<CoreId>> {
     let mut cores = Vec::with_capacity(nranks);
     let cps = machine.spec().cores_per_socket;
     'outer: for pass in 0..cps {
-        for s in machine.sockets() {
+        for s in machine.compute_sockets() {
             let core = machine.cores_of(s).nth(pass).ok_or_else(|| {
                 Error::InvalidPlacement(format!("socket {s} has no core for pass {pass}"))
             })?;
@@ -170,6 +173,20 @@ mod tests {
         let cores = os_scatter(&m, 3).unwrap();
         let sockets: Vec<usize> = cores.iter().map(|&c| m.socket_of(c).index()).collect();
         assert_eq!(sockets, vec![0, 1, 0], "spread across sockets before second cores");
+    }
+
+    #[test]
+    fn mappings_skip_memory_only_nodes() {
+        // A DMZ with its second socket converted to a memory-only node:
+        // both mappings must keep every rank on socket 0's cores.
+        let mut spec = systems::dmz();
+        spec.memory_only_nodes = 1;
+        let m = Machine::new(spec);
+        assert_eq!(one_per_socket(&m, 1).unwrap(), vec![CoreId::new(0)]);
+        assert!(one_per_socket(&m, 2).is_err(), "only one compute socket");
+        assert_eq!(os_scatter(&m, 2).unwrap(), vec![CoreId::new(0), CoreId::new(1)]);
+        assert_eq!(packed(&m, 2).unwrap().len(), 2);
+        assert!(os_scatter(&m, 3).is_err());
     }
 
     #[test]

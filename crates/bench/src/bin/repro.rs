@@ -3,6 +3,7 @@
 //! ```text
 //! repro                      # every artifact, full fidelity
 //! repro --artifact t2        # just Table 2
+//! repro --artifact x11 --machine dmz --machine epyc   # restrict the generation axis
 //! repro --quick              # reduced step counts (fast sanity sweep)
 //! repro --jobs 8             # fan out: sweep scenarios run in parallel
 //! repro --cache results/.cache  # content-addressed result cache on disk
@@ -40,7 +41,7 @@
 use corescope_bench::write_tables_csv;
 use corescope_harness::{chrome_trace_json, representative_trace, utilization_csv};
 use corescope_harness::{Artifact, Fidelity};
-use corescope_sched::{executor, ResultCache, Scheduler, StoreSink};
+use corescope_sched::{executor, ResultCache, Scheduler, StoreSink, System};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,6 +53,7 @@ struct Options {
     trace_dir: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     store_dir: Option<PathBuf>,
+    machines: Vec<System>,
     jobs: usize,
 }
 
@@ -62,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
     let mut trace_dir = None;
     let mut cache_dir = None;
     let mut store_dir = None;
+    let mut machines = Vec::new();
     let mut jobs = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +80,10 @@ fn parse_args() -> Result<Options, String> {
             "--artifact" | "-a" => {
                 let id = args.next().ok_or("--artifact needs an id (e.g. t2, f10)")?;
                 artifacts.push(Artifact::from_id(&id).map_err(|e| e.to_string())?);
+            }
+            "--machine" | "-m" => {
+                let key = args.next().ok_or("--machine needs a key (e.g. dmz, epyc)")?;
+                machines.push(System::from_key(&key).map_err(|e| e.to_string())?);
             }
             "--quick" | "-q" => fidelity = Fidelity::Quick,
             "--csv" => {
@@ -108,8 +115,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--artifact <id>]... [--quick] [--jobs <n>] \
-                     [--cache <dir>] [--store <dir>] [--csv <dir>] [--trace <dir>] [--list]"
+                    "usage: repro [--artifact <id>]... [--machine <key>]... [--quick] \
+                     [--jobs <n>] [--cache <dir>] [--store <dir>] [--csv <dir>] \
+                     [--trace <dir>] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -119,7 +127,7 @@ fn parse_args() -> Result<Options, String> {
     if artifacts.is_empty() {
         artifacts = Artifact::all();
     }
-    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, cache_dir, store_dir, jobs })
+    Ok(Options { artifacts, fidelity, csv_dir, trace_dir, cache_dir, store_dir, machines, jobs })
 }
 
 type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error>;
@@ -134,11 +142,13 @@ type RunOutcome = Result<Vec<corescope_harness::Table>, corescope_machine::Error
 fn run_all(
     artifacts: Vec<Artifact>,
     fidelity: Fidelity,
+    machines: &[System],
     sched: &Scheduler,
 ) -> Vec<(Artifact, RunOutcome, f64)> {
+    let filter = if machines.is_empty() { None } else { Some(machines) };
     executor::run_ordered(sched.jobs(), artifacts, |&artifact| {
         let started = Instant::now();
-        let outcome = artifact.run_with(fidelity, sched);
+        let outcome = artifact.run_on(fidelity, sched, filter);
         (artifact, outcome, started.elapsed().as_secs_f64())
     })
 }
@@ -196,7 +206,9 @@ fn main() {
     };
 
     let mut failures = 0;
-    for (artifact, outcome, elapsed) in run_all(options.artifacts, options.fidelity, &sched) {
+    for (artifact, outcome, elapsed) in
+        run_all(options.artifacts, options.fidelity, &options.machines, &sched)
+    {
         match outcome {
             Ok(tables) => {
                 for table in &tables {

@@ -39,13 +39,17 @@ pub enum Family {
     /// latency-bound irregular-read anchors that pin the lookup
     /// concurrency and row-buffer-miss surcharge.
     Lookup,
+    /// Modern-generation anchors (Extra X11): the chiplet-latency and
+    /// memory-tier-bandwidth scalars that pin the four `corescope-topo`
+    /// axes, transcribed from the Bergstrom and RZBENCH measurements.
+    Topo,
     /// The paper's headline inequalities.
     Headline,
 }
 
 impl Family {
     /// All families, in registry order.
-    pub fn all() -> [Family; 7] {
+    pub fn all() -> [Family; 8] {
         [
             Family::Stream,
             Family::Blas,
@@ -53,6 +57,7 @@ impl Family {
             Family::Latency,
             Family::Nas,
             Family::Lookup,
+            Family::Topo,
             Family::Headline,
         ]
     }
@@ -66,6 +71,7 @@ impl Family {
             Family::Latency => "latency",
             Family::Nas => "nas",
             Family::Lookup => "lookup",
+            Family::Topo => "topo",
             Family::Headline => "headline",
         }
     }
@@ -924,6 +930,60 @@ pub fn registry() -> Vec<Target> {
         "Ml/s",
     );
 
+    // --- Modern-generation anchors (Extra X11): the scalars that pin
+    // the four corescope-topo axes. Values recorded from the shipped
+    // calibration; the constants they pin were transcribed from the
+    // literature tables named in [`anchor_sources`].
+    push(
+        "topo.epyc.local.ns",
+        Family::Topo,
+        equal(ANCHOR_EPYC_LOCAL_NS, 0.05),
+        1.0,
+        Provenance::Model,
+        lat(System::Epyc, Some(0)),
+        "ns",
+    );
+    push(
+        "topo.epyc.corner.ns",
+        Family::Topo,
+        equal(ANCHOR_EPYC_CORNER_NS, 0.05),
+        1.0,
+        Provenance::Model,
+        lat(System::Epyc, None),
+        "ns",
+    );
+    push(
+        "topo.hbm.tier.ns",
+        Family::Topo,
+        equal(ANCHOR_HBM_TIER_NS, 0.05),
+        1.0,
+        Provenance::Model,
+        lat(System::Hbm, Some(1)),
+        "ns",
+    );
+    push(
+        "topo.epyc.32.aggregate",
+        Family::Topo,
+        equal(ANCHOR_EPYC_STREAM32, 0.05),
+        2.0,
+        Provenance::Model,
+        stream(System::Epyc, 32, false),
+        "GB/s",
+    );
+    push(
+        "topo.hbm.interleave16.percore",
+        Family::Topo,
+        equal(ANCHOR_HBM_INTERLEAVE16, 0.05),
+        2.0,
+        Provenance::Model,
+        Probe::SchemeStreamBw {
+            system: System::Hbm,
+            nranks: 16,
+            placement: Placement::Scheme(Scheme::Interleave),
+        },
+        "GB/s",
+    );
+
     // --- Headline inequalities.
     // "best achievable single core bandwidth on the 8 socket system is
     // less than half of the more than 4 GB/s expected".
@@ -968,6 +1028,67 @@ pub const ANCHOR_XS_DMZ_RATE: f64 = 0.1516;
 /// `lookup_mlp` from `lookup_latency` during fitting.
 pub const ANCHOR_XS_LONGS_RATE: f64 = 0.0905;
 
+/// EPYC-like chiplet-local load-to-use latency (ns): the 90 ns DDR4
+/// plateau plus the 20 ns directory-probe term (base 10 ns + 5 ns/hop
+/// over the diameter-2 mesh).
+pub const ANCHOR_EPYC_LOCAL_NS: f64 = 110.0;
+/// EPYC-like corner-to-corner latency (ns): local plateau plus one
+/// on-package hop (`onpkg_latency`, 30 ns) and one cross-package hop
+/// (60 ns) — the anchor that identifies `onpkg_latency` during fitting.
+pub const ANCHOR_EPYC_CORNER_NS: f64 = 200.0;
+/// HBM-tier load-to-use latency (ns) on the tiered node: the 110 ns
+/// first-word HBM plateau plus the 10 ns on-package fabric hop, no
+/// probe term on the single-socket machine.
+pub const ANCHOR_HBM_TIER_NS: f64 = 120.0;
+/// Full-pack local STREAM aggregate on the EPYC-like machine (GB/s):
+/// eight chiplet controllers at `tier_dram_bandwidth` each — the anchor
+/// that pins that axis.
+pub const ANCHOR_EPYC_STREAM32: f64 = 256.0;
+/// Per-core interleaved STREAM on the tiered node (GB/s): 16 ranks
+/// striped over the DRAM and HBM nodes, jointly limited by the two
+/// controllers and the interleaved latency mix — the anchor that pins
+/// `tier_hbm_bandwidth`.
+pub const ANCHOR_HBM_INTERLEAVE16: f64 = 14.63;
+
+/// Literature provenance for the modern-generation anchors: the table
+/// each transcribed constant came from, keyed by target id. The golden
+/// test `topo_anchors_name_their_source_tables` keeps every `topo.*`
+/// anchor pinned to its source.
+pub fn anchor_sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "topo.epyc.local.ns",
+            "Bergstrom, arXiv:1103.3225, Table 1 — local-node latency on the \
+             four-socket Opteron 6172 (Magny-Cours MCM), the chiplet-local \
+             plateau the 90 ns DDR plateau and 20 ns probe term reproduce",
+        ),
+        (
+            "topo.epyc.corner.ns",
+            "Bergstrom, arXiv:1103.3225, Table 1 — worst-pair remote latency \
+             across the MCM fabric, the source of the 30 ns on-package and \
+             60 ns cross-package hop terms",
+        ),
+        (
+            "topo.hbm.tier.ns",
+            "RZBENCH, arXiv:0712.3389, Table 2 — vector-memory first-access \
+             latency versus commodity DDR (SX-8 vs Opteron), the precedent \
+             for a higher-latency high-bandwidth tier (110 ns + 10 ns fabric)",
+        ),
+        (
+            "topo.epyc.32.aggregate",
+            "Bergstrom, arXiv:1103.3225, Table 2 — all-cores local STREAM \
+             scaling on the four-socket Opteron, scaled to eight 32 GB/s \
+             DDR4 controllers (tier_dram_bandwidth)",
+        ),
+        (
+            "topo.hbm.interleave16.percore",
+            "RZBENCH, arXiv:0712.3389, Table 3 — sustained triad bandwidth \
+             on the high-bandwidth memory system, the source of the \
+             600 GB/s tier_hbm_bandwidth ceiling the interleaved mix draws on",
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -979,7 +1100,61 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert!(reg.len() >= 28, "a real registry, not a stub: {}", reg.len());
+        assert!(reg.len() >= 33, "a real registry, not a stub: {}", reg.len());
+    }
+
+    #[test]
+    fn topo_anchors_name_their_source_tables() {
+        // Satellite golden: every modern-generation anchor must say which
+        // literature table its transcribed constants came from, and the
+        // source must actually name the paper's arXiv id and a table.
+        let reg = registry();
+        let sources = anchor_sources();
+        for t in reg.iter().filter(|t| t.family == Family::Topo) {
+            let (_, src) = sources
+                .iter()
+                .find(|(id, _)| *id == t.id)
+                .unwrap_or_else(|| panic!("{} has no literature source", t.id));
+            assert!(
+                src.contains("arXiv:1103.3225") || src.contains("arXiv:0712.3389"),
+                "{}: source must cite Bergstrom or RZBENCH: {src}",
+                t.id
+            );
+            assert!(src.contains("Table"), "{}: source must name a table: {src}", t.id);
+            assert_eq!(t.provenance, Provenance::Model, "{}", t.id);
+        }
+        for (id, _) in &sources {
+            assert!(reg.iter().any(|t| t.id == *id), "stale source entry {id}");
+        }
+    }
+
+    #[test]
+    fn topo_analytic_anchors_match_the_shipped_machines() {
+        let params = CalibParams::paper_2006();
+        for (id, want) in [
+            ("topo.epyc.local.ns", ANCHOR_EPYC_LOCAL_NS),
+            ("topo.epyc.corner.ns", ANCHOR_EPYC_CORNER_NS),
+            ("topo.hbm.tier.ns", ANCHOR_HBM_TIER_NS),
+        ] {
+            let t = registry().into_iter().find(|t| t.id == id).unwrap();
+            assert!(t.probe.observables(&params, Fidelity::Full).is_empty(), "{id}");
+            let v = t.probe.predict(&params, &[]).unwrap();
+            assert!((v - want).abs() <= 1e-9 * want, "{id}: predicted {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn topo_stream_anchors_match_the_shipped_point() {
+        let reg = registry();
+        let params = CalibParams::paper_2006();
+        for id in ["topo.epyc.32.aggregate", "topo.hbm.interleave16.percore"] {
+            let t = reg.iter().find(|t| t.id == id).unwrap();
+            let obs = t.probe.observables(&params, Fidelity::Quick);
+            let reduced: Vec<f64> =
+                obs.iter().map(|o| o.reduce.apply(o.scenario.run().unwrap().makespan)).collect();
+            let v = t.probe.predict(&params, &reduced).unwrap();
+            assert!(t.satisfied(v), "{id}: predicted {v} vs anchor {}", t.nominal());
+        }
     }
 
     #[test]
@@ -1048,9 +1223,8 @@ mod tests {
     fn dmz_looks_up_faster_than_longs() {
         // The probe pair is only identifying because the two systems'
         // base latencies differ; the anchors must preserve that order.
-        let nominal = |id: &str| {
-            registry().into_iter().find(|t| t.id == id).map(|t| t.nominal()).unwrap()
-        };
+        let nominal =
+            |id: &str| registry().into_iter().find(|t| t.id == id).map(|t| t.nominal()).unwrap();
         assert!(nominal("lookup.dmz.1.rate") > 1.3 * nominal("lookup.longs.1.rate"));
     }
 

@@ -1,9 +1,10 @@
 //! AMBER artifacts: Tables 7 (JAC FFT phase), 8 (PME/GB speedups) and 9
 //! (JAC overall vs numactl options).
 
+use crate::aggregate::pivot_table;
 use crate::context::{default_stack, scheme_sweep, Systems};
 use crate::fidelity::Fidelity;
-use crate::report::{Cell, Table};
+use crate::report::Table;
 use corescope_affinity::Scheme;
 use corescope_apps::md::AmberBenchmark;
 use corescope_machine::{Machine, Result};
@@ -50,7 +51,11 @@ pub fn table7(fidelity: Fidelity) -> Result<Vec<Table>> {
     Ok(vec![longs, dmz])
 }
 
-fn speedup_row(machine: &Machine, bench: &AmberBenchmark, counts: &[usize]) -> Result<Vec<Cell>> {
+fn speedup_row(
+    machine: &Machine,
+    bench: &AmberBenchmark,
+    counts: &[usize],
+) -> Result<Vec<Option<f64>>> {
     let (profile, lock) = default_stack();
     let time = |n: usize| -> Result<f64> {
         let placements = Scheme::Default.resolve(machine, n)?;
@@ -59,39 +64,40 @@ fn speedup_row(machine: &Machine, bench: &AmberBenchmark, counts: &[usize]) -> R
         Ok(w.run()?.makespan)
     };
     let t1 = time(1)?;
-    let mut cells = Vec::new();
+    let mut values = Vec::new();
     for &n in counts {
         if n > machine.num_cores() {
-            cells.push(Cell::Dash);
+            values.push(None);
         } else {
-            cells.push(Cell::num(t1 / time(n)?));
+            values.push(Some(t1 / time(n)?));
         }
     }
-    Ok(cells)
+    Ok(values)
 }
 
 /// Table 8: AMBER multi-core speedups (no numactl) for all five
 /// benchmarks on DMZ and Longs.
 pub fn table8(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
-    let mut table = Table::with_columns(
-        "Table 8: AMBER multi-core speedup (no numactl)",
-        &["Cores/system", "dhfr", "factor_ix", "gb_cox2", "gb_mb", "JAC"],
-    );
     let benches: Vec<AmberBenchmark> =
         AmberBenchmark::all().into_iter().map(|b| sized(b, fidelity)).collect();
+    let mut rows = Vec::new();
     for (sys_name, machine, counts) in
         [("DMZ", &systems.dmz, vec![2usize, 4]), ("Longs", &systems.longs, vec![2, 4, 8, 16])]
     {
         // Collect per-benchmark speedup columns.
-        let per_bench: Vec<Vec<Cell>> =
+        let per_bench: Vec<Vec<Option<f64>>> =
             benches.iter().map(|b| speedup_row(machine, b, &counts)).collect::<Result<_>>()?;
         for (row_idx, &n) in counts.iter().enumerate() {
-            let cells: Vec<Cell> = per_bench.iter().map(|col| col[row_idx].clone()).collect();
-            table.push_row(format!("{n} {sys_name}"), cells);
+            let values: Vec<Option<f64>> = per_bench.iter().map(|col| col[row_idx]).collect();
+            rows.push((format!("{n} {sys_name}"), values));
         }
     }
-    Ok(vec![table])
+    Ok(vec![pivot_table(
+        "Table 8: AMBER multi-core speedup (no numactl)",
+        &["Cores/system", "dhfr", "factor_ix", "gb_cox2", "gb_mb", "JAC"],
+        &rows,
+    )])
 }
 
 /// Table 9: overall JAC runtime vs schemes on Longs + DMZ.

@@ -1,9 +1,10 @@
 //! LAMMPS artifacts: Tables 10 (multi-core speedup) and 11 (LJ vs
 //! numactl options).
 
+use crate::aggregate::pivot_table;
 use crate::context::{default_stack, scheme_sweep, Systems};
 use crate::fidelity::Fidelity;
-use crate::report::{Cell, Table};
+use crate::report::Table;
 use corescope_affinity::Scheme;
 use corescope_apps::md::LammpsBenchmark;
 use corescope_machine::{Machine, Result};
@@ -20,10 +21,7 @@ fn time(machine: &Machine, bench: LammpsBenchmark, n: usize) -> Result<f64> {
 /// Table 10: LJ/Chain/EAM speedups (no numactl) across the three systems.
 pub fn table10(_fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
-    let mut table = Table::with_columns(
-        "Table 10: LAMMPS multi-core speedup (no numactl)",
-        &["Cores/system", "LJ", "Chain", "EAM"],
-    );
+    let mut rows = Vec::new();
     for (sys_name, machine, counts) in [
         ("DMZ", &systems.dmz, vec![2usize, 4]),
         ("Longs", &systems.longs, vec![2, 4, 8, 16]),
@@ -32,14 +30,18 @@ pub fn table10(_fidelity: Fidelity) -> Result<Vec<Table>> {
         let t1: Vec<f64> =
             LammpsBenchmark::all().iter().map(|&b| time(machine, b, 1)).collect::<Result<_>>()?;
         for &n in &counts {
-            let mut cells = Vec::new();
+            let mut values = Vec::new();
             for (i, &b) in LammpsBenchmark::all().iter().enumerate() {
-                cells.push(Cell::num(t1[i] / time(machine, b, n)?));
+                values.push(Some(t1[i] / time(machine, b, n)?));
             }
-            table.push_row(format!("{n} {sys_name}"), cells);
+            rows.push((format!("{n} {sys_name}"), values));
         }
     }
-    Ok(vec![table])
+    Ok(vec![pivot_table(
+        "Table 10: LAMMPS multi-core speedup (no numactl)",
+        &["Cores/system", "LJ", "Chain", "EAM"],
+        &rows,
+    )])
 }
 
 /// Table 11: the LJ benchmark vs the six schemes on Longs + DMZ.

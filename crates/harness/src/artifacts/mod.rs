@@ -14,12 +14,13 @@ pub mod pop;
 pub mod recovery;
 pub mod statics;
 pub mod stream;
+pub mod topo;
 pub mod xs;
 
 use crate::fidelity::Fidelity;
 use crate::report::Table;
-use corescope_machine::Result;
-use corescope_sched::Scheduler;
+use corescope_machine::{Error, Result};
+use corescope_sched::{Scheduler, System};
 use std::fmt;
 
 /// A request named an artifact id that does not exist. Carries the
@@ -64,7 +65,7 @@ impl fmt::Display for UnknownArtifact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7, x9, x10; \
+            "unknown artifact '{}' (valid ids are t1..t14, f2..f17, x1..x5, x7, x9, x10, x11; \
              run with --list for the catalogue)",
             self.requested
         )?;
@@ -138,6 +139,11 @@ pub enum Artifact {
     /// size × placement sweep with a checked first-touch/interleave
     /// NUMA crossover.
     X10,
+    /// Extra: the "then vs now" generation study — STREAM and the
+    /// lookup proxy swept over every `corescope-topo` generation,
+    /// hard-asserting that at least two 2006 placement verdicts flip
+    /// on the chiplet and memory-tier machines.
+    X11,
 }
 
 impl Artifact {
@@ -146,7 +152,7 @@ impl Artifact {
         use Artifact::*;
         vec![
             T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, T2, T3, T4,
-            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7, X9, X10,
+            T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, X1, X2, X3, X4, X5, X7, X9, X10, X11,
         ]
     }
 
@@ -192,6 +198,7 @@ impl Artifact {
             X7 => "x7",
             X9 => "x9",
             X10 => "x10",
+            X11 => "x11",
         }
     }
 
@@ -251,6 +258,7 @@ impl Artifact {
             X7 => "Extra X7: auto-calibration against the paper-target registry",
             X9 => "Extra X9: crash-safe campaign store (kill-anywhere resume)",
             X10 => "Extra X10: cross-section lookup NUMA crossover (XSBench-style)",
+            X11 => "Extra X11: then vs now — 2006 verdicts across machine generations",
         }
     }
 
@@ -297,6 +305,7 @@ impl Artifact {
             X7 => "fit the calibration back to the paper targets from a perturbed start",
             X9 => "kill a store-backed sweep mid-write; resume must aggregate identically",
             X10 => "table size x placement sweep; first-touch/interleave crossover checked",
+            X11 => "sweep STREAM + xs-lookup over all generations; >=2 2006 verdicts flip",
         }
     }
 
@@ -358,6 +367,36 @@ impl Artifact {
             X7 => calibration::extra7(fidelity, sched),
             X9 => campaign::extra9(fidelity, sched),
             X10 => xs::extra10(fidelity, sched),
+            X11 => topo::extra11(fidelity, sched),
+        }
+    }
+
+    /// Regenerates the artifact restricted to an explicit machine set
+    /// (the `repro --machine` axis). `None` (or an empty list) is the
+    /// default sweep, byte-identical to [`Artifact::run_with`]. Only
+    /// artifacts that genuinely sweep a machine-generation axis accept
+    /// a filter; anything else reports a typed error instead of
+    /// silently ignoring the request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors, and returns [`Error::InvalidSpec`]
+    /// when `machines` is non-empty for an artifact without the axis.
+    pub fn run_on(
+        self,
+        fidelity: Fidelity,
+        sched: &Scheduler,
+        machines: Option<&[System]>,
+    ) -> Result<Vec<Table>> {
+        match machines {
+            Some(list) if !list.is_empty() => match self {
+                Artifact::X11 => topo::extra11_on(fidelity, sched, Some(list)),
+                _ => Err(Error::InvalidSpec(format!(
+                    "artifact '{}' has no --machine axis (only x11 sweeps machine generations)",
+                    self.id()
+                ))),
+            },
+            _ => self.run_with(fidelity, sched),
         }
     }
 }
@@ -375,11 +414,11 @@ mod tests {
     #[test]
     fn artifacts_have_unique_ids() {
         let all = Artifact::all();
-        assert_eq!(all.len(), 38, "30 paper artifacts + the X1-X5, X7, X9, X10 extras");
+        assert_eq!(all.len(), 39, "30 paper artifacts + the X1-X5, X7, X9-X11 extras");
         let mut ids: Vec<_> = all.iter().map(|a| a.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 38);
+        assert_eq!(ids.len(), 39);
     }
 
     #[test]
@@ -394,6 +433,10 @@ mod tests {
 
         let err = Artifact::from_id("x100").unwrap_err();
         assert_eq!(err.nearest(), Some("x10"));
+
+        let err = Artifact::from_id("x111").unwrap_err();
+        assert_eq!(err.nearest(), Some("x11"));
+        assert!(err.to_string().contains("x11"), "{err}");
 
         // Nothing close: no suggestion rather than a wild guess.
         let err = Artifact::from_id("zzzzzzzz").unwrap_err();
@@ -416,6 +459,20 @@ mod tests {
         }
         assert_eq!(Artifact::parse("T2"), Some(Artifact::T2));
         assert_eq!(Artifact::parse("nope"), None);
+    }
+
+    #[test]
+    fn machine_axis_rejected_by_artifacts_without_it() {
+        let sched = Scheduler::new(1);
+        let machines = [System::Epyc];
+        let err = Artifact::F2.run_on(Fidelity::Quick, &sched, Some(&machines)).unwrap_err();
+        assert!(err.to_string().contains("--machine axis"), "{err}");
+
+        // None (and an empty list) mean "default sweep" for everyone.
+        let tables = Artifact::T1.run_on(Fidelity::Quick, &sched, None).unwrap();
+        assert_eq!(tables.len(), 1);
+        let tables = Artifact::T1.run_on(Fidelity::Quick, &sched, Some(&[])).unwrap();
+        assert_eq!(tables.len(), 1);
     }
 
     #[test]

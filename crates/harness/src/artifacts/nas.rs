@@ -1,9 +1,10 @@
 //! NAS Parallel Benchmark artifacts: Tables 2, 3 (CG/FT vs numactl
 //! options) and 4 (multi-core speedup).
 
+use crate::aggregate::pivot_table;
 use crate::context::{default_stack, scheme_sweep, Systems};
 use crate::fidelity::Fidelity;
-use crate::report::{Cell, Table};
+use crate::report::Table;
 use corescope_affinity::Scheme;
 use corescope_kernels::cg::{CgClass, NasCg};
 use corescope_kernels::nasft::{FtClass, NasFt};
@@ -77,10 +78,7 @@ pub fn table4(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let (profile, lock) = default_stack();
     let workloads = nas_workloads(fidelity);
-    let mut table = Table::with_columns(
-        "Table 4: NAS multi-core speedup per core",
-        &["Benchmark/system", "2 cores", "4 cores", "8 cores", "16 cores"],
-    );
+    let mut rows = Vec::new();
     for (name, build) in &workloads {
         for (sys_name, machine) in
             [("DMZ", &systems.dmz), ("Longs", &systems.longs), ("Tiger", &systems.tiger)]
@@ -91,22 +89,26 @@ pub fn table4(fidelity: Fidelity) -> Result<Vec<Table>> {
                 build(&mut w, 1);
                 w.run()?.makespan
             };
-            let mut cells = Vec::new();
+            let mut values = Vec::new();
             for n in [2usize, 4, 8, 16] {
                 if n > machine.num_cores() {
-                    cells.push(Cell::Dash);
+                    values.push(None);
                     continue;
                 }
                 let placements = Scheme::Default.resolve(machine, n)?;
                 let mut w = CommWorld::new(machine, placements, profile.clone(), lock);
                 build(&mut w, n);
                 let tn = w.run()?.makespan;
-                cells.push(Cell::num(t1 / tn / n as f64));
+                values.push(Some(t1 / tn / n as f64));
             }
-            table.push_row(format!("{name} {sys_name}"), cells);
+            rows.push((format!("{name} {sys_name}"), values));
         }
     }
-    Ok(vec![table])
+    Ok(vec![pivot_table(
+        "Table 4: NAS multi-core speedup per core",
+        &["Benchmark/system", "2 cores", "4 cores", "8 cores", "16 cores"],
+        &rows,
+    )])
 }
 
 #[cfg(test)]

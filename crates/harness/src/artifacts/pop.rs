@@ -1,9 +1,10 @@
 //! POP artifacts: Tables 12 (phase speedups), 13 (baroclinic vs numactl
 //! options) and 14 (barotropic vs numactl options).
 
+use crate::aggregate::pivot_table;
 use crate::context::{default_stack, scheme_sweep, Systems};
 use crate::fidelity::Fidelity;
-use crate::report::{Cell, Table};
+use crate::report::Table;
 use corescope_affinity::Scheme;
 use corescope_apps::ocean::PopModel;
 use corescope_machine::{Error, Machine, Result};
@@ -50,10 +51,7 @@ fn unplaceable(system: &str, nranks: usize) -> Error {
 pub fn table12(fidelity: Fidelity) -> Result<Vec<Table>> {
     let systems = Systems::new();
     let pop = model(fidelity);
-    let mut table = Table::with_columns(
-        "Table 12: POP multi-core speedup",
-        &["Cores/system", "Baroclinic", "Barotropic"],
-    );
+    let mut rows = Vec::new();
     for (sys_name, machine, counts) in [
         ("DMZ", &systems.dmz, vec![2usize, 4]),
         ("Tiger", &systems.tiger, vec![2]),
@@ -67,16 +65,20 @@ pub fn table12(fidelity: Fidelity) -> Result<Vec<Table>> {
             })
             .collect::<Result<_>>()?;
         for &n in &counts {
-            let mut cells = Vec::new();
+            let mut values = Vec::new();
             for (i, ph) in [Phase::Baroclinic, Phase::Barotropic].into_iter().enumerate() {
                 let tn = phase_time(machine, Scheme::Default, n, &pop, ph)?
                     .ok_or_else(|| unplaceable(sys_name, n))?;
-                cells.push(Cell::num(base[i] / tn));
+                values.push(Some(base[i] / tn));
             }
-            table.push_row(format!("{n} {sys_name}"), cells);
+            rows.push((format!("{n} {sys_name}"), values));
         }
     }
-    Ok(vec![table])
+    Ok(vec![pivot_table(
+        "Table 12: POP multi-core speedup",
+        &["Cores/system", "Baroclinic", "Barotropic"],
+        &rows,
+    )])
 }
 
 fn scheme_phase_tables(

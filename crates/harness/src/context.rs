@@ -92,23 +92,22 @@ pub fn scheme_sweep(
     profile: &MpiProfile,
     lock: LockLayer,
 ) -> Result<crate::report::Table> {
-    let mut columns = vec!["Tasks / workload".to_string()];
-    columns.extend(Scheme::all().iter().map(|s| s.name().to_string()));
-    let mut table = crate::report::Table::new(title, columns);
+    let mut columns = vec!["Tasks / workload"];
+    columns.extend(Scheme::all().iter().map(|s| s.name()));
+    let mut rows = Vec::new();
     for &n in task_counts {
         if n > machine.num_cores() {
             continue;
         }
         for (name, build) in workloads {
-            let mut cells = Vec::new();
+            let mut values = Vec::new();
             for scheme in Scheme::all() {
-                let t = time_scheme(machine, scheme, n, profile, lock, |w| build(w, n))?;
-                cells.push(crate::report::Cell::from(t));
+                values.push(time_scheme(machine, scheme, n, profile, lock, |w| build(w, n))?);
             }
-            table.push_row(format!("{n} {name}"), cells);
+            rows.push((format!("{n} {name}"), values));
         }
     }
-    Ok(table)
+    Ok(crate::aggregate::pivot_table(title, &columns, &rows))
 }
 
 /// The MPI stack the paper uses for the NAS/application tables (MPICH2

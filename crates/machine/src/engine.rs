@@ -94,16 +94,17 @@ impl<'m> Engine<'m> {
         let spec = machine.spec();
         let mc_index = machine
             .sockets()
-            .map(|s| resources.add(format!("mc:{s}"), spec.memory.controller_bw))
+            .map(|s| resources.add(format!("mc:{s}"), spec.memory_of(s.index()).controller_bw))
             .collect();
         let topo = machine.topology();
         let link_index = (0..topo.num_links())
             .map(|l| {
                 let (a, b) = topo.link_endpoints(LinkId::new(l));
-                resources.add(format!("link:{a}->{b}"), spec.link.bandwidth)
+                let bw = spec.link_of(topo.edge_of(LinkId::new(l))).bandwidth;
+                resources.add(format!("link:{a}->{b}"), bw)
             })
             .collect();
-        let probe_index = (machine.num_sockets() > 1)
+        let probe_index = (machine.num_compute_sockets() > 1)
             .then(|| resources.add("coherence-probe", spec.coherence.probe_capacity));
         Self {
             machine,
@@ -999,8 +1000,15 @@ impl<'a, 'm> Sim<'a, 'm> {
         }
         if phase.traffic.pattern == AccessPattern::Lookup {
             // Dependent lookups miss the open DRAM row and walk the TLB;
-            // the streaming latency above assumes a row-hit mix.
-            avg_latency += spec.memory.lookup_latency;
+            // the streaming latency above assumes a row-hit mix. On
+            // tiered machines each node charges its own surcharge.
+            if spec.is_uniform() {
+                avg_latency += spec.memory.lookup_latency;
+            } else {
+                for (node, frac) in layout.shares() {
+                    avg_latency += frac * spec.memory_of(node.index()).lookup_latency;
+                }
+            }
         }
         let demand = cache::dram_demand(&spec.cache, &phase.traffic, avg_latency);
         self.metrics.dram_bytes[rank] += demand.bytes;

@@ -114,14 +114,23 @@ impl Machine {
         &self.topology
     }
 
-    /// Total number of cores in the machine.
+    /// Total number of cores in the machine. Cores live only on compute
+    /// sockets; memory-only nodes contribute none.
     pub fn num_cores(&self) -> usize {
-        self.spec.sockets.len() * self.spec.cores_per_socket
+        self.spec.num_compute_sockets() * self.spec.cores_per_socket
     }
 
     /// Number of sockets (== number of NUMA nodes on these systems).
     pub fn num_sockets(&self) -> usize {
         self.spec.sockets.len()
+    }
+
+    /// Number of sockets that carry cores. Equal to [`num_sockets`]
+    /// except on machines with trailing memory-only nodes.
+    ///
+    /// [`num_sockets`]: Machine::num_sockets
+    pub fn num_compute_sockets(&self) -> usize {
+        self.spec.num_compute_sockets()
     }
 
     /// The socket that owns a core.
@@ -152,15 +161,27 @@ impl Machine {
         (0..self.num_sockets()).map(SocketId::new)
     }
 
+    /// Iterator over the sockets that carry cores.
+    pub fn compute_sockets(&self) -> impl Iterator<Item = SocketId> + '_ {
+        (0..self.num_compute_sockets()).map(SocketId::new)
+    }
+
     /// Iterator over all NUMA node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NumaNodeId> + '_ {
         (0..self.num_sockets()).map(NumaNodeId::new)
     }
 
-    /// The cores belonging to a socket, in id order.
+    /// The cores belonging to a socket, in id order. Empty for
+    /// memory-only nodes.
     pub fn cores_of(&self, socket: SocketId) -> impl Iterator<Item = CoreId> + '_ {
-        let cps = self.spec.cores_per_socket;
-        (socket.index() * cps..(socket.index() + 1) * cps).map(CoreId::new)
+        let cps = if socket.index() < self.spec.num_compute_sockets() {
+            self.spec.cores_per_socket
+        } else {
+            0
+        };
+        (socket.index() * self.spec.cores_per_socket
+            ..socket.index() * self.spec.cores_per_socket + cps)
+            .map(CoreId::new)
     }
 
     /// Uncontended DRAM access latency in seconds for a core reaching a
@@ -170,14 +191,28 @@ impl Machine {
     /// bandwidth through the Little's-law concurrency limit — the mechanism
     /// behind the paper's observation that the 8-socket Longs system
     /// achieves less than half the expected per-core STREAM bandwidth.
+    /// Heterogeneous machines sum the actual per-link hop latencies
+    /// along the route and use the target node's own idle latency;
+    /// uniform machines keep the original closed form (bit-identical
+    /// floats for the 2006 presets, whose probe term also sees
+    /// `num_compute_sockets == num_sockets`).
     pub fn memory_latency(&self, core: CoreId, node: NumaNodeId) -> f64 {
         let src = self.socket_of(core);
         let dst = self.socket_of_node(node);
-        let hops = self.topology.hops(src, dst) as f64;
         let spec = &self.spec;
-        spec.memory.idle_latency
-            + hops * spec.link.hop_latency
-            + spec.coherence.probe_latency(self.num_sockets(), self.topology.diameter())
+        let probe =
+            spec.coherence.probe_latency(self.num_compute_sockets(), self.topology.diameter());
+        if spec.is_uniform() {
+            let hops = self.topology.hops(src, dst) as f64;
+            return spec.memory.idle_latency + hops * spec.link.hop_latency + probe;
+        }
+        let mut latency = spec.memory_of(dst.index()).idle_latency;
+        if let Ok(route) = self.topology.route(src, dst) {
+            for link in route {
+                latency += spec.link_of(self.topology.edge_of(link)).hop_latency;
+            }
+        }
+        latency + probe
     }
 }
 
@@ -219,6 +254,39 @@ mod tests {
         let m = Machine::new(systems::longs());
         let cores: Vec<_> = m.cores_of(SocketId::new(3)).collect();
         assert_eq!(cores, vec![CoreId::new(6), CoreId::new(7)]);
+    }
+
+    #[test]
+    fn memory_only_node_has_no_cores() {
+        let mut spec = systems::dmz();
+        spec.memory_only_nodes = 1;
+        let m = Machine::new(spec);
+        assert_eq!(m.num_cores(), 2);
+        assert_eq!(m.num_compute_sockets(), 1);
+        assert_eq!(m.num_sockets(), 2);
+        assert_eq!(m.cores_of(SocketId::new(1)).count(), 0);
+        assert_eq!(m.compute_sockets().collect::<Vec<_>>(), vec![SocketId::new(0)]);
+        // A single compute socket pays no coherence probe, but reaching
+        // the far memory node still pays the link hop.
+        let local = m.memory_latency(CoreId::new(0), NumaNodeId::new(0));
+        let far = m.memory_latency(CoreId::new(0), NumaNodeId::new(1));
+        assert_eq!(local, m.spec().memory.idle_latency);
+        assert_eq!(far, local + m.spec().link.hop_latency);
+    }
+
+    #[test]
+    fn hetero_latency_sums_per_link_overrides() {
+        let mut spec = systems::longs();
+        // Make the first edge (0-1 rung) ten times slower.
+        spec.edge_links = vec![(0, LinkSpec { bandwidth: 1e9, hop_latency: 550e-9 })];
+        let m = Machine::new(spec);
+        let uniform = Machine::new(systems::longs());
+        let over = m.memory_latency(CoreId::new(0), NumaNodeId::new(1));
+        let base = uniform.memory_latency(CoreId::new(0), NumaNodeId::new(1));
+        assert!((over - base - (550e-9 - 55e-9)).abs() < 1e-12);
+        // Routes not using edge 0 are unchanged.
+        let same = m.memory_latency(CoreId::new(0), NumaNodeId::new(2));
+        assert_eq!(same, uniform.memory_latency(CoreId::new(0), NumaNodeId::new(2)));
     }
 
     #[test]

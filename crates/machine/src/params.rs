@@ -10,7 +10,7 @@
 //! (bit-for-bit, so default-parameter runs are byte-identical to the
 //! pre-parameterized code).
 
-use crate::systems::calib;
+use crate::systems::{calib, modern};
 
 /// One point in the calibration box: every tunable constant of the
 /// machine, MPI, and placement models.
@@ -78,6 +78,18 @@ pub struct CalibParams {
     /// Extra row-buffer-miss/TLB latency per dependent table lookup,
     /// seconds (60 ns). Bounds [0, 200 ns].
     pub lookup_latency: f64,
+    /// Usable on-package (die-to-die) link bandwidth per direction on
+    /// the chiplet generations, bytes/s (45e9). Bounds [10e9, 200e9].
+    pub onpkg_bandwidth: f64,
+    /// Per-hop latency of an on-package link, seconds (30 ns).
+    /// Bounds [5 ns, 100 ns].
+    pub onpkg_latency: f64,
+    /// Sustained DRAM bandwidth per chiplet-attached controller pair on
+    /// the modern generations, bytes/s (32e9). Bounds [10e9, 128e9].
+    pub tier_dram_bandwidth: f64,
+    /// Sustained bandwidth of an on-package HBM stack presented as its
+    /// own memory node, bytes/s (600e9). Bounds [100e9, 1600e9].
+    pub tier_hbm_bandwidth: f64,
 }
 
 /// One axis of the calibration box: name, bounds, and typed accessors
@@ -137,7 +149,7 @@ impl CalibParams {
     /// Every field with its bounds, in declaration order. The stable
     /// index of a field in this table is its axis id throughout the
     /// calibration subsystem.
-    pub const FIELDS: [ParamField; 21] = [
+    pub const FIELDS: [ParamField; 25] = [
         param_field!(flops_per_cycle, 1.0, 4.0),
         param_field!(l1_bytes, 16.0 * 1024.0, 256.0 * 1024.0),
         param_field!(l2_bytes, 256.0 * 1024.0, 8.0 * 1024.0 * 1024.0),
@@ -159,6 +171,10 @@ impl CalibParams {
         param_field!(misplacement, 0.0, 0.5),
         param_field!(lookup_mlp, 1.0, 8.0),
         param_field!(lookup_latency, 0.0, 200e-9),
+        param_field!(onpkg_bandwidth, 10e9, 200e9),
+        param_field!(onpkg_latency, 5e-9, 100e-9),
+        param_field!(tier_dram_bandwidth, 10e9, 128e9),
+        param_field!(tier_hbm_bandwidth, 100e9, 1600e9),
     ];
 
     /// The shipped 2006 calibration: every field equals the constant it
@@ -191,6 +207,13 @@ impl CalibParams {
             misplacement: 0.10,
             lookup_mlp: calib::LOOKUP_MLP,
             lookup_latency: calib::LOOKUP_LATENCY,
+            // corescope-topo: the modern-generation axes. The 2006
+            // presets never read them, so "paper_2006" still describes
+            // every field the 2006 machines consume.
+            onpkg_bandwidth: modern::ONPKG_BANDWIDTH,
+            onpkg_latency: modern::ONPKG_LATENCY,
+            tier_dram_bandwidth: modern::TIER_DRAM_BANDWIDTH,
+            tier_hbm_bandwidth: modern::TIER_HBM_BANDWIDTH,
         }
     }
 
@@ -259,6 +282,15 @@ mod tests {
     #[test]
     fn paper_point_is_inside_the_box() {
         assert!(CalibParams::paper_2006().in_bounds());
+    }
+
+    #[test]
+    fn modern_axes_match_the_shipped_constants() {
+        let p = CalibParams::paper_2006();
+        assert_eq!(p.onpkg_bandwidth.to_bits(), modern::ONPKG_BANDWIDTH.to_bits());
+        assert_eq!(p.onpkg_latency.to_bits(), modern::ONPKG_LATENCY.to_bits());
+        assert_eq!(p.tier_dram_bandwidth.to_bits(), modern::TIER_DRAM_BANDWIDTH.to_bits());
+        assert_eq!(p.tier_hbm_bandwidth.to_bits(), modern::TIER_HBM_BANDWIDTH.to_bits());
     }
 
     #[test]

@@ -157,6 +157,18 @@ pub struct MachineSpec {
     pub edges: Vec<LinkEdge>,
     /// Coherence probe model.
     pub coherence: CoherenceSpec,
+    /// Per-node memory controller overrides for heterogeneous memory
+    /// tiers: `(node index, spec)` pairs. Nodes without an entry use
+    /// `memory`. Empty on the uniform 2006 machines.
+    pub node_memory: Vec<(usize, MemorySpec)>,
+    /// Per-edge link overrides for non-uniform interconnects: `(index
+    /// into edges, spec)` pairs. Edges without an entry use `link`.
+    /// Empty on the uniform 2006 machines.
+    pub edge_links: Vec<(usize, LinkSpec)>,
+    /// Number of trailing sockets that carry a memory node but no cores
+    /// (HBM expansion nodes, CXL-style capacity nodes). The first
+    /// `sockets.len() - memory_only_nodes` sockets are compute sockets.
+    pub memory_only_nodes: usize,
 }
 
 fn positive(x: f64) -> bool {
@@ -222,12 +234,77 @@ impl MachineSpec {
                 return Err(Error::InvalidSpec(format!("self-loop edge on socket {}", e.a)));
             }
         }
+        if self.memory_only_nodes >= self.sockets.len() {
+            return Err(Error::InvalidSpec(format!(
+                "{} memory-only nodes leave no compute socket on a {}-socket machine",
+                self.memory_only_nodes,
+                self.sockets.len()
+            )));
+        }
+        for (i, (node, mem)) in self.node_memory.iter().enumerate() {
+            if *node >= self.sockets.len() {
+                return Err(Error::InvalidSpec(format!(
+                    "memory override references node {node} outside the machine"
+                )));
+            }
+            if self.node_memory[..i].iter().any(|(n, _)| n == node) {
+                return Err(Error::InvalidSpec(format!(
+                    "duplicate memory override for node {node}"
+                )));
+            }
+            let lookup_ok = mem.lookup_latency.is_finite() && mem.lookup_latency >= 0.0;
+            if !positive(mem.controller_bw) || !positive(mem.idle_latency) || !lookup_ok {
+                return Err(Error::InvalidSpec(format!(
+                    "memory override for node {node} must be positive"
+                )));
+            }
+        }
+        for (i, (edge, link)) in self.edge_links.iter().enumerate() {
+            if *edge >= self.edges.len() {
+                return Err(Error::InvalidSpec(format!(
+                    "link override references edge {edge} outside the machine"
+                )));
+            }
+            if self.edge_links[..i].iter().any(|(e, _)| e == edge) {
+                return Err(Error::InvalidSpec(format!("duplicate link override for edge {edge}")));
+            }
+            if !positive(link.bandwidth) || link.hop_latency < 0.0 || link.hop_latency.is_nan() {
+                return Err(Error::InvalidSpec(format!(
+                    "link override for edge {edge} must be positive"
+                )));
+            }
+        }
         Ok(())
     }
 
-    /// Peak double-precision flop/s of the whole machine.
+    /// Peak double-precision flop/s of the whole machine (cores live
+    /// only on compute sockets).
     pub fn peak_flops(&self) -> f64 {
-        self.core.peak_flops() * (self.sockets.len() * self.cores_per_socket) as f64
+        self.core.peak_flops() * (self.num_compute_sockets() * self.cores_per_socket) as f64
+    }
+
+    /// Number of sockets that carry cores.
+    pub fn num_compute_sockets(&self) -> usize {
+        self.sockets.len().saturating_sub(self.memory_only_nodes)
+    }
+
+    /// Effective memory controller spec for a node, honouring overrides.
+    pub fn memory_of(&self, node: usize) -> &MemorySpec {
+        self.node_memory.iter().find(|(n, _)| *n == node).map_or(&self.memory, |(_, m)| m)
+    }
+
+    /// Effective link spec for an edge (index into `edges`), honouring
+    /// overrides.
+    pub fn link_of(&self, edge: usize) -> &LinkSpec {
+        self.edge_links.iter().find(|(e, _)| *e == edge).map_or(&self.link, |(_, l)| l)
+    }
+
+    /// True when the machine has no heterogeneity: every node shares
+    /// `memory`, every edge shares `link`, and every socket has cores.
+    /// Uniform machines take the exact pre-topo latency formula, which
+    /// keeps the 2006 presets byte-identical.
+    pub fn is_uniform(&self) -> bool {
+        self.memory_only_nodes == 0 && self.node_memory.is_empty() && self.edge_links.is_empty()
     }
 }
 
@@ -306,5 +383,55 @@ mod tests {
         let mut spec = systems::longs();
         spec.coherence.probe_capacity = 0.0;
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn presets_are_uniform() {
+        for spec in [systems::tiger(), systems::dmz(), systems::longs()] {
+            assert!(spec.is_uniform(), "{} should be uniform", spec.name);
+            assert_eq!(spec.num_compute_sockets(), spec.sockets.len());
+        }
+    }
+
+    #[test]
+    fn rejects_all_memory_only() {
+        let mut spec = systems::dmz();
+        spec.memory_only_nodes = 2;
+        assert!(spec.validate().is_err());
+        spec.memory_only_nodes = 1;
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.num_compute_sockets(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_memory_override() {
+        let mem = |bw| MemorySpec { controller_bw: bw, idle_latency: 1e-7, lookup_latency: 0.0 };
+        let mut spec = systems::dmz();
+        spec.node_memory = vec![(9, mem(1e9))];
+        assert!(spec.validate().is_err());
+        spec.node_memory = vec![(1, mem(0.0))];
+        assert!(spec.validate().is_err());
+        spec.node_memory = vec![(1, mem(1e9)), (1, mem(2e9))];
+        assert!(spec.validate().is_err());
+        spec.node_memory = vec![(1, mem(1e9))];
+        assert!(spec.validate().is_ok());
+        assert!(!spec.is_uniform());
+        assert_eq!(spec.memory_of(1).controller_bw, 1e9);
+        assert_eq!(spec.memory_of(0).controller_bw, spec.memory.controller_bw);
+    }
+
+    #[test]
+    fn rejects_bad_link_override() {
+        let link = |bw| LinkSpec { bandwidth: bw, hop_latency: 1e-8 };
+        let mut spec = systems::dmz();
+        spec.edge_links = vec![(5, link(1e9))];
+        assert!(spec.validate().is_err());
+        spec.edge_links = vec![(0, link(0.0))];
+        assert!(spec.validate().is_err());
+        spec.edge_links = vec![(0, link(1e9)), (0, link(2e9))];
+        assert!(spec.validate().is_err());
+        spec.edge_links = vec![(0, link(1e9))];
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.link_of(0).bandwidth, 1e9);
     }
 }

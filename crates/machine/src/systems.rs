@@ -73,6 +73,30 @@ pub mod calib {
     pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 }
 
+/// Calibration constants for the post-2006 generations that
+/// `corescope-topo` instantiates (chiplet packages, HBM tiers).
+///
+/// Sources: Bergstrom's NUMA-STREAM study (arXiv:1103.3225) for
+/// multi-die on-package STREAM/latency scaling, and RZBENCH
+/// (arXiv:0712.3389) for the per-generation memory-tier bandwidth
+/// ladder. Only the four values that are calibration *axes* live here;
+/// fixed per-generation constants (cross-package links, tier idle
+/// latencies) belong to `corescope-topo::generations`.
+pub mod modern {
+    /// Usable on-package (die-to-die) interconnect bandwidth per
+    /// direction: ~45 GB/s for an Infinity-Fabric-class link.
+    pub const ONPKG_BANDWIDTH: f64 = 45e9;
+    /// Per-hop latency of an on-package link: ~30 ns — the chiplet NUMA
+    /// factor is far milder than 2006 HyperTransport's 55 ns.
+    pub const ONPKG_LATENCY: f64 = 30e-9;
+    /// Sustained DRAM bandwidth per chiplet-attached controller pair:
+    /// ~32 GB/s (two DDR channels of a modern 8-channel socket).
+    pub const TIER_DRAM_BANDWIDTH: f64 = 32e9;
+    /// Sustained bandwidth of an on-package HBM stack presented as its
+    /// own memory node: ~600 GB/s.
+    pub const TIER_HBM_BANDWIDTH: f64 = 600e9;
+}
+
 fn k8_cache(p: &CalibParams) -> CacheSpec {
     CacheSpec {
         l1_bytes: p.l1_bytes,
@@ -123,6 +147,9 @@ pub fn tiger_with(p: &CalibParams) -> MachineSpec {
         link: k8_link(p),
         edges: vec![LinkEdge::new(0, 1)],
         coherence: k8_coherence(p, p.probe_capacity_small),
+        node_memory: Vec::new(),
+        edge_links: Vec::new(),
+        memory_only_nodes: 0,
     }
 }
 
@@ -149,6 +176,9 @@ pub fn dmz_with(p: &CalibParams) -> MachineSpec {
         link: k8_link(p),
         edges: vec![LinkEdge::new(0, 1)],
         coherence: k8_coherence(p, p.probe_capacity_small),
+        node_memory: Vec::new(),
+        edge_links: Vec::new(),
+        memory_only_nodes: 0,
     }
 }
 
@@ -189,6 +219,9 @@ pub fn longs_with(p: &CalibParams) -> MachineSpec {
         link: k8_link(p),
         edges,
         coherence: k8_coherence(p, p.probe_capacity_ladder),
+        node_memory: Vec::new(),
+        edge_links: Vec::new(),
+        memory_only_nodes: 0,
     }
 }
 

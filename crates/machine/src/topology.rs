@@ -22,6 +22,9 @@ pub struct Topology {
     links: Vec<(SocketId, SocketId)>,
     /// `link_index[from][to]` = directed link id for an adjacent pair.
     link_index: Vec<Vec<Option<LinkId>>>,
+    /// `edge_of[l]` = index into the spec's edge list that produced
+    /// directed link `l` (both directions map to the same edge).
+    edge_of: Vec<usize>,
     /// `next_hop[src][dst]` = first socket on the route.
     next_hop: Vec<Vec<Option<SocketId>>>,
     /// `hops[src][dst]` = route length in links.
@@ -41,12 +44,14 @@ impl Topology {
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut links = Vec::new();
         let mut link_index = vec![vec![None; n]; n];
-        for e in &spec.edges {
+        let mut edge_of = Vec::new();
+        for (ei, e) in spec.edges.iter().enumerate() {
             for (a, b) in [(e.a, e.b), (e.b, e.a)] {
                 if link_index[a][b].is_none() {
                     let id = LinkId::new(links.len());
                     links.push((SocketId::new(a), SocketId::new(b)));
                     link_index[a][b] = Some(id);
+                    edge_of.push(ei);
                     adj[a].push(b);
                 }
             }
@@ -82,7 +87,7 @@ impl Topology {
             }
         }
         let diameter = hops.iter().flat_map(|row| row.iter().copied()).max().unwrap_or(0);
-        Ok(Self { sockets: n, links, link_index, next_hop, hops, diameter })
+        Ok(Self { sockets: n, links, link_index, edge_of, next_hop, hops, diameter })
     }
 
     /// Number of sockets in the graph.
@@ -98,6 +103,13 @@ impl Topology {
     /// Endpoints of a directed link.
     pub fn link_endpoints(&self, link: LinkId) -> (SocketId, SocketId) {
         self.links[link.index()]
+    }
+
+    /// Index into the spec's edge list that produced a directed link.
+    /// Both directions of an edge map to the same index, so per-edge
+    /// spec overrides apply symmetrically.
+    pub fn edge_of(&self, link: LinkId) -> usize {
+        self.edge_of[link.index()]
     }
 
     /// Shortest-path hop count between two sockets (0 when equal).
@@ -210,6 +222,21 @@ mod tests {
         // Remove every edge touching socket 7.
         spec.edges.retain(|e| e.a != 7 && e.b != 7);
         assert_eq!(Topology::from_spec(&spec), Err(Error::DisconnectedTopology { unreachable: 7 }));
+    }
+
+    #[test]
+    fn both_directions_map_to_the_same_edge() {
+        let spec = systems::longs();
+        let t = topo(spec.clone());
+        for l in 0..t.num_links() {
+            let link = LinkId::new(l);
+            let (from, to) = t.link_endpoints(link);
+            let e = spec.edges[t.edge_of(link)];
+            assert!(
+                (e.a, e.b) == (from.index(), to.index())
+                    || (e.a, e.b) == (to.index(), from.index())
+            );
+        }
     }
 
     #[test]

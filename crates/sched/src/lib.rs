@@ -44,7 +44,7 @@ pub mod sink;
 pub use cache::{CacheError, CacheStats, CacheTier, ComputeClaim, ComputeLock, ResultCache};
 pub use encode::{Digest, Encoder};
 pub use fidelity::Fidelity;
-pub use scenario::{Placement, Scenario, ScenarioResult, System, Workload};
+pub use scenario::{Placement, Scenario, ScenarioResult, System, UnknownSystem, Workload};
 pub use scheduler::{BatchOutcome, Completed, SchedStats, Scheduler};
 pub use serve::{ArtifactRunner, ServeConfig, ServeStats, Server};
 pub use sink::StoreSink;

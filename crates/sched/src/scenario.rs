@@ -33,13 +33,15 @@ use corescope_kernels::stream::{
 use corescope_kernels::xslookup::XsParams;
 use corescope_machine::engine::RankPlacement;
 use corescope_machine::{
-    systems, CalibParams, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultEvent,
-    FaultKind, FaultPlan, LinkId, Machine, MachineSpec, NumaNodeId, RankId, Result, RetryPolicy,
-    RunReport, SocketId, TrafficProfile,
+    CalibParams, CheckpointPolicy, CheckpointTarget, ComputePhase, Error, FaultEvent, FaultKind,
+    FaultPlan, LinkId, Machine, MachineSpec, NumaNodeId, RankId, Result, RetryPolicy, RunReport,
+    SocketId, TrafficProfile,
 };
 use corescope_smpi::{CommWorld, LockLayer, MpiImpl};
+use corescope_topo::Generation;
 
-/// The three evaluation systems of the paper's Table 1.
+/// The evaluation machines: the paper's Table 1 systems plus the
+/// modern `corescope-topo` generations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum System {
     /// Cray XD1 node, 2 × single-core Opteron 248.
@@ -48,25 +50,72 @@ pub enum System {
     Dmz,
     /// Iwill H8501, 8 × dual-core Opteron 865.
     Longs,
+    /// Modern: 2 packages × 4 chiplets × 4 cores, on-package mesh.
+    Epyc,
+    /// Modern: 16-core node with DRAM plus an HBM memory-only node.
+    Hbm,
 }
 
+/// A request named a machine generation that does not exist. Carries
+/// the requested string so `repro --machine` can report it next to the
+/// valid generation list instead of guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSystem {
+    /// What the request said, verbatim.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let valid: Vec<&str> = System::all().iter().map(|s| s.key()).collect();
+        write!(
+            f,
+            "unknown machine '{}' (valid generations are {})",
+            self.requested,
+            valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownSystem {}
+
 impl System {
+    /// Every system, oldest generation first.
+    pub fn all() -> [System; 5] {
+        [System::Tiger, System::Dmz, System::Longs, System::Epyc, System::Hbm]
+    }
+
     /// Stable lowercase key (JSON and encoding).
     pub fn key(self) -> &'static str {
-        match self {
-            System::Tiger => "tiger",
-            System::Dmz => "dmz",
-            System::Longs => "longs",
-        }
+        self.generation().key()
     }
 
     /// Parses [`System::key`] output.
     pub fn parse(s: &str) -> Option<System> {
-        match s {
-            "tiger" => Some(System::Tiger),
-            "dmz" => Some(System::Dmz),
-            "longs" => Some(System::Longs),
-            _ => None,
+        System::all().into_iter().find(|sys| sys.key() == s)
+    }
+
+    /// Parses a machine key with a typed error for unknown names —
+    /// backs the `repro --machine` axis, so a typo reports the valid
+    /// generation list instead of silently running the default sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSystem`] carrying the requested string.
+    pub fn from_key(s: &str) -> std::result::Result<System, UnknownSystem> {
+        System::parse(&s.to_lowercase()).ok_or_else(|| UnknownSystem { requested: s.to_string() })
+    }
+
+    /// The corresponding `corescope-topo` generation: every system is
+    /// built through the generator (byte-identical to the historical
+    /// `systems::*` constructors for the 2006 machines).
+    pub fn generation(self) -> Generation {
+        match self {
+            System::Tiger => Generation::Tiger,
+            System::Dmz => Generation::Dmz,
+            System::Longs => Generation::Longs,
+            System::Epyc => Generation::Epyc,
+            System::Hbm => Generation::Hbm,
         }
     }
 
@@ -77,11 +126,7 @@ impl System {
 
     /// The machine spec built from an arbitrary calibration point.
     pub fn spec_with(self, params: &CalibParams) -> MachineSpec {
-        match self {
-            System::Tiger => systems::tiger_with(params),
-            System::Dmz => systems::dmz_with(params),
-            System::Longs => systems::longs_with(params),
-        }
+        self.generation().spec_with(params)
     }
 
     /// Builds the machine.
@@ -1127,7 +1172,7 @@ impl Scenario {
             .get("system")
             .and_then(Value::as_str)
             .and_then(System::parse)
-            .ok_or("scenario needs \"system\": tiger|dmz|longs")?;
+            .ok_or("scenario needs \"system\": tiger|dmz|longs|epyc|hbm")?;
         let fidelity = match v.get("fidelity") {
             None => Fidelity::Full,
             Some(f) => {
@@ -1260,6 +1305,24 @@ fn encode_machine_spec(enc: &mut Encoder, spec: &MachineSpec) {
     enc.list("spec.edges", spec.edges.len());
     for edge in &spec.edges {
         enc.usize("a", edge.a).usize("b", edge.b);
+    }
+    // Heterogeneous extensions are encoded only when present so that every
+    // uniform machine keeps its pre-extension digest.
+    if !spec.is_uniform() {
+        enc.usize("spec.memory_only_nodes", spec.memory_only_nodes);
+        enc.list("spec.node_memory", spec.node_memory.len());
+        for (node, m) in &spec.node_memory {
+            enc.usize("node", *node)
+                .f64("memory.controller_bw", m.controller_bw)
+                .f64("memory.idle_latency", m.idle_latency)
+                .f64("memory.lookup_latency", m.lookup_latency);
+        }
+        enc.list("spec.edge_links", spec.edge_links.len());
+        for (edge, l) in &spec.edge_links {
+            enc.usize("edge", *edge)
+                .f64("link.bandwidth", l.bandwidth)
+                .f64("link.hop_latency", l.hop_latency);
+        }
     }
 }
 
@@ -1397,6 +1460,54 @@ mod tests {
         let report = world.run().unwrap();
         assert_eq!(result.makespan.to_bits(), report.makespan.to_bits());
         assert_eq!(result.events, report.metrics.events);
+    }
+
+    #[test]
+    fn unknown_machine_keys_report_the_valid_generations() {
+        assert_eq!(System::from_key("EPYC"), Ok(System::Epyc));
+        let err = System::from_key("epic").unwrap_err();
+        assert_eq!(err.requested, "epic");
+        let rendered = err.to_string();
+        for key in ["tiger", "dmz", "longs", "epyc", "hbm"] {
+            assert!(rendered.contains(key), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn modern_systems_parse_run_and_round_trip() {
+        for system in [System::Epyc, System::Hbm] {
+            assert_eq!(System::parse(system.key()), Some(system));
+            let s = bsp(system, 4);
+            let parsed = Scenario::from_json(&json::parse(&s.to_json()).unwrap()).unwrap();
+            assert_eq!(parsed, s);
+            assert_eq!(parsed.digest(), s.digest());
+            let result = s.run().unwrap();
+            assert!(result.makespan > 0.0);
+        }
+        assert_ne!(bsp(System::Epyc, 4).digest(), bsp(System::Hbm, 4).digest());
+        assert_ne!(bsp(System::Epyc, 4).digest(), bsp(System::Dmz, 4).digest());
+    }
+
+    #[test]
+    fn hetero_digest_sections_separate_override_axes() {
+        // Two hetero specs that differ only inside the override tables
+        // must hash apart (the conditional section is actually encoded).
+        let mut a = System::Hbm.spec();
+        let mut b = a.clone();
+        b.node_memory[0].1.controller_bw *= 2.0;
+        a.name = "probe".into();
+        b.name = "probe".into();
+        let da = {
+            let mut enc = Encoder::new();
+            encode_machine_spec(&mut enc, &a);
+            enc.digest()
+        };
+        let db = {
+            let mut enc = Encoder::new();
+            encode_machine_spec(&mut enc, &b);
+            enc.digest()
+        };
+        assert_ne!(da, db);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Declarative machine blueprints: packages × chiplets × memory tiers.
+//!
+//! A [`Blueprint`] describes a machine the way a datasheet does — "two
+//! packages of four chiplets, four cores each, a DRAM pair per
+//! chiplet, an HBM stack on package zero" — and [`Blueprint::expand`]
+//! unrolls it into the explicit [`TopoGraph`] the lowering pipeline
+//! consumes. Chiplets within a package are fully meshed over the
+//! on-package interconnect; packages are chained chiplet-to-chiplet
+//! over the (slower) cross-package links; memory tiers append as
+//! trailing memory-only nodes hanging off a compute node.
+
+use crate::graph::{TopoGraph, TopoLink, TopoNode};
+use corescope_machine::{CacheSpec, CoherenceSpec, CoreSpec, LinkSpec, MemorySpec};
+
+/// An extra memory tier (HBM stack, CXL expander) attached to one
+/// compute node as its own trailing NUMA node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryTier {
+    /// Compute node (global chiplet index) the tier hangs off.
+    pub attach: usize,
+    /// Tier capacity in bytes.
+    pub capacity_bytes: f64,
+    /// Tier bandwidth/latency parameters.
+    pub memory: MemorySpec,
+    /// The fabric link between the tier and its compute node.
+    pub link: LinkSpec,
+}
+
+/// Declarative description of a chiplet machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blueprint {
+    /// Machine name carried through to the spec.
+    pub name: String,
+    /// Number of packages (sockets in the physical sense).
+    pub packages: usize,
+    /// Chiplets per package; each chiplet is one NUMA node.
+    pub chiplets_per_package: usize,
+    /// Cores per chiplet.
+    pub cores_per_chiplet: usize,
+    /// DRAM capacity per chiplet node, bytes.
+    pub chiplet_capacity_bytes: f64,
+    /// DRAM controller parameters per chiplet node.
+    pub chiplet_memory: MemorySpec,
+    /// On-package (die-to-die) link parameters; chiplets of a package
+    /// are fully meshed with these.
+    pub onpackage_link: LinkSpec,
+    /// Cross-package link parameters; chiplet `c` of package `k` links
+    /// to chiplet `c` of package `k + 1`.
+    pub cross_package_link: LinkSpec,
+    /// Extra memory tiers appended as trailing memory-only nodes.
+    pub memory_tiers: Vec<MemoryTier>,
+    /// Per-core compute capability.
+    pub core: CoreSpec,
+    /// Per-core cache hierarchy.
+    pub cache: CacheSpec,
+    /// Coherence model (directory-based machines use a small probe
+    /// cost and an effectively unlimited probe fabric).
+    pub coherence: CoherenceSpec,
+}
+
+impl Blueprint {
+    /// Unrolls the blueprint into an explicit topology graph.
+    ///
+    /// Node ids: chiplet `c` of package `k` is node
+    /// `k * chiplets_per_package + c`; memory tiers follow in
+    /// declaration order. Link order: package meshes in package order
+    /// (lexicographic chiplet pairs), then cross-package chains, then
+    /// tier links — deterministic, so the expansion is part of the
+    /// machine's identity.
+    pub fn expand(&self) -> TopoGraph {
+        let per = self.chiplets_per_package;
+        let compute = self.packages * per;
+        let mut nodes: Vec<TopoNode> = (0..compute)
+            .map(|id| TopoNode {
+                id,
+                cores: self.cores_per_chiplet,
+                capacity_bytes: self.chiplet_capacity_bytes,
+                memory: self.chiplet_memory.clone(),
+            })
+            .collect();
+        let mut links = Vec::new();
+        for k in 0..self.packages {
+            let base = k * per;
+            for c in 0..per {
+                for d in c + 1..per {
+                    links.push(TopoLink {
+                        a: base + c,
+                        b: base + d,
+                        link: self.onpackage_link.clone(),
+                    });
+                }
+            }
+        }
+        for k in 0..self.packages.saturating_sub(1) {
+            for c in 0..per {
+                links.push(TopoLink {
+                    a: k * per + c,
+                    b: (k + 1) * per + c,
+                    link: self.cross_package_link.clone(),
+                });
+            }
+        }
+        for (i, tier) in self.memory_tiers.iter().enumerate() {
+            let id = compute + i;
+            nodes.push(TopoNode {
+                id,
+                cores: 0,
+                capacity_bytes: tier.capacity_bytes,
+                memory: tier.memory.clone(),
+            });
+            links.push(TopoLink { a: tier.attach, b: id, link: tier.link.clone() });
+        }
+        TopoGraph {
+            name: self.name.clone(),
+            core: self.core.clone(),
+            cache: self.cache.clone(),
+            coherence: self.coherence.clone(),
+            nodes,
+            links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blueprint(packages: usize, chiplets: usize) -> Blueprint {
+        Blueprint {
+            name: "bp".into(),
+            packages,
+            chiplets_per_package: chiplets,
+            cores_per_chiplet: 4,
+            chiplet_capacity_bytes: 16e9,
+            chiplet_memory: MemorySpec {
+                controller_bw: 32e9,
+                idle_latency: 90e-9,
+                lookup_latency: 40e-9,
+            },
+            onpackage_link: LinkSpec { bandwidth: 45e9, hop_latency: 30e-9 },
+            cross_package_link: LinkSpec { bandwidth: 25e9, hop_latency: 60e-9 },
+            memory_tiers: vec![],
+            core: CoreSpec { frequency_hz: 3.4e9, flops_per_cycle: 16.0 },
+            cache: CacheSpec {
+                l1_bytes: 32.0 * 1024.0,
+                l2_bytes: 4.0 * 1024.0 * 1024.0,
+                line_bytes: 64.0,
+                stream_mlp: 24.0,
+                random_mlp: 4.0,
+                strided_mlp: 8.0,
+                lookup_mlp: 8.0,
+            },
+            coherence: CoherenceSpec {
+                base_probe: 10e-9,
+                per_hop_probe: 5e-9,
+                probe_capacity: 1e12,
+            },
+        }
+    }
+
+    #[test]
+    fn mesh_and_cross_link_counts() {
+        let g = blueprint(2, 4).expand();
+        assert_eq!(g.nodes.len(), 8);
+        // 2 packages x C(4,2) mesh + 4 cross links.
+        assert_eq!(g.links.len(), 2 * 6 + 4);
+        let m = g.machine().unwrap();
+        assert_eq!(m.num_cores(), 32);
+        assert_eq!(m.topology().diameter(), 2);
+    }
+
+    #[test]
+    fn tiers_become_trailing_memory_nodes() {
+        let mut bp = blueprint(1, 1);
+        bp.cores_per_chiplet = 16;
+        bp.memory_tiers = vec![MemoryTier {
+            attach: 0,
+            capacity_bytes: 16e9,
+            memory: MemorySpec {
+                controller_bw: 600e9,
+                idle_latency: 110e-9,
+                lookup_latency: 40e-9,
+            },
+            link: LinkSpec { bandwidth: 400e9, hop_latency: 10e-9 },
+        }];
+        let spec = bp.expand().lower().unwrap();
+        assert_eq!(spec.memory_only_nodes, 1);
+        assert_eq!(spec.sockets.len(), 2);
+        assert_eq!(spec.memory_of(1).controller_bw, 600e9);
+        assert_eq!(spec.num_compute_sockets(), 1);
+    }
+
+    #[test]
+    fn single_package_has_no_cross_links() {
+        let g = blueprint(1, 4).expand();
+        assert_eq!(g.links.len(), 6);
+        assert!(g.lower().unwrap().is_uniform());
+    }
+}

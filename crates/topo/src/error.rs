@@ -1,0 +1,130 @@
+//! Typed validation errors for topology graphs.
+
+use std::fmt;
+
+/// Why a [`crate::TopoGraph`] cannot be lowered to a machine spec.
+///
+/// Every malformed graph maps to one of these — the generator never
+/// panics on bad input (property-tested in `graph::tests`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoError {
+    /// The graph has no nodes at all.
+    NoNodes,
+    /// Two nodes share an id.
+    DuplicateNodeId {
+        /// The repeated id.
+        id: usize,
+    },
+    /// A node id is outside `0..nodes` (ids must form a permutation).
+    NodeIdOutOfRange {
+        /// The offending id.
+        id: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// Every node is memory-only; nothing can execute.
+    NoComputeNodes,
+    /// Compute nodes disagree on their core count (the machine model
+    /// has one `cores_per_socket`).
+    NonUniformCores {
+        /// Node with the deviating count.
+        id: usize,
+        /// Its core count.
+        cores: usize,
+        /// The count established by the lowest-id compute node.
+        expected: usize,
+    },
+    /// A memory-only node appears before a compute node in id order;
+    /// the machine model keeps memory-only nodes trailing.
+    MemoryNodeNotTrailing {
+        /// The offending memory-only node.
+        id: usize,
+    },
+    /// A node's memory capacity is zero, negative, or non-finite.
+    BadCapacity {
+        /// The offending node.
+        id: usize,
+    },
+    /// A node's memory spec has a non-positive bandwidth/latency or a
+    /// malformed lookup surcharge.
+    BadMemory {
+        /// The offending node.
+        id: usize,
+    },
+    /// A link with zero, negative, or non-finite bandwidth.
+    ZeroBandwidthLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A link whose hop latency is negative or NaN.
+    BadLinkLatency {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A link from a node to itself.
+    SelfLoopLink {
+        /// The node.
+        id: usize,
+    },
+    /// A link endpoint that is not a node id.
+    UnknownEndpoint {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A memory-only node with no link at all: its capacity would be
+    /// unreachable from every core.
+    OrphanMemoryNode {
+        /// The orphaned node.
+        id: usize,
+    },
+    /// A node unreachable from node 0 over the link graph.
+    Disconnected {
+        /// The unreachable node.
+        id: usize,
+    },
+    /// The lowered spec failed `MachineSpec::validate` (core, cache, or
+    /// coherence parameters out of range).
+    Machine(String),
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoNodes => write!(f, "topology has no nodes"),
+            Self::DuplicateNodeId { id } => write!(f, "duplicate node id {id}"),
+            Self::NodeIdOutOfRange { id, nodes } => {
+                write!(f, "node id {id} out of range for {nodes} nodes (ids must be 0..{nodes})")
+            }
+            Self::NoComputeNodes => write!(f, "topology has no compute nodes"),
+            Self::NonUniformCores { id, cores, expected } => {
+                write!(f, "node {id} has {cores} cores but the machine model needs a uniform {expected} per compute node")
+            }
+            Self::MemoryNodeNotTrailing { id } => {
+                write!(f, "memory-only node {id} precedes a compute node; memory nodes must trail")
+            }
+            Self::BadCapacity { id } => write!(f, "node {id} has a non-positive memory capacity"),
+            Self::BadMemory { id } => write!(f, "node {id} has an invalid memory spec"),
+            Self::ZeroBandwidthLink { a, b } => {
+                write!(f, "link {a}-{b} has non-positive bandwidth")
+            }
+            Self::BadLinkLatency { a, b } => write!(f, "link {a}-{b} has an invalid hop latency"),
+            Self::SelfLoopLink { id } => write!(f, "self-loop link on node {id}"),
+            Self::UnknownEndpoint { a, b } => {
+                write!(f, "link {a}-{b} references a node outside the graph")
+            }
+            Self::OrphanMemoryNode { id } => {
+                write!(f, "memory-only node {id} has no link; its capacity is unreachable")
+            }
+            Self::Disconnected { id } => write!(f, "node {id} is unreachable from node 0"),
+            Self::Machine(msg) => write!(f, "lowered spec rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}

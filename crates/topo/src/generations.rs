@@ -1,0 +1,437 @@
+//! Machine generations: the 2006 presets re-expressed through the
+//! generator, plus the post-2006 chiplet and HBM-tier machines.
+//!
+//! The 2006 graphs lower to specs **byte-identical** to the
+//! hand-rolled `corescope_machine::systems` constructors (asserted in
+//! tests below), so every existing artifact reproduces exactly when
+//! routed through here. The modern generations consume the four
+//! `CalibParams` topo axes (`onpkg_bandwidth`, `onpkg_latency`,
+//! `tier_dram_bandwidth`, `tier_hbm_bandwidth`) anchored against
+//! Bergstrom (arXiv:1103.3225) and RZBENCH (arXiv:0712.3389) numbers
+//! in `corescope-calib`.
+
+use crate::blueprint::{Blueprint, MemoryTier};
+use crate::error::TopoError;
+use crate::graph::{TopoGraph, TopoLink, TopoNode};
+use corescope_machine::systems::calib;
+use corescope_machine::{
+    CacheSpec, CalibParams, CoherenceSpec, CoreSpec, LinkSpec, Machine, MachineSpec, MemorySpec,
+};
+
+/// Fixed (non-axis) constants of the modern generations. The four
+/// tunable axes live in `CalibParams`; everything here is datasheet
+/// geometry the calibration never moves.
+pub mod fixed {
+    /// EPYC-like core clock.
+    pub const EPYC_FREQUENCY_HZ: f64 = 3.4e9;
+    /// HBM-node core clock (wider, slower parts).
+    pub const HBM_FREQUENCY_HZ: f64 = 2.4e9;
+    /// Double-precision flops/cycle with two 256-bit FMA pipes.
+    pub const FLOPS_PER_CYCLE: f64 = 16.0;
+    /// L1 data cache: 32 KiB.
+    pub const L1_BYTES: f64 = 32.0 * 1024.0;
+    /// Per-core share of the chiplet L2/L3: 4 MiB.
+    pub const L2_BYTES: f64 = 4.0 * 1024.0 * 1024.0;
+    /// Cache line: 64 B.
+    pub const LINE_BYTES: f64 = 64.0;
+    /// Outstanding line fills under modern prefetchers.
+    pub const STREAM_MLP: f64 = 24.0;
+    /// Outstanding line fills for dependent random access.
+    pub const RANDOM_MLP: f64 = 4.0;
+    /// Outstanding line fills for prefetch-defeating strides.
+    pub const STRIDED_MLP: f64 = 8.0;
+    /// Outstanding dependent table lookups.
+    pub const LOOKUP_MLP: f64 = 8.0;
+    /// Idle latency of a chiplet's local DRAM: ~90 ns.
+    pub const TIER_DRAM_LATENCY: f64 = 90e-9;
+    /// Idle latency of the HBM tier: ~110 ns (HBM trades latency for
+    /// bandwidth).
+    pub const TIER_HBM_LATENCY: f64 = 110e-9;
+    /// Row-miss/TLB surcharge per dependent lookup on DDR5-class
+    /// controllers.
+    pub const LOOKUP_LATENCY: f64 = 40e-9;
+    /// Usable cross-package (socket-to-socket) link bandwidth per
+    /// direction.
+    pub const CROSS_PACKAGE_BANDWIDTH: f64 = 25e9;
+    /// Cross-package hop latency.
+    pub const CROSS_PACKAGE_LATENCY: f64 = 60e-9;
+    /// Directory-filtered probe base cost (no K8-style broadcast).
+    pub const PROBE_BASE: f64 = 10e-9;
+    /// Directory probe cost per hop of diameter.
+    pub const PROBE_PER_HOP: f64 = 5e-9;
+    /// Probe fabric capacity: directory coherence does not broadcast,
+    /// so the fabric never binds.
+    pub const PROBE_CAPACITY: f64 = 1e12;
+    /// DRAM capacity per chiplet node on the EPYC-like machine.
+    pub const EPYC_NODE_CAPACITY: f64 = 16.0 * super::GIB;
+    /// DDR channel pairs feeding the HBM machine's one DRAM node (the
+    /// node bandwidth is this many times `tier_dram_bandwidth`).
+    pub const HBM_DRAM_CHANNEL_PAIRS: f64 = 4.0;
+    /// DRAM capacity of the HBM machine.
+    pub const HBM_DRAM_CAPACITY: f64 = 64.0 * super::GIB;
+    /// HBM stack capacity.
+    pub const HBM_CAPACITY: f64 = 16.0 * super::GIB;
+    /// On-package fabric bandwidth between the cores and the HBM
+    /// stack.
+    pub const HBM_FABRIC_BANDWIDTH: f64 = 400e9;
+    /// Fabric hop latency to the HBM stack.
+    pub const HBM_FABRIC_LATENCY: f64 = 10e-9;
+}
+
+const GIB: f64 = calib::GIB;
+
+/// A machine generation the generator can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generation {
+    /// 2006: Cray XD1 node, 2 × single-core Opteron 248.
+    Tiger,
+    /// 2006: DMZ cluster node, 2 × dual-core Opteron 275.
+    Dmz,
+    /// 2006: Iwill H8501, 8 × dual-core Opteron 865 ladder.
+    Longs,
+    /// Modern: 2 packages × 4 chiplets × 4 cores, meshed on-package.
+    Epyc,
+    /// Modern: one 16-core node with DRAM plus an HBM memory-only
+    /// node.
+    Hbm,
+}
+
+impl Generation {
+    /// Every generation, oldest first.
+    pub fn all() -> [Generation; 5] {
+        [Self::Tiger, Self::Dmz, Self::Longs, Self::Epyc, Self::Hbm]
+    }
+
+    /// Stable CLI/report key.
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Tiger => "tiger",
+            Self::Dmz => "dmz",
+            Self::Longs => "longs",
+            Self::Epyc => "epyc",
+            Self::Hbm => "hbm",
+        }
+    }
+
+    /// Parses a key produced by [`Generation::key`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::all().into_iter().find(|g| g.key() == s)
+    }
+
+    /// One-line description for catalogues.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Self::Tiger => "2006: 2x1-core Opteron 248, one HT link",
+            Self::Dmz => "2006: 2x2-core Opteron 275, one HT link",
+            Self::Longs => "2006: 8x2-core Opteron 865 HT ladder",
+            Self::Epyc => "now: 2 packages x 4 chiplets x 4 cores, on-package mesh",
+            Self::Hbm => "now: 16-core node with DRAM + HBM memory tiers",
+        }
+    }
+
+    /// The generation's topology graph at a calibration point.
+    pub fn graph_with(self, p: &CalibParams) -> TopoGraph {
+        match self {
+            Self::Tiger => k8_graph("tiger", p, 2.2e9, 1, 4.0 * GIB, 2, p.probe_capacity_small),
+            Self::Dmz => k8_graph("dmz", p, 2.2e9, 2, 2.0 * GIB, 2, p.probe_capacity_small),
+            Self::Longs => k8_graph("longs", p, 1.8e9, 2, 4.0 * GIB, 8, p.probe_capacity_ladder),
+            Self::Epyc => epyc_blueprint(p).expand(),
+            Self::Hbm => hbm_blueprint(p).expand(),
+        }
+    }
+
+    /// Lowered machine spec at a calibration point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError`] if the generation's graph fails to lower —
+    /// impossible for in-bounds calibration points, but a wildly
+    /// out-of-box point (zero bandwidth) degrades into a typed error
+    /// instead of a panic.
+    pub fn try_spec_with(self, p: &CalibParams) -> Result<MachineSpec, TopoError> {
+        self.graph_with(p).lower()
+    }
+
+    /// Lowered machine spec at a calibration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point produces an invalid spec (non-positive
+    /// bandwidths); use [`Generation::try_spec_with`] to handle that.
+    pub fn spec_with(self, p: &CalibParams) -> MachineSpec {
+        self.try_spec_with(p).expect("generation preset lowers")
+    }
+
+    /// Lowered machine spec at the shipped calibration.
+    pub fn spec(self) -> MachineSpec {
+        self.spec_with(&CalibParams::paper_2006())
+    }
+
+    /// Routable machine at a calibration point.
+    ///
+    /// # Panics
+    ///
+    /// As [`Generation::spec_with`].
+    pub fn machine_with(self, p: &CalibParams) -> Machine {
+        Machine::new(self.spec_with(p))
+    }
+
+    /// Routable machine at the shipped calibration.
+    pub fn machine(self) -> Machine {
+        Machine::new(self.spec())
+    }
+}
+
+fn k8_cache(p: &CalibParams) -> CacheSpec {
+    CacheSpec {
+        l1_bytes: p.l1_bytes,
+        l2_bytes: p.l2_bytes,
+        line_bytes: p.line_bytes,
+        stream_mlp: p.stream_mlp,
+        random_mlp: p.random_mlp,
+        strided_mlp: p.strided_mlp,
+        lookup_mlp: p.lookup_mlp,
+    }
+}
+
+fn k8_memory(p: &CalibParams) -> MemorySpec {
+    MemorySpec {
+        controller_bw: p.dram_bandwidth,
+        idle_latency: p.dram_latency,
+        lookup_latency: p.lookup_latency,
+    }
+}
+
+/// A 2006 K8 machine as a graph: uniform nodes, the HT link graph of
+/// the preset (single edge for two sockets, the 2×4 ladder for eight).
+/// Lowers to exactly the `systems::*_with` spec.
+fn k8_graph(
+    name: &str,
+    p: &CalibParams,
+    frequency_hz: f64,
+    cores: usize,
+    capacity: f64,
+    sockets: usize,
+    probe_capacity: f64,
+) -> TopoGraph {
+    let ht = LinkSpec { bandwidth: p.ht_bandwidth, hop_latency: p.ht_hop_latency };
+    let links = if sockets == 2 {
+        vec![TopoLink { a: 0, b: 1, link: ht }]
+    } else {
+        // The Iwill H8501 ladder, in the preset's edge order: per row a
+        // rung, then the two rails down to the next row.
+        let mut links = Vec::new();
+        for r in 0..sockets / 2 {
+            links.push(TopoLink { a: r * 2, b: r * 2 + 1, link: ht.clone() });
+            if r + 1 < sockets / 2 {
+                links.push(TopoLink { a: r * 2, b: (r + 1) * 2, link: ht.clone() });
+                links.push(TopoLink { a: r * 2 + 1, b: (r + 1) * 2 + 1, link: ht.clone() });
+            }
+        }
+        links
+    };
+    TopoGraph {
+        name: name.into(),
+        core: CoreSpec { frequency_hz, flops_per_cycle: p.flops_per_cycle },
+        cache: k8_cache(p),
+        coherence: CoherenceSpec {
+            base_probe: p.probe_base,
+            per_hop_probe: p.probe_per_hop,
+            probe_capacity,
+        },
+        nodes: (0..sockets)
+            .map(|id| TopoNode { id, cores, capacity_bytes: capacity, memory: k8_memory(p) })
+            .collect(),
+        links,
+    }
+}
+
+fn modern_cache() -> CacheSpec {
+    CacheSpec {
+        l1_bytes: fixed::L1_BYTES,
+        l2_bytes: fixed::L2_BYTES,
+        line_bytes: fixed::LINE_BYTES,
+        stream_mlp: fixed::STREAM_MLP,
+        random_mlp: fixed::RANDOM_MLP,
+        strided_mlp: fixed::STRIDED_MLP,
+        lookup_mlp: fixed::LOOKUP_MLP,
+    }
+}
+
+fn modern_coherence() -> CoherenceSpec {
+    CoherenceSpec {
+        base_probe: fixed::PROBE_BASE,
+        per_hop_probe: fixed::PROBE_PER_HOP,
+        probe_capacity: fixed::PROBE_CAPACITY,
+    }
+}
+
+/// The EPYC-like machine: 2 packages × 4 chiplets × 4 cores. Each
+/// chiplet owns a DDR channel pair; chiplets mesh on-package over
+/// Infinity-Fabric-class links and chain to the peer package over
+/// slower xGMI-class links.
+fn epyc_blueprint(p: &CalibParams) -> Blueprint {
+    Blueprint {
+        name: "epyc".into(),
+        packages: 2,
+        chiplets_per_package: 4,
+        cores_per_chiplet: 4,
+        chiplet_capacity_bytes: fixed::EPYC_NODE_CAPACITY,
+        chiplet_memory: MemorySpec {
+            controller_bw: p.tier_dram_bandwidth,
+            idle_latency: fixed::TIER_DRAM_LATENCY,
+            lookup_latency: fixed::LOOKUP_LATENCY,
+        },
+        onpackage_link: LinkSpec { bandwidth: p.onpkg_bandwidth, hop_latency: p.onpkg_latency },
+        cross_package_link: LinkSpec {
+            bandwidth: fixed::CROSS_PACKAGE_BANDWIDTH,
+            hop_latency: fixed::CROSS_PACKAGE_LATENCY,
+        },
+        memory_tiers: vec![],
+        core: CoreSpec {
+            frequency_hz: fixed::EPYC_FREQUENCY_HZ,
+            flops_per_cycle: fixed::FLOPS_PER_CYCLE,
+        },
+        cache: modern_cache(),
+        coherence: modern_coherence(),
+    }
+}
+
+/// The HBM-tiered node: 16 cores on one DRAM-backed NUMA node, plus an
+/// HBM stack as a second, memory-only NUMA node behind an on-package
+/// fabric link — the flat-mode tiered-memory machine.
+fn hbm_blueprint(p: &CalibParams) -> Blueprint {
+    Blueprint {
+        name: "hbm".into(),
+        packages: 1,
+        chiplets_per_package: 1,
+        cores_per_chiplet: 16,
+        chiplet_capacity_bytes: fixed::HBM_DRAM_CAPACITY,
+        chiplet_memory: MemorySpec {
+            controller_bw: fixed::HBM_DRAM_CHANNEL_PAIRS * p.tier_dram_bandwidth,
+            idle_latency: fixed::TIER_DRAM_LATENCY,
+            lookup_latency: fixed::LOOKUP_LATENCY,
+        },
+        onpackage_link: LinkSpec { bandwidth: p.onpkg_bandwidth, hop_latency: p.onpkg_latency },
+        cross_package_link: LinkSpec {
+            bandwidth: fixed::CROSS_PACKAGE_BANDWIDTH,
+            hop_latency: fixed::CROSS_PACKAGE_LATENCY,
+        },
+        memory_tiers: vec![MemoryTier {
+            attach: 0,
+            capacity_bytes: fixed::HBM_CAPACITY,
+            memory: MemorySpec {
+                controller_bw: p.tier_hbm_bandwidth,
+                idle_latency: fixed::TIER_HBM_LATENCY,
+                lookup_latency: fixed::LOOKUP_LATENCY,
+            },
+            link: LinkSpec {
+                bandwidth: fixed::HBM_FABRIC_BANDWIDTH,
+                hop_latency: fixed::HBM_FABRIC_LATENCY,
+            },
+        }],
+        core: CoreSpec {
+            frequency_hz: fixed::HBM_FREQUENCY_HZ,
+            flops_per_cycle: fixed::FLOPS_PER_CYCLE,
+        },
+        cache: modern_cache(),
+        coherence: modern_coherence(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corescope_machine::systems;
+
+    #[test]
+    fn seed_generations_lower_byte_identically() {
+        // The whole satellite-1 contract: routing the 2006 presets
+        // through the generator yields the *same spec, bit for bit* as
+        // the hand-rolled constructors — at the shipped point and at
+        // any other calibration point.
+        let mut perturbed = CalibParams::paper_2006();
+        perturbed.dram_latency *= 1.25;
+        perturbed.ht_bandwidth *= 0.75;
+        for p in [CalibParams::paper_2006(), perturbed] {
+            assert_eq!(Generation::Tiger.spec_with(&p), systems::tiger_with(&p));
+            assert_eq!(Generation::Dmz.spec_with(&p), systems::dmz_with(&p));
+            assert_eq!(Generation::Longs.spec_with(&p), systems::longs_with(&p));
+        }
+    }
+
+    #[test]
+    fn keys_parse_round_trip() {
+        for g in Generation::all() {
+            assert_eq!(Generation::parse(g.key()), Some(g));
+            assert!(!g.describe().is_empty());
+            assert!(g.describe().len() < 80, "{}", g.key());
+        }
+        assert_eq!(Generation::parse("beluga"), None);
+    }
+
+    #[test]
+    fn epyc_structure() {
+        let m = Generation::Epyc.machine();
+        assert_eq!(m.num_cores(), 32);
+        assert_eq!(m.num_sockets(), 8);
+        assert_eq!(m.num_compute_sockets(), 8);
+        assert_eq!(m.topology().diameter(), 2);
+        let spec = m.spec();
+        // The four cross-package links deviate from the on-package
+        // default.
+        assert_eq!(spec.edge_links.len(), 4);
+        assert!(spec.node_memory.is_empty());
+        // Chiplet NUMA factor is far milder than the 2006 ladder:
+        // remote/local latency under 2x, where Longs is ~2.5x.
+        let local = m.memory_latency(
+            corescope_machine::CoreId::new(0),
+            corescope_machine::NumaNodeId::new(0),
+        );
+        let far = m.memory_latency(
+            corescope_machine::CoreId::new(0),
+            corescope_machine::NumaNodeId::new(7),
+        );
+        assert!(far / local < 2.0, "epyc NUMA factor {:.2}", far / local);
+    }
+
+    #[test]
+    fn hbm_structure() {
+        let m = Generation::Hbm.machine();
+        assert_eq!(m.num_cores(), 16);
+        assert_eq!(m.num_sockets(), 2);
+        assert_eq!(m.num_compute_sockets(), 1);
+        let spec = m.spec();
+        assert_eq!(spec.memory_only_nodes, 1);
+        assert_eq!(spec.node_memory.len(), 1);
+        // The HBM tier trades latency for bandwidth.
+        assert!(spec.memory_of(1).controller_bw > 4.0 * spec.memory_of(0).controller_bw);
+        assert!(spec.memory_of(1).idle_latency > spec.memory_of(0).idle_latency);
+        // No coherence probe on a single compute socket.
+        let local = m.memory_latency(
+            corescope_machine::CoreId::new(0),
+            corescope_machine::NumaNodeId::new(0),
+        );
+        assert_eq!(local, fixed::TIER_DRAM_LATENCY);
+    }
+
+    #[test]
+    fn modern_axes_move_the_modern_specs() {
+        let mut p = CalibParams::paper_2006();
+        p.tier_hbm_bandwidth *= 1.5;
+        p.onpkg_latency *= 2.0;
+        let epyc = Generation::Epyc.spec_with(&p);
+        assert_eq!(epyc.link.hop_latency, p.onpkg_latency);
+        let hbm = Generation::Hbm.spec_with(&p);
+        assert_eq!(hbm.memory_of(1).controller_bw, p.tier_hbm_bandwidth);
+        // And the 2006 machines ignore them entirely.
+        assert_eq!(Generation::Longs.spec_with(&p), systems::longs());
+    }
+
+    #[test]
+    fn out_of_box_point_degrades_to_typed_error() {
+        let mut p = CalibParams::paper_2006();
+        p.tier_dram_bandwidth = 0.0;
+        assert!(matches!(Generation::Epyc.try_spec_with(&p), Err(TopoError::BadMemory { .. })));
+    }
+}

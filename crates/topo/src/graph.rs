@@ -1,0 +1,449 @@
+//! Explicit topology graphs and their lowering to `MachineSpec`.
+//!
+//! A [`TopoGraph`] is the fully-expanded form of a machine: one node
+//! per NUMA memory node (compute nodes carry cores, memory-only nodes
+//! carry just a tier), one link per point-to-point interconnect, plus
+//! the machine-wide core/cache/coherence models. [`TopoGraph::lower`]
+//! validates the graph (every malformed shape maps to a typed
+//! [`TopoError`], never a panic) and emits a
+//! [`corescope_machine::MachineSpec`]: the uniform parts become the
+//! spec's shared `memory`/`link`, anything deviating becomes a
+//! per-node or per-edge override, and trailing core-less nodes become
+//! `memory_only_nodes`.
+
+use crate::error::TopoError;
+use corescope_machine::spec::LinkEdge;
+use corescope_machine::{
+    CacheSpec, CoherenceSpec, CoreSpec, LinkSpec, Machine, MachineSpec, MemorySpec,
+};
+
+/// One NUMA node of a topology graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoNode {
+    /// Node id; ids must form `0..nodes.len()`.
+    pub id: usize,
+    /// Cores on this node; `0` marks a memory-only node (HBM stack,
+    /// CXL expander).
+    pub cores: usize,
+    /// Memory capacity in bytes.
+    pub capacity_bytes: f64,
+    /// The node's memory controller/tier parameters.
+    pub memory: MemorySpec,
+}
+
+/// One bidirectional interconnect link of a topology graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoLink {
+    /// One endpoint (node id).
+    pub a: usize,
+    /// The other endpoint (node id).
+    pub b: usize,
+    /// Bandwidth/latency of the link.
+    pub link: LinkSpec,
+}
+
+/// A complete machine topology: nodes, links, and the shared models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoGraph {
+    /// Machine name carried into the lowered spec.
+    pub name: String,
+    /// Per-core compute capability.
+    pub core: CoreSpec,
+    /// Per-core cache hierarchy.
+    pub cache: CacheSpec,
+    /// Coherence probe model.
+    pub coherence: CoherenceSpec,
+    /// NUMA nodes. Compute nodes must precede memory-only nodes in id
+    /// order, and all compute nodes must share a core count.
+    pub nodes: Vec<TopoNode>,
+    /// Point-to-point links. Order is preserved into the spec's edge
+    /// list, so it is part of the machine's identity.
+    pub links: Vec<TopoLink>,
+}
+
+fn positive(x: f64) -> bool {
+    x.is_finite() && x > 0.0
+}
+
+fn memory_ok(m: &MemorySpec) -> bool {
+    positive(m.controller_bw)
+        && positive(m.idle_latency)
+        && m.lookup_latency.is_finite()
+        && m.lookup_latency >= 0.0
+}
+
+impl TopoGraph {
+    /// Validates graph shape: ids, compute/memory partition, node and
+    /// link parameters, and connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first applicable [`TopoError`]; see that enum for
+    /// the full catalogue of rejected shapes.
+    pub fn validate(&self) -> Result<(), TopoError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(TopoError::NoNodes);
+        }
+        let mut seen = vec![false; n];
+        for node in &self.nodes {
+            if node.id >= n {
+                return Err(TopoError::NodeIdOutOfRange { id: node.id, nodes: n });
+            }
+            if seen[node.id] {
+                return Err(TopoError::DuplicateNodeId { id: node.id });
+            }
+            seen[node.id] = true;
+        }
+        // Ids are a permutation of 0..n; inspect nodes in id order.
+        let mut by_id: Vec<&TopoNode> = self.nodes.iter().collect();
+        by_id.sort_by_key(|node| node.id);
+        let compute = by_id.iter().take_while(|node| node.cores > 0).count();
+        if compute == 0 {
+            return Err(TopoError::NoComputeNodes);
+        }
+        if let Some(node) = by_id[compute..].iter().find(|node| node.cores > 0) {
+            // A compute node after the first memory-only node means a
+            // memory node sits in the middle of the compute range.
+            let gap = by_id[..node.id].iter().find(|m| m.cores == 0).expect("gap exists");
+            return Err(TopoError::MemoryNodeNotTrailing { id: gap.id });
+        }
+        let expected = by_id[0].cores;
+        for node in &by_id[..compute] {
+            if node.cores != expected {
+                return Err(TopoError::NonUniformCores {
+                    id: node.id,
+                    cores: node.cores,
+                    expected,
+                });
+            }
+        }
+        for node in &by_id {
+            if !positive(node.capacity_bytes) {
+                return Err(TopoError::BadCapacity { id: node.id });
+            }
+            if !memory_ok(&node.memory) {
+                return Err(TopoError::BadMemory { id: node.id });
+            }
+        }
+        let mut adj = vec![Vec::new(); n];
+        for l in &self.links {
+            if l.a >= n || l.b >= n {
+                return Err(TopoError::UnknownEndpoint { a: l.a, b: l.b });
+            }
+            if l.a == l.b {
+                return Err(TopoError::SelfLoopLink { id: l.a });
+            }
+            if !positive(l.link.bandwidth) {
+                return Err(TopoError::ZeroBandwidthLink { a: l.a, b: l.b });
+            }
+            if l.link.hop_latency.is_nan() || l.link.hop_latency < 0.0 {
+                return Err(TopoError::BadLinkLatency { a: l.a, b: l.b });
+            }
+            adj[l.a].push(l.b);
+            adj[l.b].push(l.a);
+        }
+        for node in &by_id[compute..] {
+            if adj[node.id].is_empty() {
+                return Err(TopoError::OrphanMemoryNode { id: node.id });
+            }
+        }
+        // BFS connectivity over the undirected link graph.
+        let mut reached = vec![false; n];
+        let mut queue = vec![0usize];
+        reached[0] = true;
+        while let Some(u) = queue.pop() {
+            for &v in &adj[u] {
+                if !reached[v] {
+                    reached[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        if let Some(id) = reached.iter().position(|r| !r) {
+            return Err(TopoError::Disconnected { id });
+        }
+        Ok(())
+    }
+
+    /// Lowers the graph to a validated [`MachineSpec`].
+    ///
+    /// Node 0's memory spec and the first link's spec become the
+    /// machine-wide defaults; deviating nodes/links become overrides.
+    /// A graph whose nodes and links are all alike therefore lowers to
+    /// a *uniform* spec — this is what keeps the 2006 presets
+    /// byte-identical to their hand-rolled constructors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopoError`] for any malformed graph, or
+    /// [`TopoError::Machine`] when the lowered spec fails
+    /// `MachineSpec::validate`.
+    pub fn lower(&self) -> Result<MachineSpec, TopoError> {
+        self.validate()?;
+        let n = self.nodes.len();
+        let mut by_id: Vec<&TopoNode> = self.nodes.iter().collect();
+        by_id.sort_by_key(|node| node.id);
+        let compute = by_id.iter().take_while(|node| node.cores > 0).count();
+        let memory = by_id[0].memory.clone();
+        let node_memory: Vec<(usize, MemorySpec)> = by_id
+            .iter()
+            .filter(|node| node.memory != memory)
+            .map(|node| (node.id, node.memory.clone()))
+            .collect();
+        let link = self
+            .links
+            .first()
+            .map_or(LinkSpec { bandwidth: 0.0, hop_latency: 0.0 }, |l| l.link.clone());
+        let edge_links: Vec<(usize, LinkSpec)> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.link != link)
+            .map(|(i, l)| (i, l.link.clone()))
+            .collect();
+        let spec = MachineSpec {
+            name: self.name.clone(),
+            sockets: by_id.iter().map(|node| node.capacity_bytes).collect(),
+            cores_per_socket: by_id[0].cores,
+            core: self.core.clone(),
+            cache: self.cache.clone(),
+            memory,
+            link,
+            edges: self.links.iter().map(|l| LinkEdge::new(l.a, l.b)).collect(),
+            coherence: self.coherence.clone(),
+            node_memory,
+            edge_links,
+            memory_only_nodes: n - compute,
+        };
+        spec.validate().map_err(|e| TopoError::Machine(e.to_string()))?;
+        Ok(spec)
+    }
+
+    /// Lowers the graph and resolves it into a routable [`Machine`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TopoGraph::lower`]; a disconnected graph is already caught
+    /// there, so machine construction failures surface as
+    /// [`TopoError::Machine`].
+    pub fn machine(&self) -> Result<Machine, TopoError> {
+        Machine::try_new(self.lower()?).map_err(|e| TopoError::Machine(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mem(bw: f64) -> MemorySpec {
+        MemorySpec { controller_bw: bw, idle_latency: 80e-9, lookup_latency: 40e-9 }
+    }
+
+    fn node(id: usize, cores: usize) -> TopoNode {
+        TopoNode { id, cores, capacity_bytes: 1e9, memory: mem(30e9) }
+    }
+
+    fn link(a: usize, b: usize) -> TopoLink {
+        TopoLink { a, b, link: LinkSpec { bandwidth: 40e9, hop_latency: 30e-9 } }
+    }
+
+    fn graph(nodes: Vec<TopoNode>, links: Vec<TopoLink>) -> TopoGraph {
+        TopoGraph {
+            name: "test".into(),
+            core: CoreSpec { frequency_hz: 3e9, flops_per_cycle: 16.0 },
+            cache: CacheSpec {
+                l1_bytes: 32.0 * 1024.0,
+                l2_bytes: 4.0 * 1024.0 * 1024.0,
+                line_bytes: 64.0,
+                stream_mlp: 24.0,
+                random_mlp: 4.0,
+                strided_mlp: 8.0,
+                lookup_mlp: 8.0,
+            },
+            coherence: CoherenceSpec {
+                base_probe: 10e-9,
+                per_hop_probe: 5e-9,
+                probe_capacity: 1e12,
+            },
+            nodes,
+            links,
+        }
+    }
+
+    #[test]
+    fn two_node_graph_lowers() {
+        let g = graph(vec![node(0, 4), node(1, 4)], vec![link(0, 1)]);
+        let spec = g.lower().unwrap();
+        assert!(spec.is_uniform());
+        assert_eq!(spec.sockets.len(), 2);
+        assert_eq!(spec.cores_per_socket, 4);
+        g.machine().unwrap();
+    }
+
+    #[test]
+    fn memory_tier_becomes_override_and_trailing_node() {
+        let mut hbm = node(1, 0);
+        hbm.memory = mem(600e9);
+        let g = graph(vec![node(0, 8), hbm], vec![link(0, 1)]);
+        let spec = g.lower().unwrap();
+        assert_eq!(spec.memory_only_nodes, 1);
+        assert_eq!(spec.node_memory.len(), 1);
+        assert_eq!(spec.memory_of(1).controller_bw, 600e9);
+        assert!(!spec.is_uniform());
+        assert_eq!(Machine::new(spec).num_cores(), 8);
+    }
+
+    #[test]
+    fn deviant_link_becomes_edge_override() {
+        let mut slow = link(1, 2);
+        slow.link.bandwidth = 10e9;
+        let g = graph(vec![node(0, 2), node(1, 2), node(2, 2)], vec![link(0, 1), slow, link(0, 2)]);
+        let spec = g.lower().unwrap();
+        assert_eq!(spec.edge_links, vec![(1, LinkSpec { bandwidth: 10e9, hop_latency: 30e-9 })]);
+    }
+
+    #[test]
+    fn typed_errors_for_each_malformation() {
+        let cases: Vec<(TopoGraph, TopoError)> = vec![
+            (graph(vec![], vec![]), TopoError::NoNodes),
+            (
+                graph(vec![node(0, 2), node(0, 2)], vec![link(0, 1)]),
+                TopoError::DuplicateNodeId { id: 0 },
+            ),
+            (
+                graph(vec![node(0, 2), node(7, 2)], vec![link(0, 1)]),
+                TopoError::NodeIdOutOfRange { id: 7, nodes: 2 },
+            ),
+            (graph(vec![node(0, 0)], vec![]), TopoError::NoComputeNodes),
+            (
+                graph(vec![node(0, 2), node(1, 4)], vec![link(0, 1)]),
+                TopoError::NonUniformCores { id: 1, cores: 4, expected: 2 },
+            ),
+            (
+                graph(vec![node(0, 2), node(1, 0), node(2, 2)], vec![link(0, 1), link(1, 2)]),
+                TopoError::MemoryNodeNotTrailing { id: 1 },
+            ),
+            (
+                graph(vec![node(0, 2), node(1, 2), node(2, 2)], vec![link(0, 1)]),
+                TopoError::Disconnected { id: 2 },
+            ),
+            (
+                graph(vec![node(0, 2), node(1, 2)], vec![link(0, 5)]),
+                TopoError::UnknownEndpoint { a: 0, b: 5 },
+            ),
+            (
+                graph(vec![node(0, 2), node(1, 2)], vec![link(1, 1)]),
+                TopoError::SelfLoopLink { id: 1 },
+            ),
+        ];
+        for (g, want) in cases {
+            assert_eq!(g.lower().unwrap_err(), want);
+        }
+        // Orphan memory node: no link touches node 1 at all.
+        let g = graph(vec![node(0, 2), node(1, 0)], vec![]);
+        assert_eq!(g.lower().unwrap_err(), TopoError::OrphanMemoryNode { id: 1 });
+        // Zero-bandwidth link.
+        let mut dead = link(0, 1);
+        dead.link.bandwidth = 0.0;
+        let g = graph(vec![node(0, 2), node(1, 2)], vec![dead]);
+        assert_eq!(g.lower().unwrap_err(), TopoError::ZeroBandwidthLink { a: 0, b: 1 });
+        // Negative hop latency.
+        let mut bad = link(0, 1);
+        bad.link.hop_latency = -1.0;
+        let g = graph(vec![node(0, 2), node(1, 2)], vec![bad]);
+        assert_eq!(g.lower().unwrap_err(), TopoError::BadLinkLatency { a: 0, b: 1 });
+        // Zero capacity / zero-bandwidth memory.
+        let mut sick = node(1, 2);
+        sick.capacity_bytes = 0.0;
+        let g = graph(vec![node(0, 2), sick], vec![link(0, 1)]);
+        assert_eq!(g.lower().unwrap_err(), TopoError::BadCapacity { id: 1 });
+        let mut sick = node(1, 2);
+        sick.memory.controller_bw = f64::NAN;
+        let g = graph(vec![node(0, 2), sick], vec![link(0, 1)]);
+        assert_eq!(g.lower().unwrap_err(), TopoError::BadMemory { id: 1 });
+    }
+
+    #[test]
+    fn errors_display_distinctly() {
+        let errs = [
+            TopoError::NoNodes,
+            TopoError::DuplicateNodeId { id: 3 },
+            TopoError::OrphanMemoryNode { id: 2 },
+            TopoError::ZeroBandwidthLink { a: 0, b: 1 },
+            TopoError::Machine("x".into()),
+        ];
+        let mut msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        msgs.sort();
+        msgs.dedup();
+        assert_eq!(msgs.len(), errs.len());
+    }
+
+    // --- Satellite: arbitrary topology specs never panic; invalid
+    // graphs come back as typed TopoErrors.
+
+    /// Capacity candidates, including invalid ones.
+    const CAPS: [f64; 5] = [0.0, 1e9, -1.0, f64::NAN, 4e9];
+    /// Memory-bandwidth candidates, including invalid ones.
+    const BWS: [f64; 4] = [0.0, 30e9, 600e9, f64::INFINITY];
+    /// Link-bandwidth candidates, including invalid ones.
+    const LINK_BWS: [f64; 3] = [0.0, 40e9, -2.0];
+    /// Hop-latency candidates, including invalid ones.
+    const LATS: [f64; 3] = [30e-9, -1e-9, f64::NAN];
+
+    proptest! {
+        #[test]
+        fn arbitrary_graphs_never_panic(
+            raw_nodes in proptest::collection::vec(
+                (0usize..6, 0usize..4, 0usize..CAPS.len(), 0usize..BWS.len()),
+                0..6,
+            ),
+            raw_links in proptest::collection::vec(
+                (0usize..6, 0usize..6, 0usize..LINK_BWS.len(), 0usize..LATS.len()),
+                0..8,
+            ),
+        ) {
+            let nodes = raw_nodes
+                .into_iter()
+                .map(|(id, cores, cap, bw)| TopoNode {
+                    id,
+                    cores,
+                    capacity_bytes: CAPS[cap],
+                    memory: mem(BWS[bw]),
+                })
+                .collect();
+            let links = raw_links
+                .into_iter()
+                .map(|(a, b, bw, lat)| TopoLink {
+                    a,
+                    b,
+                    link: LinkSpec { bandwidth: LINK_BWS[bw], hop_latency: LATS[lat] },
+                })
+                .collect();
+            let g = graph(nodes, links);
+            match g.lower() {
+                Ok(spec) => {
+                    // A graph that lowers must resolve into a machine.
+                    prop_assert!(Machine::try_new(spec).is_ok());
+                }
+                Err(e) => {
+                    // Typed error, and displaying it never panics.
+                    let _ = e.to_string();
+                }
+            }
+        }
+
+        #[test]
+        fn duplicate_ids_are_always_typed(
+            dup in 0usize..3,
+            cores in 1usize..4,
+        ) {
+            let g = graph(
+                vec![node(dup, cores), node(dup, cores), node(1, cores)],
+                vec![link(0, 1)],
+            );
+            prop_assert_eq!(g.lower().unwrap_err(), TopoError::DuplicateNodeId { id: dup });
+        }
+    }
+}
